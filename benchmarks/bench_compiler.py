@@ -1,0 +1,73 @@
+"""Toolchain ablation benchmarks.
+
+Not a paper table — these quantify the moving parts DESIGN.md calls out:
+Devil front-end cost, stub generation cost, mini-C compilation cost, and
+raw interpreter throughput (which bounds every boot-stage experiment).
+"""
+
+from repro.devil import compile_spec, parse_spec
+from repro.devil.codegen import CodegenOptions, generate_header
+from repro.drivers import assemble_c_program, assemble_cdevil_program
+from repro.minic import Interpreter, SourceFile, compile_program
+from repro.specs import load_spec_source
+
+IDE_SPEC = load_spec_source("ide_piix4")
+NE2000_SPEC = load_spec_source("ne2000")
+
+
+def test_devil_parse(benchmark):
+    device = benchmark(parse_spec, NE2000_SPEC)
+    assert device.name == "ne2000"
+
+
+def test_devil_full_compile(benchmark):
+    spec = benchmark(compile_spec, NE2000_SPEC)
+    assert len(spec.registers) > 40
+
+
+def test_codegen_debug(benchmark):
+    spec = compile_spec(IDE_SPEC)
+    header = benchmark(generate_header, spec, CodegenOptions(mode="debug"))
+    assert "dil_assert" in header
+
+
+def test_codegen_production(benchmark):
+    spec = compile_spec(IDE_SPEC)
+    header = benchmark(generate_header, spec, CodegenOptions(mode="production"))
+    assert "dil_assert" in header  # defined away, but the define exists
+
+
+def test_minic_compile_c_driver(benchmark):
+    files, registry = assemble_c_program()
+    program = benchmark(compile_program, files, registry)
+    assert "ide_init" in program.function_names()
+
+
+def test_minic_compile_cdevil_driver(benchmark):
+    files, registry = assemble_cdevil_program()
+    program = benchmark(compile_program, files, registry)
+    assert "ide_init" in program.function_names()
+
+
+def test_interpreter_throughput(benchmark):
+    source = SourceFile(
+        "loop.c",
+        """
+        u32 spin(u32 n) {
+            u32 total = 0u;
+            u32 i;
+            for (i = 0u; i < n; i++) {
+                total = (total + (i ^ 0x5au)) & 0xffffffu;
+            }
+            return total;
+        }
+        """,
+    )
+    program = compile_program([source])
+
+    def run():
+        interp = Interpreter(program, step_budget=10_000_000)
+        return interp.call("spin", 20_000)
+
+    value = benchmark(run)
+    assert value >= 0

@@ -1,0 +1,48 @@
+"""Benchmark + regeneration of Table 2 (Devil compiler mutation coverage).
+
+``test_table2_rows`` reruns a seeded sample of every spec's mutants and
+prints the paper-shaped table; the benchmark measures the checker's
+mutant throughput on the busmouse spec (the unit of work the whole table
+scales with).
+"""
+
+from repro.devil.compiler import parse_spec, spec_errors
+from repro.experiments.table2 import PAPER_TABLE2, Table2Result, render
+from repro.mutation.generator import enumerate_devil_mutants
+from repro.mutation.runner import run_devil_campaign
+from repro.mutation.sampling import sample_mutants
+from repro.specs import load_spec_source, spec_names
+
+
+def test_devil_mutant_throughput(benchmark):
+    source = load_spec_source("logitech_busmouse")
+    device = parse_spec(source)
+    mutants = sample_mutants(
+        enumerate_devil_mutants(source, device), fraction=0.02, seed=4136
+    )
+    assert mutants
+
+    def check_all():
+        return sum(1 for m in mutants if spec_errors(m.apply(source)))
+
+    detected = benchmark(check_all)
+    assert 0 < detected <= len(mutants)
+
+
+def test_table2_rows(benchmark, bench_fraction, capsys):
+    def campaign():
+        result = Table2Result()
+        for name in spec_names():
+            result.rows.append(run_devil_campaign(name, fraction=bench_fraction))
+        return result
+
+    result = benchmark.pedantic(campaign, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(render(result))
+        print(f"(seeded {bench_fraction:.0%} sample; full run: "
+              "python -m repro.experiments.table2)")
+    for row in result.rows:
+        paper_detected = PAPER_TABLE2[row.spec_name][3] / 100.0
+        # Shape assertion: within 12 points of the paper's coverage.
+        assert abs(row.detected_fraction - paper_detected) < 0.12, row.spec_name

@@ -1,0 +1,53 @@
+"""Benchmark + regeneration of Table 3 (mutations on the C IDE driver).
+
+The benchmark measures the cost of one full mutant evaluation (compile +
+boot + classify) — the unit the campaign repeats thousands of times.
+``test_table3_rows`` prints the sampled table next to the paper's
+percentages and asserts the headline shape.
+"""
+
+from repro.drivers import assemble_c_program
+from repro.experiments.table3 import render
+from repro.hw import standard_pc
+from repro.kernel import boot
+from repro.kernel.outcomes import BootOutcome
+from repro.minic import compile_program
+from repro.mutation.runner import run_driver_campaign
+
+
+def test_clean_boot_cost(benchmark):
+    files, registry = assemble_c_program()
+    program = compile_program(files, include_registry=registry)
+
+    def boot_once():
+        return boot(program, standard_pc(with_busmouse=False))
+
+    report = benchmark(boot_once)
+    assert report.outcome is BootOutcome.BOOT
+
+
+def test_mutant_evaluation_cost(benchmark):
+    def run_three():
+        return run_driver_campaign("c", fraction=0.0008, seed=99)
+
+    result = benchmark.pedantic(run_three, rounds=3, iterations=1)
+    assert result.tested >= 3
+
+
+def test_table3_rows(benchmark, bench_fraction, capsys):
+    result = benchmark.pedantic(
+        lambda: run_driver_campaign("c", fraction=bench_fraction),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render(result))
+        print(f"(seeded {bench_fraction:.0%} sample; full run: "
+              "python -m repro.experiments.table3 --fraction 1.0)")
+    # Shape: compile-time detection alone, in the paper's ballpark.
+    assert 0.15 < result.detected_fraction() < 0.45
+    # Shape: the silent worst case is a large class in plain C.
+    assert result.fraction(BootOutcome.BOOT) > 0.15
+    # Shape: crashes exist in plain C.
+    assert result.count(BootOutcome.CRASH) > 0

@@ -1,0 +1,50 @@
+"""Benchmark + regeneration of Table 4 (mutations on the CDevil driver).
+
+Also carries the debug-vs-production ablation: the same glue booted over
+both stub flavours, quantifying what the run-time checks cost — the
+paper's companion claim (OSDI 2000) that Devil drivers stay close to the
+original's performance.
+"""
+
+from repro.drivers import assemble_cdevil_program
+from repro.experiments.table4 import render
+from repro.hw import standard_pc
+from repro.kernel import boot
+from repro.kernel.outcomes import BootOutcome
+from repro.minic import compile_program
+from repro.mutation.runner import run_driver_campaign
+
+
+def _boot_mode(mode: str):
+    files, registry = assemble_cdevil_program(mode=mode)
+    program = compile_program(files, include_registry=registry)
+    return boot(program, standard_pc(with_busmouse=False))
+
+
+def test_debug_stub_boot_cost(benchmark):
+    report = benchmark.pedantic(lambda: _boot_mode("debug"), rounds=3, iterations=1)
+    assert report.outcome is BootOutcome.BOOT
+
+
+def test_production_stub_boot_cost(benchmark):
+    report = benchmark.pedantic(
+        lambda: _boot_mode("production"), rounds=3, iterations=1
+    )
+    assert report.outcome is BootOutcome.BOOT
+
+
+def test_table4_rows(benchmark, bench_fraction, capsys):
+    result = benchmark.pedantic(
+        lambda: run_driver_campaign("cdevil", fraction=max(bench_fraction, 0.25)),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(render(result))
+        print("(seeded sample; full run: python -m repro.experiments.table4)")
+    # Shape assertions from the paper's headline claims:
+    assert result.detected_fraction() > 0.40  # most mutants detected
+    assert result.count(BootOutcome.RUN_TIME_CHECK) > 0  # Devil-only class
+    assert result.count(BootOutcome.DEAD_CODE) > 0  # Devil-only class
+    assert result.fraction(BootOutcome.CRASH) < 0.03  # crashes (near-)vanish

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a Devil spec, generate stubs, talk to a device.
+
+Covers the full pipeline of the paper's Figure 1 in ~60 lines:
+
+1. compile the Logitech busmouse specification (the paper's Figure 3);
+2. generate the C debug stubs a driver author would #include;
+3. drive the simulated mouse directly from Python through the same
+   checked semantics (`DeviceHandle`).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.devil import compile_spec
+from repro.devil.codegen import CodegenOptions, generate_header
+from repro.devil.runtime import DeviceHandle
+from repro.hw import IOBus, LogitechBusmouse
+from repro.specs import load_spec_source
+
+
+def main() -> None:
+    # 1. Compile the specification.  Any inconsistency (overlapping
+    # registers, unused bits, bad masks...) raises CompileError here.
+    spec = compile_spec(load_spec_source("logitech_busmouse"))
+    print(f"compiled device {spec.name!r}:")
+    for variable in spec.public_variables():
+        direction = ("R" if variable.readable else "") + (
+            "W" if variable.writable else ""
+        )
+        print(f"  {variable.name:12s} {direction:2s} {variable.devil_type.describe()}")
+
+    # 2. Generate the debug-mode C header (paper section 2.3 / Figure 4).
+    header = generate_header(spec, CodegenOptions(mode="debug", prefix="bm"))
+    stub_count = header.count("static inline")
+    print(f"\ngenerated {stub_count} debug stubs; first lines:")
+    for line in header.splitlines()[:6]:
+        print(f"  {line}")
+
+    # 3. Bind the spec to a simulated mouse and use the typed interface.
+    mouse = LogitechBusmouse(base=0x23C)
+    bus = IOBus(strict=True)
+    bus.attach(mouse)
+    handle = DeviceHandle(spec, bus, bases=0x23C)
+
+    handle.set("signature", 0xA5)  # probe: write/read the signature register
+    assert handle.get("signature") == 0xA5
+    handle.set("config", "CONFIGURATION")
+    handle.set("interrupt", "DISABLE")
+
+    mouse.move(dx=5, dy=-3, buttons=0b101)
+    print("\nmouse state read through the Devil interface:")
+    print(f"  dx      = {handle.get('dx')}")
+    print(f"  dy      = {handle.get('dy')}")
+    print(f"  buttons = {handle.get('buttons'):#05b}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so editable installs work in offline environments without wheel.
+
+``pip install -e .`` on a machine with the ``wheel`` package uses
+pyproject.toml directly; without it (no network), ``python setup.py
+develop`` provides the same editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""The Devil interface definition language.
+
+This package reimplements the Devil compiler described in Réveillère &
+Muller (DSN 2001): a three-layer IDL (ports, registers, device variables),
+a consistency checker over both layers (paper §2.2), a C stub generator
+with production and debug modes (paper §2.3 / Figure 4), and a Python
+runtime that executes checked specifications directly against simulated
+hardware.
+
+Typical use::
+
+    from repro.devil import compile_spec
+    from repro.devil.codegen import generate_header, CodegenOptions
+
+    spec = compile_spec(open("busmouse.dil").read())
+    header = generate_header(spec, CodegenOptions(mode="debug", prefix="bm"))
+"""
+
+from repro.devil.compiler import CheckedSpec, check_spec, compile_spec, parse_spec
+
+__all__ = ["CheckedSpec", "check_spec", "compile_spec", "parse_spec"]

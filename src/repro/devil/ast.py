@@ -1,0 +1,309 @@
+"""Abstract syntax tree for Devil specifications.
+
+The tree mirrors the three layers of the language (paper §2.1):
+
+* a *device* declaration parameterised by ranged ports,
+* *register* declarations built on ports (with optional read/write split,
+  bit masks, and access pre-actions),
+* *variable* declarations built from register bit fragments, carrying a
+  Devil type.
+
+Named *type* declarations are also supported (the paper lists "types" among
+the uniquely-named, mutable entities in §2.2/§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import SourceLocation
+
+
+@dataclass(frozen=True)
+class IntSetElement:
+    """One element of an integer set/range expression: ``lo`` or ``lo..hi``."""
+
+    lo: int
+    hi: int | None = None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def values(self) -> list[int]:
+        if self.hi is None:
+            return [self.lo]
+        step = 1 if self.hi >= self.lo else -1
+        return list(range(self.lo, self.hi + step, step))
+
+
+@dataclass(frozen=True)
+class PortParam:
+    """A port parameter of the device: ``base : bit[8] port @ {0..3}``."""
+
+    name: str
+    data_size: int
+    offsets: tuple[IntSetElement, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def offset_values(self) -> list[int]:
+        seen: list[int] = []
+        for element in self.offsets:
+            for value in element.values():
+                if value not in seen:
+                    seen.append(value)
+        return seen
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A port constructor use: ``base @ 1`` (offset may be omitted)."""
+
+    base: str
+    offset: int | None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def key(self) -> tuple[str, int]:
+        return (self.base, 0 if self.offset is None else self.offset)
+
+    def __str__(self) -> str:
+        if self.offset is None:
+            return self.base
+        return f"{self.base}@{self.offset}"
+
+
+@dataclass(frozen=True)
+class PreAction:
+    """A context-establishing assignment: ``pre {index = 0}``."""
+
+    variable: str
+    value: int
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        return f"{self.variable} = {self.value}"
+
+
+@dataclass(frozen=True)
+class RegisterDecl:
+    """A register: sized bit vector reachable through one or two ports.
+
+    ``read_port``/``write_port`` reflect the optional ``read``/``write``
+    attributes: a bare port means read/write through the same port, in which
+    case both fields reference the same :class:`PortRef`.
+    """
+
+    name: str
+    size: int
+    read_port: PortRef | None
+    write_port: PortRef | None
+    mask: str | None
+    pre_actions: tuple[PreAction, ...]
+    post_actions: tuple[PreAction, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+    #: True when the declaration carried no explicit ``: bit[n]`` and the
+    #: size was inferred from the mask (or defaulted to 8).
+    size_inferred: bool = False
+
+    @property
+    def readable(self) -> bool:
+        return self.read_port is not None
+
+    @property
+    def writable(self) -> bool:
+        return self.write_port is not None
+
+    def effective_mask(self) -> str:
+        """Mask string, MSB first, defaulting to all-relevant bits."""
+        if self.mask is not None:
+            return self.mask
+        return "." * self.size
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A bit slice of a register used to build a variable.
+
+    ``hi``/``lo`` are bit indices (MSB-first notation, ``hi >= lo`` in a
+    well-formed spec); both ``None`` means the whole register.
+    """
+
+    register: str
+    hi: int | None
+    lo: int | None
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def is_whole(self) -> bool:
+        return self.hi is None and self.lo is None
+
+    def __str__(self) -> str:
+        if self.is_whole:
+            return self.register
+        if self.hi == self.lo:
+            return f"{self.register}[{self.hi}]"
+        return f"{self.register}[{self.hi}..{self.lo}]"
+
+
+# --- Devil type expressions -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IntTypeExpr:
+    """``int(n)`` or ``signed int(n)``."""
+
+    width: int
+    signed: bool = False
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        prefix = "signed " if self.signed else ""
+        return f"{prefix}int({self.width})"
+
+
+@dataclass(frozen=True)
+class BoolTypeExpr:
+    """``bool`` — one bit, read back as 0/1."""
+
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class EnumMember:
+    """One mapping of an enumerated type: ``SLAVE <=> '1'``.
+
+    ``direction`` is ``"<="`` (read-only mapping), ``"=>"`` (write-only) or
+    ``"<=>"`` (both).
+    """
+
+    name: str
+    direction: str
+    pattern: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def readable(self) -> bool:
+        return self.direction in ("<=", "<=>")
+
+    @property
+    def writable(self) -> bool:
+        return self.direction in ("=>", "<=>")
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.direction} '{self.pattern}'"
+
+
+@dataclass(frozen=True)
+class EnumTypeExpr:
+    """``{ A => '1', B => '0' }``."""
+
+    members: tuple[EnumMember, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        return "{ " + ", ".join(str(m) for m in self.members) + " }"
+
+
+@dataclass(frozen=True)
+class IntSetTypeExpr:
+    """``int {0, 2, 3}`` or ``int {0..2, 5}`` — a fixed set of values."""
+
+    elements: tuple[IntSetElement, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def values(self) -> list[int]:
+        seen: list[int] = []
+        for element in self.elements:
+            for value in element.values():
+                if value not in seen:
+                    seen.append(value)
+        return seen
+
+    def __str__(self) -> str:
+        parts = []
+        for element in self.elements:
+            if element.hi is None:
+                parts.append(str(element.lo))
+            else:
+                parts.append(f"{element.lo}..{element.hi}")
+        return "int {" + ", ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class NamedTypeExpr:
+    """A reference to a ``type`` declaration."""
+
+    name: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+TypeExpr = IntTypeExpr | BoolTypeExpr | EnumTypeExpr | IntSetTypeExpr | NamedTypeExpr
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    """A named type: ``type drive_t = { SLAVE <=> '1', MASTER <=> '0' };``"""
+
+    name: str
+    definition: TypeExpr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    """A device variable assembled from register fragments.
+
+    ``attributes`` is a subset of {"volatile", "read trigger",
+    "write trigger"}; ``private`` variables are internal to the spec (used
+    by pre-actions) and absent from the generated functional interface.
+    """
+
+    name: str
+    private: bool
+    fragments: tuple[Fragment, ...]
+    attributes: frozenset[str]
+    type_expr: TypeExpr
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def volatile(self) -> bool:
+        return "volatile" in self.attributes
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Root of a Devil specification."""
+
+    name: str
+    params: tuple[PortParam, ...]
+    types: tuple[TypeDecl, ...]
+    registers: tuple[RegisterDecl, ...]
+    variables: tuple[VariableDecl, ...]
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def register(self, name: str) -> RegisterDecl | None:
+        for decl in self.registers:
+            if decl.name == name:
+                return decl
+        return None
+
+    def variable(self, name: str) -> VariableDecl | None:
+        for decl in self.variables:
+            if decl.name == name:
+                return decl
+        return None
+
+    def param(self, name: str) -> PortParam | None:
+        for decl in self.params:
+            if decl.name == name:
+                return decl
+        return None
+
+    def type_decl(self, name: str) -> TypeDecl | None:
+        for decl in self.types:
+            if decl.name == name:
+                return decl
+        return None

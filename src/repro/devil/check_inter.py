@@ -1,0 +1,287 @@
+"""Inter-layer consistency checks (paper §2.2, second half).
+
+The layered structure of Devil introduces redundancy across layers, which
+this pass exploits:
+
+* X1 — attribute consistency: a readable variable only uses readable
+  registers (and vice versa for write); enum mapping directions agree with
+  the variable's readability/writability; trigger attributes agree too.
+* X2 — no omission: every port parameter and every declared offset is used
+  by some register; every register (and every *relevant* register bit)
+  feeds some variable; readable enum mappings are exhaustive; private
+  variables are referenced by some pre-action.
+* X3 — no overlap: a (port, offset, direction) is claimed by at most one
+  register unless pre-action contexts or relevant masks are disjoint; no
+  register bit belongs to two variables.
+* pre-actions: target a defined, writable variable with an in-domain value,
+  and do not chain (a pre-action variable's registers must themselves be
+  pre-action free).
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticSink
+from repro.devil import ast
+from repro.devil.check_intra import SymbolTables
+from repro.devil.layout import CheckedRegister, CheckedVariable
+from repro.devil.types import DevilTypeError, EnumType
+
+
+class InterChecker:
+    def __init__(
+        self, device: ast.DeviceSpec, tables: SymbolTables, sink: DiagnosticSink
+    ):
+        self.device = device
+        self.tables = tables
+        self.sink = sink
+
+    def run(self) -> None:
+        self._check_pre_actions()
+        self._check_variable_directions()
+        self._check_no_omission()
+        self._check_no_overlap()
+
+    # -- pre-actions --------------------------------------------------------
+
+    def _check_pre_actions(self) -> None:
+        for register in self.tables.registers.values():
+            for action in (
+                *register.decl.pre_actions,
+                *register.decl.post_actions,
+            ):
+                target = self.tables.variables.get(action.variable)
+                if target is None:
+                    self.sink.error(
+                        "devil-undef-variable",
+                        f"register {register.name!r}: pre-action targets "
+                        f"undeclared variable {action.variable!r}",
+                        action.location,
+                    )
+                    continue
+                if not target.writable:
+                    self.sink.error(
+                        "devil-access",
+                        f"register {register.name!r}: pre-action writes "
+                        f"read-only variable {action.variable!r}",
+                        action.location,
+                    )
+                try:
+                    target.devil_type.encode(action.value)
+                except DevilTypeError:
+                    self.sink.error(
+                        "devil-pre-range",
+                        f"register {register.name!r}: pre-action value "
+                        f"{action.value} outside {target.devil_type.describe()}",
+                        action.location,
+                    )
+                for fragment in target.fragments:
+                    via = self.tables.registers.get(fragment.register)
+                    if via is not None and (
+                        via.decl.pre_actions or via.decl.post_actions
+                    ):
+                        self.sink.error(
+                            "devil-pre-cycle",
+                            f"register {register.name!r}: pre-action variable "
+                            f"{action.variable!r} itself lives in register "
+                            f"{via.name!r} which has pre-actions",
+                            action.location,
+                        )
+
+    # -- X1: directions -------------------------------------------------------
+
+    def _check_variable_directions(self) -> None:
+        for variable in self.tables.variables.values():
+            self._check_one_direction(variable)
+
+    def _check_one_direction(self, variable: CheckedVariable) -> None:
+        decl = variable.decl
+        if not variable.readable and not variable.writable:
+            self.sink.error(
+                "devil-access",
+                f"variable {decl.name!r} is neither readable nor writable "
+                "(its registers' attributes conflict)",
+                decl.location,
+            )
+            return
+
+        if "read trigger" in decl.attributes and not variable.readable:
+            self.sink.error(
+                "devil-access",
+                f"variable {decl.name!r} has a read trigger but is not readable",
+                decl.location,
+            )
+        if "write trigger" in decl.attributes and not variable.writable:
+            self.sink.error(
+                "devil-access",
+                f"variable {decl.name!r} has a write trigger but is not writable",
+                decl.location,
+            )
+
+        devil_type = variable.devil_type
+        if isinstance(devil_type, EnumType):
+            readable = devil_type.readable_members()
+            writable = devil_type.writable_members()
+            if readable and not variable.readable:
+                self.sink.error(
+                    "devil-dir",
+                    f"variable {decl.name!r} has read mappings but is not "
+                    "readable",
+                    decl.location,
+                )
+            if writable and not variable.writable:
+                self.sink.error(
+                    "devil-dir",
+                    f"variable {decl.name!r} has write mappings but is not "
+                    "writable",
+                    decl.location,
+                )
+            if variable.readable and not readable:
+                self.sink.error(
+                    "devil-dir",
+                    f"variable {decl.name!r} is readable but its type has no "
+                    "read mapping",
+                    decl.location,
+                )
+            if variable.writable and not writable:
+                self.sink.error(
+                    "devil-dir",
+                    f"variable {decl.name!r} is writable but its type has no "
+                    "write mapping",
+                    decl.location,
+                )
+            if variable.readable and readable and not devil_type.read_exhaustive():
+                self.sink.error(
+                    "devil-enum-exhaustive",
+                    f"variable {decl.name!r}: read mappings do not cover all "
+                    f"{1 << devil_type.width} value(s)",
+                    decl.location,
+                )
+
+    # -- X2: no omission --------------------------------------------------------
+
+    def _check_no_omission(self) -> None:
+        used_offsets: dict[str, set[int]] = {name: set() for name in self.tables.params}
+        for register in self.tables.registers.values():
+            for port in (register.decl.read_port, register.decl.write_port):
+                if port is None or port.base not in used_offsets:
+                    continue
+                used_offsets[port.base].add(0 if port.offset is None else port.offset)
+
+        for name, param in self.tables.params.items():
+            used = used_offsets[name]
+            if not used:
+                self.sink.error(
+                    "devil-unused-param",
+                    f"port parameter {name!r} is never used by a register",
+                    param.location,
+                )
+                continue
+            missing = [o for o in param.offset_values() if o not in used]
+            if missing:
+                self.sink.error(
+                    "devil-unused-offset",
+                    f"port {name!r}: declared offset(s) "
+                    f"{', '.join(map(str, missing))} never used",
+                    param.location,
+                )
+
+        used_bits: dict[str, int] = {}
+        for variable in self.tables.variables.values():
+            for fragment in variable.fragments:
+                used_bits[fragment.register] = (
+                    used_bits.get(fragment.register, 0) | fragment.mask
+                )
+
+        for register in self.tables.registers.values():
+            usage = used_bits.get(register.name)
+            if usage is None:
+                self.sink.error(
+                    "devil-unused-register",
+                    f"register {register.name!r} is not used by any variable",
+                    register.decl.location,
+                )
+                continue
+            unused = register.mask.relevant & ~usage
+            if unused:
+                self.sink.error(
+                    "devil-unused-bits",
+                    f"register {register.name!r}: relevant bit(s) "
+                    f"{_bit_list(unused)} not used by any variable",
+                    register.decl.location,
+                )
+
+        referenced: set[str] = set()
+        for register in self.tables.registers.values():
+            for action in (
+                *register.decl.pre_actions,
+                *register.decl.post_actions,
+            ):
+                referenced.add(action.variable)
+        for variable in self.tables.variables.values():
+            if variable.private and variable.name not in referenced:
+                self.sink.error(
+                    "devil-unused-private",
+                    f"private variable {variable.name!r} is not referenced by "
+                    "any pre-action",
+                    variable.decl.location,
+                )
+
+    # -- X3: no overlap -----------------------------------------------------------
+
+    def _check_no_overlap(self) -> None:
+        claims: dict[tuple[str, int, str], list[CheckedRegister]] = {}
+        for register in self.tables.registers.values():
+            entries = []
+            if register.decl.read_port is not None:
+                entries.append(("read", register.decl.read_port))
+            if register.decl.write_port is not None:
+                entries.append(("write", register.decl.write_port))
+            for direction, port in entries:
+                key = (port.base, 0 if port.offset is None else port.offset, direction)
+                claims.setdefault(key, []).append(register)
+
+        for (base, offset, direction), registers in sorted(claims.items()):
+            for index, first in enumerate(registers):
+                for second in registers[index + 1 :]:
+                    if _registers_disjoint(first, second):
+                        continue
+                    self.sink.error(
+                        "devil-port-overlap",
+                        f"registers {first.name!r} and {second.name!r} both "
+                        f"{direction} port {base}@{offset} without disjoint "
+                        "masks or pre-actions",
+                        second.decl.location,
+                    )
+
+        owners: dict[str, dict[int, str]] = {}
+        for variable in self.tables.variables.values():
+            for fragment in variable.fragments:
+                per_register = owners.setdefault(fragment.register, {})
+                for bit in range(fragment.lo, fragment.hi + 1):
+                    previous = per_register.get(bit)
+                    if previous is not None and previous != variable.name:
+                        self.sink.error(
+                            "devil-bit-overlap",
+                            f"bit {bit} of register {fragment.register!r} is "
+                            f"used by both {previous!r} and {variable.name!r}",
+                            variable.decl.location,
+                        )
+                    per_register[bit] = variable.name
+
+
+def _registers_disjoint(first: CheckedRegister, second: CheckedRegister) -> bool:
+    """Paper §2.2: same-port registers are legal when their pre-action
+    contexts or their relevant masks are disjoint."""
+    if first.mask.relevant & second.mask.relevant == 0:
+        return True
+    first_context = first.pre_context()
+    second_context = second.pre_context()
+    for name, value in first_context.items():
+        if name in second_context and second_context[name] != value:
+            return True
+    return False
+
+
+def _bit_list(mask: int) -> str:
+    bits = [str(i) for i in range(mask.bit_length()) if mask & (1 << i)]
+    return ",".join(reversed(bits))

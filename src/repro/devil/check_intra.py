@@ -1,0 +1,460 @@
+"""Intra-layer consistency checks (paper §2.2, first half).
+
+Within each abstraction layer we verify type properties and uniqueness:
+
+* I1 — every use of a port / register / named type matches a definition;
+* I2 — read/write attributes are respected where locally decidable;
+* I3 — sizes line up: port offsets within the declared range, register
+  size against port data size, mask length against register size, fragment
+  bit ranges against register size, type width against variable width, enum
+  pattern length against variable width, set values within the width;
+* I4 — uniqueness of port parameters, registers, variables, named types,
+  enum member names and enum bit patterns.
+
+The pass also *resolves* declarations into the ``layout`` representations,
+because checking and resolution need the same arithmetic.  Unresolvable
+declarations are reported and skipped; inter-layer checks then run on the
+survivors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import DiagnosticSink, SourceLocation
+from repro.devil import ast
+from repro.devil.layout import (
+    CheckedRegister,
+    CheckedVariable,
+    MaskInfo,
+    ResolvedFragment,
+    resolve_fragment,
+)
+from repro.devil.types import (
+    BoolType,
+    DevilType,
+    DevilTypeError,
+    EnumType,
+    EnumValue,
+    IntSetType,
+    IntType,
+    parse_enum_pattern,
+)
+
+
+@dataclass
+class SymbolTables:
+    """Resolved entities produced by the intra-layer pass."""
+
+    params: dict[str, ast.PortParam] = field(default_factory=dict)
+    registers: dict[str, CheckedRegister] = field(default_factory=dict)
+    variables: dict[str, CheckedVariable] = field(default_factory=dict)
+    named_types: dict[str, ast.TypeDecl] = field(default_factory=dict)
+    #: Debug-mode type tags (Figure 4's ``type`` field), keyed by the C
+    #: struct base name; assigned in declaration order starting at 1.
+    type_tags: dict[str, int] = field(default_factory=dict)
+
+
+class IntraChecker:
+    def __init__(self, device: ast.DeviceSpec, sink: DiagnosticSink):
+        self.device = device
+        self.sink = sink
+        self.tables = SymbolTables()
+        self._next_tag = 1
+
+    # -- entry point -----------------------------------------------------
+
+    def run(self) -> SymbolTables:
+        self._collect_params()
+        self._collect_named_types()
+        self._collect_registers()
+        self._collect_variables()
+        return self.tables
+
+    # -- helpers -----------------------------------------------------------
+
+    def _error(self, code: str, message: str, location: SourceLocation) -> None:
+        self.sink.error(code, message, location)
+
+    def _allocate_tag(self, struct_name: str) -> int:
+        if struct_name not in self.tables.type_tags:
+            self.tables.type_tags[struct_name] = self._next_tag
+            self._next_tag += 1
+        return self.tables.type_tags[struct_name]
+
+    # -- layer 1: ports ------------------------------------------------------
+
+    def _collect_params(self) -> None:
+        for param in self.device.params:
+            if param.name in self.tables.params:
+                self._error(
+                    "devil-dup-param",
+                    f"port parameter {param.name!r} declared twice",
+                    param.location,
+                )
+                continue
+            if param.data_size <= 0 or param.data_size > 64:
+                self._error(
+                    "devil-port-size",
+                    f"port {param.name!r} has unsupported data size {param.data_size}",
+                    param.location,
+                )
+                continue
+            if not param.offset_values():
+                self._error(
+                    "devil-offset-range",
+                    f"port {param.name!r} declares an empty offset range",
+                    param.location,
+                )
+                continue
+            for element in param.offsets:
+                if element.lo < 0 or (element.hi is not None and element.hi < 0):
+                    self._error(
+                        "devil-offset-range",
+                        f"port {param.name!r} has a negative offset",
+                        element.location,
+                    )
+            self.tables.params[param.name] = param
+
+    # -- named types --------------------------------------------------------
+
+    def _collect_named_types(self) -> None:
+        for decl in self.device.types:
+            if decl.name in self.tables.named_types:
+                self._error(
+                    "devil-dup-type",
+                    f"type {decl.name!r} declared twice",
+                    decl.location,
+                )
+                continue
+            if isinstance(decl.definition, ast.NamedTypeExpr):
+                self._error(
+                    "devil-type-alias",
+                    f"type {decl.name!r} may not alias another named type",
+                    decl.location,
+                )
+                continue
+            self.tables.named_types[decl.name] = decl
+
+    # -- layer 2: registers --------------------------------------------------
+
+    def _collect_registers(self) -> None:
+        for decl in self.device.registers:
+            if decl.name in self.tables.registers:
+                self._error(
+                    "devil-dup-register",
+                    f"register {decl.name!r} declared twice",
+                    decl.location,
+                )
+                continue
+            checked = self._check_register(decl)
+            if checked is not None:
+                self.tables.registers[decl.name] = checked
+
+    def _check_register(self, decl: ast.RegisterDecl) -> CheckedRegister | None:
+        port_sizes: list[int] = []
+        ok = True
+        seen: set[int] = set()
+        for port in (decl.read_port, decl.write_port):
+            if port is None or id(port) in seen:
+                continue
+            seen.add(id(port))
+            param = self.tables.params.get(port.base)
+            if param is None:
+                self._error(
+                    "devil-undef-port",
+                    f"register {decl.name!r} uses undeclared port {port.base!r}",
+                    port.location,
+                )
+                ok = False
+                continue
+            offset = 0 if port.offset is None else port.offset
+            if offset not in param.offset_values():
+                self._error(
+                    "devil-offset-range",
+                    f"register {decl.name!r}: offset {offset} outside the "
+                    f"declared range of port {port.base!r}",
+                    port.location,
+                )
+                ok = False
+            port_sizes.append(param.data_size)
+
+        if not ok:
+            return None
+
+        port_size = port_sizes[0] if port_sizes else 8
+        if any(size != port_size for size in port_sizes):
+            self._error(
+                "devil-port-size",
+                f"register {decl.name!r}: read and write ports have different "
+                "data sizes",
+                decl.location,
+            )
+            return None
+
+        if decl.size != port_size:
+            self._error(
+                "devil-port-size",
+                f"register {decl.name!r} is bit[{decl.size}] but its port "
+                f"transfers bit[{port_size}]",
+                decl.location,
+            )
+            return None
+
+        mask_string = decl.effective_mask()
+        if len(mask_string) != decl.size:
+            self._error(
+                "devil-mask-size",
+                f"register {decl.name!r}: mask {mask_string!r} has "
+                f"{len(mask_string)} bits, register has {decl.size}",
+                decl.location,
+            )
+            return None
+
+        mask = MaskInfo.from_string(mask_string)
+        if mask.relevant == 0:
+            self._error(
+                "devil-mask-size",
+                f"register {decl.name!r}: mask {mask_string!r} leaves no "
+                "relevant bit",
+                decl.location,
+            )
+            return None
+        return CheckedRegister(decl=decl, mask=mask, port_size=port_size)
+
+    # -- layer 3: variables --------------------------------------------------
+
+    def _collect_variables(self) -> None:
+        for decl in self.device.variables:
+            if decl.name in self.tables.variables:
+                self._error(
+                    "devil-dup-variable",
+                    f"variable {decl.name!r} declared twice",
+                    decl.location,
+                )
+                continue
+            checked = self._check_variable(decl)
+            if checked is not None:
+                self.tables.variables[decl.name] = checked
+
+    def _check_variable(self, decl: ast.VariableDecl) -> CheckedVariable | None:
+        fragments: list[ResolvedFragment] = []
+        readable = True
+        writable = True
+        for fragment in decl.fragments:
+            register = self.tables.registers.get(fragment.register)
+            if register is None:
+                self._error(
+                    "devil-undef-register",
+                    f"variable {decl.name!r} uses undeclared register "
+                    f"{fragment.register!r}",
+                    fragment.location,
+                )
+                return None
+            if not fragment.is_whole:
+                assert fragment.hi is not None and fragment.lo is not None
+                if fragment.hi < fragment.lo:
+                    self._error(
+                        "devil-frag-range",
+                        f"variable {decl.name!r}: reversed bit range "
+                        f"[{fragment.hi}..{fragment.lo}]",
+                        fragment.location,
+                    )
+                    return None
+                if fragment.hi >= register.size or fragment.lo < 0:
+                    self._error(
+                        "devil-frag-range",
+                        f"variable {decl.name!r}: bits "
+                        f"[{fragment.hi}..{fragment.lo}] outside register "
+                        f"{register.name!r} (bit[{register.size}])",
+                        fragment.location,
+                    )
+                    return None
+            resolved = resolve_fragment(fragment, register.decl)
+            stray = resolved.mask & ~register.mask.relevant
+            if stray:
+                self._error(
+                    "devil-irrelevant-bit",
+                    f"variable {decl.name!r} uses bit(s) {_bit_list(stray)} of "
+                    f"register {register.name!r} that the mask marks "
+                    "non-relevant",
+                    fragment.location,
+                )
+                return None
+            readable = readable and register.readable
+            writable = writable and register.writable
+            fragments.append(resolved)
+
+        width = sum(fragment.width for fragment in fragments)
+        devil_type = self._resolve_type(decl, width)
+        if devil_type is None:
+            return None
+
+        tag = 0
+        if devil_type.struct_encoded:
+            tag = self._allocate_tag(_struct_base_name(decl, devil_type))
+
+        return CheckedVariable(
+            decl=decl,
+            fragments=tuple(fragments),
+            devil_type=devil_type,
+            readable=readable,
+            writable=writable,
+            type_tag=tag,
+        )
+
+    # -- type resolution ----------------------------------------------------
+
+    def _resolve_type(
+        self, decl: ast.VariableDecl, width: int
+    ) -> DevilType | None:
+        return self._resolve_type_expr(decl.type_expr, width, decl.name, decl.location)
+
+    def _resolve_type_expr(
+        self,
+        expr: ast.TypeExpr,
+        width: int,
+        name_hint: str,
+        use_location: SourceLocation,
+    ) -> DevilType | None:
+        if isinstance(expr, ast.IntTypeExpr):
+            if expr.width != width:
+                self._error(
+                    "devil-type-width",
+                    f"variable {name_hint!r} assembles {width} bit(s) but its "
+                    f"type is {expr}",
+                    expr.location,
+                )
+                return None
+            return IntType(width=width, signed=expr.signed)
+
+        if isinstance(expr, ast.BoolTypeExpr):
+            if width != 1:
+                self._error(
+                    "devil-type-width",
+                    f"variable {name_hint!r} assembles {width} bit(s) but "
+                    "bool is one bit",
+                    expr.location,
+                )
+                return None
+            return BoolType(width=1)
+
+        if isinstance(expr, ast.IntSetTypeExpr):
+            return self._resolve_set(expr, width, name_hint)
+
+        if isinstance(expr, ast.EnumTypeExpr):
+            return self._resolve_enum(expr, width, name_hint)
+
+        if isinstance(expr, ast.NamedTypeExpr):
+            decl = self.tables.named_types.get(expr.name)
+            if decl is None:
+                self._error(
+                    "devil-undef-type",
+                    f"variable {name_hint!r} uses undeclared type {expr.name!r}",
+                    expr.location,
+                )
+                return None
+            return self._resolve_type_expr(
+                decl.definition, width, decl.name, expr.location
+            )
+
+        raise AssertionError(f"unhandled type expression {expr!r}")
+
+    def _resolve_set(
+        self, expr: ast.IntSetTypeExpr, width: int, name_hint: str
+    ) -> IntSetType | None:
+        values = expr.values()
+        limit = 1 << width
+        ok = True
+        for value in values:
+            if value < 0 or value >= limit:
+                self._error(
+                    "devil-set-range",
+                    f"{name_hint!r}: set value {value} does not fit in "
+                    f"{width} bit(s)",
+                    expr.location,
+                )
+                ok = False
+        if not ok:
+            return None
+        return IntSetType(
+            width=width, values=tuple(sorted(set(values))), type_name=name_hint
+        )
+
+    def _resolve_enum(
+        self, expr: ast.EnumTypeExpr, width: int, name_hint: str
+    ) -> EnumType | None:
+        members: list[EnumValue] = []
+        names: set[str] = set()
+        ok = True
+        for member in expr.members:
+            if member.name in names:
+                self._error(
+                    "devil-dup-member",
+                    f"{name_hint!r}: enum member {member.name!r} declared twice",
+                    member.location,
+                )
+                ok = False
+                continue
+            names.add(member.name)
+            if len(member.pattern) != width:
+                self._error(
+                    "devil-pattern-width",
+                    f"{name_hint!r}: pattern '{member.pattern}' of "
+                    f"{member.name!r} has {len(member.pattern)} bit(s), "
+                    f"variable has {width}",
+                    member.location,
+                )
+                ok = False
+                continue
+            try:
+                bits, care = parse_enum_pattern(member.pattern)
+            except DevilTypeError as exc:
+                self._error("devil-pattern-char", f"{name_hint!r}: {exc}", member.location)
+                ok = False
+                continue
+            value = EnumValue(
+                name=member.name,
+                bits=bits,
+                care=care,
+                readable=member.readable,
+                writable=member.writable,
+            )
+            for previous in members:
+                if previous.readable and value.readable and previous.overlaps(value):
+                    self._error(
+                        "devil-dup-pattern",
+                        f"{name_hint!r}: read patterns of {previous.name!r} "
+                        f"and {value.name!r} overlap",
+                        member.location,
+                    )
+                    ok = False
+                if (
+                    previous.writable
+                    and value.writable
+                    and previous.bits == value.bits
+                    and previous.care == value.care
+                ):
+                    self._error(
+                        "devil-dup-pattern",
+                        f"{name_hint!r}: {previous.name!r} and {value.name!r} "
+                        "write the same pattern",
+                        member.location,
+                    )
+                    ok = False
+            members.append(value)
+        if not ok or not members:
+            return None
+        return EnumType(width=width, members=tuple(members), type_name=name_hint)
+
+
+def _struct_base_name(decl: ast.VariableDecl, devil_type: DevilType) -> str:
+    """C struct base name for a struct-encoded type (Figure 4: ``Drive_t_``)."""
+    if isinstance(devil_type, (EnumType, IntSetType)) and devil_type.type_name:
+        return devil_type.type_name
+    return decl.name
+
+
+def _bit_list(mask: int) -> str:
+    bits = [str(i) for i in range(mask.bit_length()) if mask & (1 << i)]
+    return ",".join(reversed(bits))

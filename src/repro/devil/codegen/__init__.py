@@ -1,0 +1,6 @@
+"""C stub generation from checked Devil specifications (paper §2.3)."""
+
+from repro.devil.codegen.common import CodegenOptions
+from repro.devil.codegen.header import generate_header
+
+__all__ = ["CodegenOptions", "generate_header"]

@@ -1,0 +1,124 @@
+"""Shared helpers for the Devil stub generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devil.layout import CheckedRegister, CheckedVariable
+from repro.devil.types import BoolType, EnumType, IntSetType, IntType
+
+
+@dataclass(frozen=True)
+class CodegenOptions:
+    """Knobs of the stub generator.
+
+    ``mode`` selects production (bare, fast) or debug stubs (distinct C
+    struct per enum type plus run-time assertions — paper §2.3).  ``prefix``
+    is prepended to every generated name, mirroring the paper's
+    ``#define dev_name bm`` mechanism; the Figure 4 listing corresponds to
+    an empty prefix.
+
+    ``bases`` optionally maps port parameters to concrete addresses.  This
+    is the paper's "generation of stubs for the specific hardware/software
+    context": with bases given, the port globals are baked into the
+    generated header (outside any mutation region) and ``devil_init``
+    takes no arguments; without them, the driver passes addresses to
+    ``devil_init`` at run time.
+    """
+
+    mode: str = "debug"  # "debug" | "production"
+    prefix: str = ""
+    bases: tuple[tuple[str, int], ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("debug", "production"):
+            raise ValueError(f"unknown codegen mode {self.mode!r}")
+        if isinstance(self.bases, dict):
+            object.__setattr__(self, "bases", tuple(sorted(self.bases.items())))
+
+    def base_of(self, param: str) -> int | None:
+        if self.bases is None:
+            return None
+        for name, address in self.bases:
+            if name == param:
+                return address
+        return None
+
+    @property
+    def debug(self) -> bool:
+        return self.mode == "debug"
+
+    def name(self, base: str) -> str:
+        return f"{self.prefix}_{base}" if self.prefix else base
+
+
+def c_int_type(width: int, signed: bool = False) -> str:
+    """Narrowest kernel integer typedef holding ``width`` bits."""
+    for bits, unsigned_name, signed_name in (
+        (8, "u8", "s8"),
+        (16, "u16", "s16"),
+        (32, "u32", "s32"),
+    ):
+        if width <= bits:
+            return signed_name if signed else unsigned_name
+    raise ValueError(f"unsupported width {width}")
+
+
+def c_hex(value: int) -> str:
+    """Unsigned hexadecimal literal, Figure-4 style (``0xefu``)."""
+    return f"0x{value:x}u"
+
+
+def io_read_fn(size: int) -> str:
+    return {8: "inb", 16: "inw", 32: "inl"}[size]
+
+
+def io_write_fn(size: int) -> str:
+    return {8: "outb", 16: "outw", 32: "outl"}[size]
+
+
+def struct_base_name(variable: CheckedVariable) -> str:
+    """Base name of the debug-mode struct for an enum-typed variable."""
+    devil_type = variable.devil_type
+    if isinstance(devil_type, EnumType) and devil_type.type_name:
+        return devil_type.type_name
+    return variable.name
+
+
+def value_c_type(variable: CheckedVariable, options: CodegenOptions) -> str:
+    """C type of the variable's API-level value."""
+    devil_type = variable.devil_type
+    if isinstance(devil_type, EnumType) and options.debug:
+        return options.name(f"{struct_base_name(variable)}_t")
+    if isinstance(devil_type, IntType):
+        return c_int_type(devil_type.width, devil_type.signed)
+    if isinstance(devil_type, (IntSetType, BoolType)):
+        return c_int_type(devil_type.width, signed=False)
+    if isinstance(devil_type, EnumType):
+        # Production mode: enums collapse to their raw bit value.
+        return c_int_type(devil_type.width, signed=False)
+    raise AssertionError(f"unhandled type {devil_type!r}")
+
+
+def cache_field(register: CheckedRegister) -> str:
+    return f"cache_{register.name}"
+
+
+def registers_in_emission_order(
+    registers: dict[str, CheckedRegister],
+) -> tuple[list[CheckedRegister], list[CheckedRegister]]:
+    """Split registers into (context-free, context-dependent).
+
+    Context-free registers (no pre/post actions) are emitted first; the
+    private-variable stubs they support come next; registers whose access
+    requires pre-actions follow, so every call is to an already-defined
+    static inline function.
+    """
+    plain: list[CheckedRegister] = []
+    contextual: list[CheckedRegister] = []
+    for register in registers.values():
+        if register.decl.pre_actions or register.decl.post_actions:
+            contextual.append(register)
+        else:
+            plain.append(register)
+    return plain, contextual

@@ -1,0 +1,44 @@
+"""A tiny indented-C writer used by the stub generators."""
+
+from __future__ import annotations
+
+
+class CWriter:
+    """Accumulates C source text with consistent indentation."""
+
+    def __init__(self, indent: str = "    "):
+        self._indent = indent
+        self._depth = 0
+        self._lines: list[str] = []
+
+    def line(self, text: str = "") -> "CWriter":
+        if text:
+            self._lines.append(self._indent * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def blank(self) -> "CWriter":
+        if self._lines and self._lines[-1] != "":
+            self._lines.append("")
+        return self
+
+    def comment(self, text: str) -> "CWriter":
+        return self.line(f"/* {text} */")
+
+    def open_block(self, header: str) -> "CWriter":
+        self.line(header + " {")
+        self._depth += 1
+        return self
+
+    def close_block(self, suffix: str = "") -> "CWriter":
+        self._depth -= 1
+        return self.line("}" + suffix)
+
+    def lines(self, text: str) -> "CWriter":
+        for raw in text.splitlines():
+            self.line(raw)
+        return self
+
+    def text(self) -> str:
+        return "\n".join(self._lines) + "\n"

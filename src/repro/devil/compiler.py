@@ -1,0 +1,88 @@
+"""Devil compiler driver: parse → intra-layer check → inter-layer check.
+
+The result of a successful compilation is a :class:`CheckedSpec`, the
+single source of truth consumed by the C code generators
+(`repro.devil.codegen`), the Python runtime (`repro.devil.runtime`) and the
+experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import CompileError, Diagnostic, DiagnosticSink
+from repro.devil import ast
+from repro.devil.check_inter import InterChecker
+from repro.devil.check_intra import IntraChecker, SymbolTables
+from repro.devil.layout import CheckedRegister, CheckedVariable
+from repro.devil.parser import parse
+
+
+@dataclass
+class CheckedSpec:
+    """A consistency-checked Devil specification."""
+
+    device: ast.DeviceSpec
+    tables: SymbolTables
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.device.name
+
+    @property
+    def registers(self) -> dict[str, CheckedRegister]:
+        return self.tables.registers
+
+    @property
+    def variables(self) -> dict[str, CheckedVariable]:
+        return self.tables.variables
+
+    def public_variables(self) -> list[CheckedVariable]:
+        """The functional interface: every non-private variable."""
+        return [v for v in self.tables.variables.values() if not v.private]
+
+    def private_variables(self) -> list[CheckedVariable]:
+        return [v for v in self.tables.variables.values() if v.private]
+
+    def register(self, name: str) -> CheckedRegister:
+        return self.tables.registers[name]
+
+    def variable(self, name: str) -> CheckedVariable:
+        return self.tables.variables[name]
+
+
+def parse_spec(source: str, filename: str = "<spec>") -> ast.DeviceSpec:
+    """Parse Devil source text; raises :class:`CompileError` on bad syntax."""
+    return parse(source, filename)
+
+
+def check_spec(device: ast.DeviceSpec) -> CheckedSpec:
+    """Run both checker layers; raises :class:`CompileError` on any error.
+
+    All diagnostics are collected before raising, so a single run reports
+    every inconsistency — the behaviour the mutation harness measures.
+    """
+    sink = DiagnosticSink()
+    tables = IntraChecker(device, sink).run()
+    InterChecker(device, tables, sink).run()
+    sink.raise_if_errors()
+    return CheckedSpec(device=device, tables=tables, diagnostics=sink.diagnostics)
+
+
+def compile_spec(source: str, filename: str = "<spec>") -> CheckedSpec:
+    """Compile Devil source text to a :class:`CheckedSpec`."""
+    return check_spec(parse_spec(source, filename))
+
+
+def spec_errors(source: str, filename: str = "<spec>") -> list[Diagnostic]:
+    """All error diagnostics for ``source``, or ``[]`` if it compiles.
+
+    Convenience used by the Table 2 harness: a mutant is *detected* exactly
+    when this list is non-empty.
+    """
+    try:
+        compile_spec(source, filename)
+    except CompileError as exc:
+        return exc.diagnostics
+    return []

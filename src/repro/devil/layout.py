@@ -1,0 +1,199 @@
+"""Bit-layout resolution for checked Devil specifications.
+
+This module turns syntactic declarations into *resolved* entities with all
+bit arithmetic precomputed:
+
+* :class:`MaskInfo` — the integer views of a register mask string
+  (``'1..00000'`` &c., MSB first): which bits are relevant (``.``), which
+  are forced on write (``0``/``1``) and which are checkable on read;
+* :class:`ResolvedFragment` — a variable fragment with concrete ``hi``/
+  ``lo`` bit positions;
+* :class:`CheckedRegister` / :class:`CheckedVariable` — declaration plus
+  derived facts, shared by the checker, the code generators and the Python
+  runtime, so all three agree bit-for-bit on the semantics.
+
+Composition order follows the paper: in ``dx = x_high[3..0] # x_low[3..0]``
+the *first* fragment is the most significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devil import ast
+from repro.devil.types import DevilType
+
+
+@dataclass(frozen=True)
+class MaskInfo:
+    """Integer decomposition of a register mask string."""
+
+    size: int
+    relevant: int  # bits marked '.'
+    force_one: int  # bits marked '1' (forced high on write)
+    fixed: int  # bits marked '0' or '1' (device-conformance checkable)
+    fixed_value: int  # expected value of the fixed bits
+
+    @classmethod
+    def from_string(cls, mask: str) -> "MaskInfo":
+        size = len(mask)
+        relevant = force_one = fixed = fixed_value = 0
+        for index, char in enumerate(mask):
+            bit = 1 << (size - 1 - index)
+            if char == ".":
+                relevant |= bit
+            elif char == "1":
+                force_one |= bit
+                fixed |= bit
+                fixed_value |= bit
+            elif char == "0":
+                fixed |= bit
+            elif char == "*":
+                pass
+            else:
+                raise ValueError(f"invalid mask character {char!r}")
+        return cls(size, relevant, force_one, fixed, fixed_value)
+
+    def compose_write(self, relevant_bits: int) -> int:
+        """Raw value to put on the wire for the given relevant-bit value."""
+        return (relevant_bits & self.relevant) | self.force_one
+
+    def conforms_on_read(self, raw: int) -> bool:
+        """Whether a raw read matches the fixed bits of the mask."""
+        return (raw & self.fixed) == self.fixed_value
+
+
+@dataclass(frozen=True)
+class ResolvedFragment:
+    """A fragment with concrete bit bounds (``hi >= lo``)."""
+
+    register: str
+    hi: int
+    lo: int
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+    @property
+    def mask(self) -> int:
+        """Mask of the fragment's bits, in register bit positions."""
+        return ((1 << self.width) - 1) << self.lo
+
+    def extract(self, raw: int) -> int:
+        """Pull the fragment's bits out of a raw register value."""
+        return (raw >> self.lo) & ((1 << self.width) - 1)
+
+    def insert(self, base: int, bits: int) -> int:
+        """Replace the fragment's bits inside ``base`` with ``bits``."""
+        return (base & ~self.mask) | ((bits << self.lo) & self.mask)
+
+    def __str__(self) -> str:
+        if self.hi == self.lo:
+            return f"{self.register}[{self.hi}]"
+        return f"{self.register}[{self.hi}..{self.lo}]"
+
+
+@dataclass(frozen=True)
+class CheckedRegister:
+    """A register declaration plus resolved mask facts."""
+
+    decl: ast.RegisterDecl
+    mask: MaskInfo
+    #: Port data size of the port(s) this register is reached through.
+    port_size: int
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def size(self) -> int:
+        return self.decl.size
+
+    @property
+    def readable(self) -> bool:
+        return self.decl.readable
+
+    @property
+    def writable(self) -> bool:
+        return self.decl.writable
+
+    def pre_context(self) -> dict[str, int]:
+        """Pre-action assignments as a mapping, for disjointness tests."""
+        return {action.variable: action.value for action in self.decl.pre_actions}
+
+
+@dataclass(frozen=True)
+class CheckedVariable:
+    """A variable declaration plus resolved fragments and type."""
+
+    decl: ast.VariableDecl
+    fragments: tuple[ResolvedFragment, ...]
+    devil_type: DevilType
+    readable: bool
+    writable: bool
+    #: Spec-unique counter stamped into debug-mode struct values (the
+    #: ``type`` field of Figure 4).
+    type_tag: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def private(self) -> bool:
+        return self.decl.private
+
+    @property
+    def width(self) -> int:
+        return sum(fragment.width for fragment in self.fragments)
+
+    def split_bits(self, bits: int) -> list[tuple[ResolvedFragment, int]]:
+        """Split an encoded value into per-fragment bit groups, MSB first."""
+        remaining = self.width
+        parts: list[tuple[ResolvedFragment, int]] = []
+        for fragment in self.fragments:
+            remaining -= fragment.width
+            parts.append(
+                (fragment, (bits >> remaining) & ((1 << fragment.width) - 1))
+            )
+        return parts
+
+    def join_bits(self, parts: list[int]) -> int:
+        """Concatenate per-fragment bit groups (MSB first) into one value."""
+        if len(parts) != len(self.fragments):
+            raise ValueError("fragment count mismatch")
+        value = 0
+        for fragment, bits in zip(self.fragments, parts):
+            value = (value << fragment.width) | (bits & ((1 << fragment.width) - 1))
+        return value
+
+
+def resolve_fragment(
+    fragment: ast.Fragment, register: ast.RegisterDecl
+) -> ResolvedFragment:
+    """Resolve a syntactic fragment against its register's size.
+
+    Whole-register fragments become ``[size-1..0]``.  Bounds are *not*
+    validated here — the checker owns that, so it can report rather than
+    raise.
+    """
+    if fragment.is_whole:
+        return ResolvedFragment(register.name, register.size - 1, 0)
+    assert fragment.hi is not None and fragment.lo is not None
+    hi, lo = fragment.hi, fragment.lo
+    if hi < lo:  # normalised so downstream bit math is uniform
+        hi, lo = lo, hi
+    return ResolvedFragment(register.name, hi, lo)
+
+
+def used_bits_by_register(
+    variables: list[CheckedVariable],
+) -> dict[str, int]:
+    """Union of variable-fragment bits per register name."""
+    usage: dict[str, int] = {}
+    for variable in variables:
+        for fragment in variable.fragments:
+            usage[fragment.register] = usage.get(fragment.register, 0) | fragment.mask
+    return usage

@@ -1,0 +1,183 @@
+"""Lexer for the Devil interface definition language.
+
+The concrete syntax follows Figure 3 of the paper: ``//`` line comments,
+``/* ... */`` block comments, decimal and ``0x`` hexadecimal integers, and
+single-quoted bit patterns such as ``'1001000.'`` used for register masks
+and enum value mappings.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import CompileError, Diagnostic, Severity, SourceLocation
+from repro.devil.tokens import (
+    KEYWORDS,
+    MULTI_PUNCT,
+    SINGLE_PUNCT,
+    Token,
+    TokenKind,
+)
+
+#: Characters allowed inside a quoted bit pattern.  ``.`` marks a relevant
+#: bit, ``0``/``1`` fixed bits, ``*`` an irrelevant bit (paper §2.1).
+PATTERN_CHARS = frozenset("01*.")
+
+
+class DevilLexError(CompileError):
+    """A character sequence that is not part of the Devil language."""
+
+
+def _error(message: str, location: SourceLocation) -> DevilLexError:
+    return DevilLexError(
+        [Diagnostic(Severity.ERROR, "devil-lex", message, location)]
+    )
+
+
+class Lexer:
+    """Single-pass scanner producing a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<spec>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, ahead: int = 0) -> str:
+        index = self.pos + ahead
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.source):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                start = self._location()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise _error("unterminated block comment", start)
+            else:
+                return
+
+    def _make(self, kind: TokenKind, text: str, offset: int, line: int, column: int) -> Token:
+        return Token(kind, text, offset, line, column, self.filename)
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                result.append(
+                    self._make(TokenKind.EOF, "", self.pos, self.line, self.column)
+                )
+                return result
+            result.append(self._next_token())
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        offset, line, column = self.pos, self.line, self.column
+
+        if char.isalpha() or char == "_":
+            end = self.pos
+            while end < len(self.source) and (
+                self.source[end].isalnum() or self.source[end] == "_"
+            ):
+                end += 1
+            text = self.source[self.pos : end]
+            self._advance(len(text))
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            return self._make(kind, text, offset, line, column)
+
+        if char.isdigit():
+            return self._lex_number(offset, line, column)
+
+        if char == "'":
+            return self._lex_pattern(offset, line, column)
+
+        for punct in MULTI_PUNCT:
+            if self.source.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return self._make(TokenKind.PUNCT, punct, offset, line, column)
+
+        if char in SINGLE_PUNCT:
+            self._advance()
+            return self._make(TokenKind.PUNCT, char, offset, line, column)
+
+        raise _error(f"unexpected character {char!r}", self._location())
+
+    def _lex_number(self, offset: int, line: int, column: int) -> Token:
+        end = self.pos
+        if self.source.startswith(("0x", "0X"), self.pos):
+            end += 2
+            digits = 0
+            while end < len(self.source) and self.source[end] in "0123456789abcdefABCDEF":
+                end += 1
+                digits += 1
+            if digits == 0:
+                raise _error("hexadecimal literal with no digits", self._location())
+        else:
+            while end < len(self.source) and self.source[end].isdigit():
+                end += 1
+            # Reject "0x"-less hex-looking suffixes like 12ab early: an
+            # identifier immediately following a number is never valid Devil.
+            if end < len(self.source) and (
+                self.source[end].isalpha() or self.source[end] == "_"
+            ):
+                raise _error(
+                    f"malformed number near {self.source[offset:end + 1]!r}",
+                    self._location(),
+                )
+        text = self.source[self.pos : end]
+        self._advance(len(text))
+        return self._make(TokenKind.INT, text, offset, line, column)
+
+    def _lex_pattern(self, offset: int, line: int, column: int) -> Token:
+        end = self.pos + 1
+        while end < len(self.source) and self.source[end] != "'":
+            if self.source[end] == "\n":
+                raise _error("unterminated bit pattern", self._location())
+            end += 1
+        if end >= len(self.source):
+            raise _error("unterminated bit pattern", self._location())
+        body = self.source[self.pos + 1 : end]
+        if not body:
+            raise _error("empty bit pattern", self._location())
+        bad = set(body) - PATTERN_CHARS
+        if bad:
+            raise _error(
+                f"invalid bit-pattern character(s) {sorted(bad)!r}; "
+                "allowed: 0 1 * .",
+                self._location(),
+            )
+        text = self.source[self.pos : end + 1]
+        self._advance(len(text))
+        return self._make(TokenKind.BITPATTERN, text, offset, line, column)
+
+
+def tokenize(source: str, filename: str = "<spec>") -> list[Token]:
+    """Tokenize ``source``, returning a token list ending with EOF."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,425 @@
+"""Recursive-descent parser for Devil specifications.
+
+The accepted grammar covers everything Figure 3 and §2.3 of the paper use,
+plus named ``type`` declarations::
+
+    spec       := 'device' IDENT '(' param (',' param)* ')' '{' item* '}'
+    param      := IDENT ':' 'bit' '[' INT ']' 'port' '@' '{' intset '}'
+    item       := typedecl | register | variable
+    typedecl   := 'type' IDENT '=' typeexpr ';'
+    register   := 'register' IDENT '=' regattr (',' regattr)*
+                  (':' 'bit' '[' INT ']')? ';'
+    regattr    := ('read'|'write')? portref | 'mask' PATTERN
+                | ('pre'|'post') '{' action ((';'|',') action)* ';'? '}'
+    portref    := IDENT ('@' INT)?
+    action     := IDENT '=' INT
+    variable   := 'private'? 'variable' IDENT '=' frag ('#' frag)*
+                  (',' varattr)* ':' typeexpr ';'
+    frag       := IDENT ('[' INT ('..' INT)? ']')?
+    varattr    := 'volatile' | ('read'|'write') 'trigger'
+    typeexpr   := 'signed'? 'int' '(' INT ')' | 'int' '{' intset '}' | 'bool'
+                | '{' enummember (',' enummember)* '}' | IDENT
+    enummember := IDENT ('=>'|'<='|'<=>') PATTERN
+    intset     := INT ('..' INT)? (',' INT ('..' INT)?)*
+
+Mutation-friendliness note: the set/range separators ``,`` and ``..`` and
+the mapping arrows ``<=``/``=>``/``<=>`` are interchangeable *syntactically*
+(their confusion is a §3.2 operator mutation), so the parser accepts any of
+them anywhere the class is legal and leaves semantics to the checker.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import CompileError, Diagnostic, Severity, SourceLocation
+from repro.devil import ast
+from repro.devil.lexer import tokenize
+from repro.devil.tokens import Token, TokenKind
+
+#: Variable attributes recognised after the fragment list.
+_ENUM_ARROWS = ("<=>", "<=", "=>")
+
+
+class DevilParseError(CompileError):
+    """Input is not syntactically valid Devil."""
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek(self, ahead: int = 1) -> Token:
+        index = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> DevilParseError:
+        token = token or self.current
+        found = token.text or "end of input"
+        return DevilParseError(
+            [
+                Diagnostic(
+                    Severity.ERROR,
+                    "devil-parse",
+                    f"{message} (found {found!r})",
+                    token.location,
+                )
+            ]
+        )
+
+    def _expect_punct(self, text: str) -> Token:
+        if not self.current.is_punct(text):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            raise self._error(f"expected keyword {text!r}")
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _expect_int(self, what: str = "integer") -> Token:
+        if self.current.kind is not TokenKind.INT:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    def _expect_pattern(self) -> Token:
+        if self.current.kind is not TokenKind.BITPATTERN:
+            raise self._error("expected quoted bit pattern")
+        return self._advance()
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_spec(self) -> ast.DeviceSpec:
+        device = self._parse_device()
+        if self.current.kind is not TokenKind.EOF:
+            raise self._error("trailing input after device declaration")
+        return device
+
+    def _parse_device(self) -> ast.DeviceSpec:
+        start = self._expect_keyword("device")
+        name = self._expect_ident("device name")
+        self._expect_punct("(")
+        params = [self._parse_param()]
+        while self.current.is_punct(","):
+            self._advance()
+            params.append(self._parse_param())
+        self._expect_punct(")")
+        self._expect_punct("{")
+
+        types: list[ast.TypeDecl] = []
+        registers: list[ast.RegisterDecl] = []
+        variables: list[ast.VariableDecl] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise self._error("unterminated device body")
+            if self.current.is_keyword("type"):
+                types.append(self._parse_type_decl())
+            elif self.current.is_keyword("register"):
+                registers.append(self._parse_register())
+            elif self.current.is_keyword("variable") or self.current.is_keyword("private"):
+                variables.append(self._parse_variable())
+            else:
+                raise self._error("expected 'type', 'register' or 'variable'")
+        self._expect_punct("}")
+        return ast.DeviceSpec(
+            name=name.text,
+            params=tuple(params),
+            types=tuple(types),
+            registers=tuple(registers),
+            variables=tuple(variables),
+            location=start.location,
+        )
+
+    def _parse_param(self) -> ast.PortParam:
+        name = self._expect_ident("port parameter name")
+        self._expect_punct(":")
+        self._expect_keyword("bit")
+        self._expect_punct("[")
+        size = self._expect_int("port data size")
+        self._expect_punct("]")
+        self._expect_keyword("port")
+        self._expect_punct("@")
+        self._expect_punct("{")
+        offsets = self._parse_int_set()
+        self._expect_punct("}")
+        return ast.PortParam(
+            name=name.text,
+            data_size=size.int_value,
+            offsets=tuple(offsets),
+            location=name.location,
+        )
+
+    def _parse_int_set(self) -> list[ast.IntSetElement]:
+        elements = [self._parse_int_set_element()]
+        while self.current.is_punct(","):
+            self._advance()
+            elements.append(self._parse_int_set_element())
+        return elements
+
+    def _parse_int_set_element(self) -> ast.IntSetElement:
+        lo = self._expect_int("set element")
+        hi: Token | None = None
+        if self.current.is_punct(".."):
+            self._advance()
+            hi = self._expect_int("range upper bound")
+        return ast.IntSetElement(
+            lo=lo.int_value,
+            hi=None if hi is None else hi.int_value,
+            location=lo.location,
+        )
+
+    def _parse_type_decl(self) -> ast.TypeDecl:
+        start = self._expect_keyword("type")
+        name = self._expect_ident("type name")
+        self._expect_punct("=")
+        definition = self._parse_type_expr()
+        self._expect_punct(";")
+        return ast.TypeDecl(name=name.text, definition=definition, location=start.location)
+
+    # -- registers -------------------------------------------------------
+
+    def _parse_register(self) -> ast.RegisterDecl:
+        start = self._expect_keyword("register")
+        name = self._expect_ident("register name")
+        self._expect_punct("=")
+
+        read_port: ast.PortRef | None = None
+        write_port: ast.PortRef | None = None
+        mask: str | None = None
+        pre_actions: list[ast.PreAction] = []
+        post_actions: list[ast.PreAction] = []
+
+        while True:
+            if self.current.is_keyword("read") or self.current.is_keyword("write"):
+                mode = self._advance().text
+                port = self._parse_port_ref()
+                if mode == "read":
+                    if read_port is not None:
+                        raise self._error("duplicate read port", self.current)
+                    read_port = port
+                else:
+                    if write_port is not None:
+                        raise self._error("duplicate write port", self.current)
+                    write_port = port
+            elif self.current.is_keyword("mask"):
+                self._advance()
+                pattern = self._expect_pattern()
+                if mask is not None:
+                    raise self._error("duplicate mask", pattern)
+                mask = pattern.pattern_value
+            elif self.current.is_keyword("pre"):
+                self._advance()
+                pre_actions.extend(self._parse_actions())
+            elif self.current.is_keyword("post"):
+                self._advance()
+                post_actions.extend(self._parse_actions())
+            elif self.current.kind is TokenKind.IDENT:
+                port = self._parse_port_ref()
+                if read_port is not None or write_port is not None:
+                    raise self._error("duplicate port specification", self.current)
+                read_port = port
+                write_port = port
+            else:
+                raise self._error("expected port, 'read', 'write', 'mask', 'pre' or 'post'")
+
+            if self.current.is_punct(","):
+                self._advance()
+                continue
+            break
+
+        size: int | None = None
+        if self.current.is_punct(":"):
+            self._advance()
+            self._expect_keyword("bit")
+            self._expect_punct("[")
+            size = self._expect_int("register size").int_value
+            self._expect_punct("]")
+        self._expect_punct(";")
+
+        inferred = size is None
+        if size is None:
+            size = len(mask) if mask is not None else 8
+        return ast.RegisterDecl(
+            name=name.text,
+            size=size,
+            read_port=read_port,
+            write_port=write_port,
+            mask=mask,
+            pre_actions=tuple(pre_actions),
+            post_actions=tuple(post_actions),
+            location=start.location,
+            size_inferred=inferred,
+        )
+
+    def _parse_port_ref(self) -> ast.PortRef:
+        base = self._expect_ident("port name")
+        offset: int | None = None
+        if self.current.is_punct("@"):
+            self._advance()
+            offset = self._expect_int("port offset").int_value
+        return ast.PortRef(base=base.text, offset=offset, location=base.location)
+
+    def _parse_actions(self) -> list[ast.PreAction]:
+        self._expect_punct("{")
+        actions = [self._parse_action()]
+        while self.current.is_punct(";") or self.current.is_punct(","):
+            self._advance()
+            if self.current.is_punct("}"):
+                break
+            actions.append(self._parse_action())
+        self._expect_punct("}")
+        return actions
+
+    def _parse_action(self) -> ast.PreAction:
+        name = self._expect_ident("variable name")
+        self._expect_punct("=")
+        value = self._expect_int("action value")
+        return ast.PreAction(
+            variable=name.text, value=value.int_value, location=name.location
+        )
+
+    # -- variables ---------------------------------------------------------
+
+    def _parse_variable(self) -> ast.VariableDecl:
+        private = False
+        start = self.current
+        if self.current.is_keyword("private"):
+            private = True
+            self._advance()
+        self._expect_keyword("variable")
+        name = self._expect_ident("variable name")
+        self._expect_punct("=")
+
+        fragments = [self._parse_fragment()]
+        while self.current.is_punct("#"):
+            self._advance()
+            fragments.append(self._parse_fragment())
+
+        attributes: set[str] = set()
+        while self.current.is_punct(","):
+            self._advance()
+            if self.current.is_keyword("volatile"):
+                self._advance()
+                attributes.add("volatile")
+            elif self.current.is_keyword("read") or self.current.is_keyword("write"):
+                mode = self._advance().text
+                self._expect_keyword("trigger")
+                attributes.add(f"{mode} trigger")
+            else:
+                raise self._error("expected variable attribute")
+
+        self._expect_punct(":")
+        type_expr = self._parse_type_expr()
+        self._expect_punct(";")
+        return ast.VariableDecl(
+            name=name.text,
+            private=private,
+            fragments=tuple(fragments),
+            attributes=frozenset(attributes),
+            type_expr=type_expr,
+            location=start.location,
+        )
+
+    def _parse_fragment(self) -> ast.Fragment:
+        register = self._expect_ident("register name")
+        hi: int | None = None
+        lo: int | None = None
+        if self.current.is_punct("["):
+            self._advance()
+            hi = self._expect_int("bit index").int_value
+            lo = hi
+            if self.current.is_punct(".."):
+                self._advance()
+                lo = self._expect_int("bit index").int_value
+            self._expect_punct("]")
+        return ast.Fragment(register=register.text, hi=hi, lo=lo, location=register.location)
+
+    # -- type expressions ---------------------------------------------------
+
+    def _parse_type_expr(self) -> ast.TypeExpr:
+        token = self.current
+
+        if token.is_keyword("signed"):
+            self._advance()
+            self._expect_keyword("int")
+            self._expect_punct("(")
+            width = self._expect_int("type width")
+            self._expect_punct(")")
+            return ast.IntTypeExpr(
+                width=width.int_value, signed=True, location=token.location
+            )
+
+        if token.is_keyword("int"):
+            self._advance()
+            if self.current.is_punct("("):
+                self._advance()
+                width = self._expect_int("type width")
+                self._expect_punct(")")
+                return ast.IntTypeExpr(
+                    width=width.int_value, signed=False, location=token.location
+                )
+            if self.current.is_punct("{"):
+                self._advance()
+                elements = self._parse_int_set()
+                self._expect_punct("}")
+                return ast.IntSetTypeExpr(
+                    elements=tuple(elements), location=token.location
+                )
+            raise self._error("expected '(' or '{' after 'int'")
+
+        if token.is_keyword("bool"):
+            self._advance()
+            return ast.BoolTypeExpr(location=token.location)
+
+        if token.is_punct("{"):
+            self._advance()
+            members = [self._parse_enum_member()]
+            while self.current.is_punct(","):
+                self._advance()
+                members.append(self._parse_enum_member())
+            self._expect_punct("}")
+            return ast.EnumTypeExpr(members=tuple(members), location=token.location)
+
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.NamedTypeExpr(name=token.text, location=token.location)
+
+        raise self._error("expected a type")
+
+    def _parse_enum_member(self) -> ast.EnumMember:
+        name = self._expect_ident("enum member name")
+        direction = None
+        for arrow in _ENUM_ARROWS:
+            if self.current.is_punct(arrow):
+                direction = self._advance().text
+                break
+        if direction is None:
+            raise self._error("expected '=>', '<=' or '<=>'")
+        pattern = self._expect_pattern()
+        return ast.EnumMember(
+            name=name.text,
+            direction=direction,
+            pattern=pattern.pattern_value,
+            location=name.location,
+        )
+
+
+def parse(source: str, filename: str = "<spec>") -> ast.DeviceSpec:
+    """Parse Devil source text into a :class:`~repro.devil.ast.DeviceSpec`."""
+    return Parser(tokenize(source, filename)).parse_spec()

@@ -1,0 +1,199 @@
+"""Execute a checked Devil specification directly from Python.
+
+The C stubs of `repro.devil.codegen` are what the paper ships; this module
+is the same semantics without the C detour: a :class:`DeviceHandle` binds a
+:class:`~repro.devil.compiler.CheckedSpec` to port bases on an I/O bus and
+exposes typed ``get``/``set``/``trigger`` operations with exactly the
+debug-mode checks of the generated stubs (domain assertions, set
+membership, device-conformance mask checks).
+
+Any object with ``read_port(address, size) -> int`` and
+``write_port(address, value, size)`` works as a bus;
+:class:`repro.hw.bus.IOBus` is the standard implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.devil.compiler import CheckedSpec
+from repro.devil.layout import CheckedRegister, CheckedVariable
+from repro.devil.types import DevilTypeError, EnumType, EnumValue
+
+
+class Bus(Protocol):
+    def read_port(self, address: int, size: int) -> int: ...
+
+    def write_port(self, address: int, value: int, size: int) -> None: ...
+
+
+class DevilAssertionError(AssertionError):
+    """A debug-stub assertion fired (the paper's "Run-time check" class)."""
+
+
+class DeviceHandle:
+    """Typed access to one device instance through its Devil spec.
+
+    ``bases`` maps each port parameter of the device to its physical base
+    address; with a single parameter a bare integer is accepted.
+
+    ``debug=True`` (default) enables the run-time checks of the paper's
+    debug stubs; ``debug=False`` behaves like production stubs.
+    """
+
+    def __init__(
+        self,
+        spec: CheckedSpec,
+        bus: Bus,
+        bases: dict[str, int] | int,
+        debug: bool = True,
+    ):
+        self.spec = spec
+        self.bus = bus
+        self.debug = debug
+        params = [param.name for param in spec.device.params]
+        if isinstance(bases, int):
+            if len(params) != 1:
+                raise ValueError(
+                    f"device {spec.name!r} has {len(params)} port parameters; "
+                    "pass a mapping"
+                )
+            bases = {params[0]: bases}
+        missing = [name for name in params if name not in bases]
+        if missing:
+            raise ValueError(f"missing base address(es) for {', '.join(missing)}")
+        self.bases = dict(bases)
+        self._cache: dict[str, int] = {
+            name: 0 for name, register in spec.registers.items() if register.writable
+        }
+
+    # -- assertion plumbing ---------------------------------------------
+
+    def _assert(self, condition: bool, message: str) -> None:
+        if self.debug and not condition:
+            raise DevilAssertionError(f"Devil assertion failed: {message}")
+
+    # -- register access ----------------------------------------------------
+
+    def _port_address(self, register: CheckedRegister, direction: str) -> int:
+        port = (
+            register.decl.read_port
+            if direction == "read"
+            else register.decl.write_port
+        )
+        assert port is not None, f"register {register.name} lacks a {direction} port"
+        offset = 0 if port.offset is None else port.offset
+        return self.bases[port.base] + offset
+
+    def _run_actions(self, register: CheckedRegister, which: str) -> None:
+        actions = (
+            register.decl.pre_actions
+            if which == "pre"
+            else register.decl.post_actions
+        )
+        for action in actions:
+            self.set(action.variable, action.value)
+
+    def read_register(self, name: str) -> int:
+        """Raw register read, honouring pre/post actions and debug checks."""
+        register = self.spec.registers[name]
+        if not register.readable:
+            raise DevilTypeError(f"register {name!r} is not readable")
+        self._run_actions(register, "pre")
+        raw = self.bus.read_port(self._port_address(register, "read"), register.size)
+        self._run_actions(register, "post")
+        self._assert(
+            register.mask.conforms_on_read(raw),
+            f"register {name!r} read {raw:#x}, fixed bits expect "
+            f"{register.mask.fixed_value:#x} under {register.mask.fixed:#x}",
+        )
+        return raw
+
+    def write_register(self, name: str, value: int) -> None:
+        """Raw register write: mask composition then the port access."""
+        register = self.spec.registers[name]
+        if not register.writable:
+            raise DevilTypeError(f"register {name!r} is not writable")
+        self._run_actions(register, "pre")
+        wire = register.mask.compose_write(value)
+        self.bus.write_port(self._port_address(register, "write"), wire, register.size)
+        self._cache[name] = value
+        self._run_actions(register, "post")
+
+    # -- variable access -------------------------------------------------------
+
+    def variable(self, name: str) -> CheckedVariable:
+        try:
+            return self.spec.variables[name]
+        except KeyError:
+            raise KeyError(
+                f"device {self.spec.name!r} has no variable {name!r}"
+            ) from None
+
+    def get(self, name: str):
+        """Read a device variable, returning a typed value."""
+        variable = self.variable(name)
+        if not variable.readable:
+            raise DevilTypeError(f"variable {name!r} is not readable")
+        parts = [
+            fragment.extract(self.read_register(fragment.register))
+            for fragment in variable.fragments
+        ]
+        bits = variable.join_bits(parts)
+        if not self.debug:
+            return variable.devil_type.decode(bits)
+        try:
+            return variable.devil_type.decode(bits)
+        except DevilTypeError as exc:
+            raise DevilAssertionError(f"Devil assertion failed: {exc}") from exc
+
+    def set(self, name: str, value) -> None:
+        """Write a device variable from a typed value."""
+        variable = self.variable(name)
+        if not variable.writable:
+            raise DevilTypeError(f"variable {name!r} is not writable")
+        devil_type = variable.devil_type
+        if self.debug and not devil_type.contains(value):
+            raise DevilAssertionError(
+                f"Devil assertion failed: {value!r} not in {devil_type.describe()}"
+            )
+        bits = devil_type.encode(value)
+        for fragment, fragment_bits in variable.split_bits(bits):
+            register = self.spec.registers[fragment.register]
+            covers_all = (
+                fragment.mask & register.mask.relevant
+            ) == register.mask.relevant
+            base = 0 if covers_all else self._cache.get(fragment.register, 0)
+            self.write_register(
+                fragment.register, fragment.insert(base, fragment_bits)
+            )
+
+    def trigger(self, name: str) -> None:
+        """Re-issue the cached value of a ``write trigger`` variable."""
+        variable = self.variable(name)
+        if "write trigger" not in variable.decl.attributes:
+            raise DevilTypeError(f"variable {name!r} has no write trigger")
+        for fragment in variable.fragments:
+            self.write_register(
+                fragment.register, self._cache.get(fragment.register, 0)
+            )
+
+    def latch(self, name: str) -> None:
+        """Read a ``read trigger`` variable purely for its side effect."""
+        variable = self.variable(name)
+        if "read trigger" not in variable.decl.attributes:
+            raise DevilTypeError(f"variable {name!r} has no read trigger")
+        for fragment in variable.fragments:
+            self.read_register(fragment.register)
+
+    def enum_value(self, variable_name: str, member_name: str) -> EnumValue:
+        """Look up an enum constant of a variable's type (e.g. ``MASTER``)."""
+        devil_type = self.variable(variable_name).devil_type
+        if not isinstance(devil_type, EnumType):
+            raise DevilTypeError(f"variable {variable_name!r} is not enum-typed")
+        member = devil_type.member(member_name)
+        if member is None:
+            raise DevilTypeError(
+                f"{devil_type.describe()} has no member {member_name!r}"
+            )
+        return member

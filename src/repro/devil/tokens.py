@@ -1,0 +1,108 @@
+"""Token definitions for the Devil lexer.
+
+Tokens carry their exact source span (``offset``/``length`` into the
+original text) because the mutation engine (`repro.mutation.devil_ops`)
+rewrites Devil programs *textually*, splicing a mutated token back into the
+source.  Keeping spans exact guarantees mutants differ from the original in
+precisely one token, as the paper's error model requires (§3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.diagnostics import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    INT = "integer"
+    BITPATTERN = "bit-pattern"  # quoted, e.g. '1001000.'
+    KEYWORD = "keyword"
+    PUNCT = "punctuation"
+    EOF = "end of input"
+
+
+#: Reserved words of the Devil language.  ``trigger`` is deliberately *not*
+#: reserved on its own: it only acts as a keyword after ``read``/``write``
+#: in an attribute position, and specs may use it as an identifier.
+KEYWORDS = frozenset(
+    {
+        "device",
+        "register",
+        "variable",
+        "type",
+        "private",
+        "read",
+        "write",
+        "mask",
+        "pre",
+        "post",
+        "volatile",
+        "trigger",
+        "int",
+        "signed",
+        "bool",
+        "bit",
+        "port",
+    }
+)
+
+#: Multi-character punctuation, longest first so the lexer is greedy.
+MULTI_PUNCT = ("<=>", "<=", "=>", "..")
+
+SINGLE_PUNCT = frozenset("{}()[],;:=@#")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    offset: int
+    line: int
+    column: int
+    filename: str = "<spec>"
+
+    @property
+    def length(self) -> int:
+        return len(self.text)
+
+    @property
+    def end(self) -> int:
+        return self.offset + len(self.text)
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text
+
+    @property
+    def int_value(self) -> int:
+        """Numeric value of an INT token (decimal or 0x-hexadecimal)."""
+        if self.kind is not TokenKind.INT:
+            raise ValueError(f"not an integer token: {self!r}")
+        return parse_devil_int(self.text)
+
+    @property
+    def pattern_value(self) -> str:
+        """Payload of a BITPATTERN token, quotes stripped."""
+        if self.kind is not TokenKind.BITPATTERN:
+            raise ValueError(f"not a bit-pattern token: {self!r}")
+        return self.text[1:-1]
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def parse_devil_int(text: str) -> int:
+    """Parse a Devil integer literal (decimal or ``0x`` hexadecimal)."""
+    lowered = text.lower()
+    if lowered.startswith("0x"):
+        return int(lowered[2:], 16)
+    return int(text, 10)

@@ -1,0 +1,253 @@
+"""Resolved Devil types.
+
+Type *expressions* (``repro.devil.ast``) are syntax; the checker resolves
+them against the width of the variable they annotate, producing the
+semantic types in this module.  Resolved types know how to
+
+* validate a value (``contains``),
+* encode a value to raw register bits and decode bits back
+  (``encode``/``decode``), including sign extension, enum mappings and
+  wildcard (``*``) bits in enum patterns,
+* describe themselves to the code generators (distinct C struct types in
+  debug mode — paper §2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class DevilTypeError(ValueError):
+    """A value does not belong to a Devil type's domain."""
+
+
+@dataclass(frozen=True)
+class DevilType:
+    """Base class: a Devil type occupying ``width`` bits."""
+
+    width: int
+
+    #: Types represented as a distinct C struct in debug mode (enum, bool,
+    #: int-set); plain integers stay C integers with run-time range asserts.
+    struct_encoded: bool = field(default=False, init=False)
+
+    def contains(self, value: object) -> bool:
+        raise NotImplementedError
+
+    def encode(self, value: object) -> int:
+        """Map an API-level value to raw bits (unsigned, ``width`` wide)."""
+        raise NotImplementedError
+
+    def decode(self, bits: int) -> object:
+        """Map raw bits to an API-level value; raises on non-domain bits."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(DevilType):
+    signed: bool = False
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, int) and self.min_value <= value <= self.max_value
+
+    def encode(self, value: object) -> int:
+        if not self.contains(value):
+            raise DevilTypeError(f"{value!r} not in {self.describe()}")
+        assert isinstance(value, int)
+        return value & ((1 << self.width) - 1)
+
+    def decode(self, bits: int) -> int:
+        bits &= (1 << self.width) - 1
+        if self.signed and bits >= (1 << (self.width - 1)):
+            return bits - (1 << self.width)
+        return bits
+
+    def describe(self) -> str:
+        prefix = "signed " if self.signed else ""
+        return f"{prefix}int({self.width})"
+
+
+@dataclass(frozen=True)
+class BoolType(DevilType):
+    width: int = 1
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, bool) or value in (0, 1)
+
+    def encode(self, value: object) -> int:
+        if not self.contains(value):
+            raise DevilTypeError(f"{value!r} is not a bool")
+        return 1 if value else 0
+
+    def decode(self, bits: int) -> bool:
+        return bool(bits & 1)
+
+    def describe(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class EnumValue:
+    """A resolved enum member.
+
+    ``bits``/``care`` encode the member's pattern: positions outside
+    ``care`` were ``*`` in the source (don't-care on read, written as 0).
+    """
+
+    name: str
+    bits: int
+    care: int
+    readable: bool
+    writable: bool
+
+    def matches(self, raw: int) -> bool:
+        return (raw & self.care) == self.bits
+
+    def overlaps(self, other: "EnumValue") -> bool:
+        """Whether some raw value matches both patterns."""
+        common = self.care & other.care
+        return (self.bits & common) == (other.bits & common)
+
+    def coverage(self, width: int) -> int:
+        """Number of raw values this pattern matches."""
+        wildcard_bits = width - bin(self.care & ((1 << width) - 1)).count("1")
+        return 1 << wildcard_bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def parse_enum_pattern(pattern: str) -> tuple[int, int]:
+    """Parse a value pattern of 0/1/* into ``(bits, care)``.
+
+    ``.`` is *not* legal in a value pattern (it belongs to register masks);
+    callers turn the raised error into a checker diagnostic — this is one of
+    the mechanisms that catches §3.2 pattern-character mutations.
+    """
+    bits = care = 0
+    for char in pattern:
+        bits <<= 1
+        care <<= 1
+        if char == "1":
+            bits |= 1
+            care |= 1
+        elif char == "0":
+            care |= 1
+        elif char == "*":
+            pass
+        else:
+            raise DevilTypeError(
+                f"character {char!r} not allowed in a value pattern (only 0 1 *)"
+            )
+    return bits, care
+
+
+@dataclass(frozen=True)
+class EnumType(DevilType):
+    members: tuple[EnumValue, ...] = ()
+    #: Name of the ``type`` declaration, or the owning variable for inline
+    #: enums — gives each enum a distinct C struct in debug mode (Figure 4).
+    type_name: str = ""
+
+    struct_encoded: bool = field(default=True, init=False)
+
+    def member(self, name: str) -> EnumValue | None:
+        for value in self.members:
+            if value.name == name:
+                return value
+        return None
+
+    def contains(self, value: object) -> bool:
+        if isinstance(value, EnumValue):
+            return value in self.members
+        if isinstance(value, str):
+            return self.member(value) is not None
+        return False
+
+    def encode(self, value: object) -> int:
+        member = value if isinstance(value, EnumValue) else None
+        if member is None and isinstance(value, str):
+            member = self.member(value)
+        if member is None or member not in self.members:
+            raise DevilTypeError(f"{value!r} not a member of {self.describe()}")
+        if not member.writable:
+            raise DevilTypeError(f"{member.name} has no write mapping")
+        return member.bits  # '*' positions written as 0
+
+    def decode(self, bits: int) -> EnumValue:
+        for member in self.members:
+            if member.readable and member.matches(bits):
+                return member
+        raise DevilTypeError(
+            f"device returned {bits:#x}, not a readable member of {self.describe()}"
+        )
+
+    def readable_members(self) -> tuple[EnumValue, ...]:
+        return tuple(m for m in self.members if m.readable)
+
+    def writable_members(self) -> tuple[EnumValue, ...]:
+        return tuple(m for m in self.members if m.writable)
+
+    def read_exhaustive(self) -> bool:
+        """Whether readable patterns cover every raw value exactly once.
+
+        The paper's no-omission rule: "Read elements of a type mapping must
+        be exhaustive" (§2.2).  Overlap is reported separately, so here we
+        only require full coverage.
+        """
+        covered = 0
+        for member in self.readable_members():
+            covered += member.coverage(self.width)
+        return covered >= (1 << self.width)
+
+    def describe(self) -> str:
+        body = ", ".join(m.name for m in self.members)
+        return f"enum {self.type_name or ''}{{{body}}}"
+
+
+@dataclass(frozen=True)
+class IntSetType(DevilType):
+    """A fixed set of integers.
+
+    Deliberately *not* struct-encoded: the paper's §2.3 example ("the stub
+    for reading a variable of type int{0,2,3} contains an assertion that
+    verifies that the value read is a two-bit integer that is not equal to
+    1") shows set-typed stubs trafficking in plain integers guarded by
+    run-time assertions.
+    """
+
+    values: tuple[int, ...] = ()
+    type_name: str = ""
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, int) and value in self.values
+
+    def encode(self, value: object) -> int:
+        if not self.contains(value):
+            raise DevilTypeError(f"{value!r} not in {self.describe()}")
+        assert isinstance(value, int)
+        return value & ((1 << self.width) - 1)
+
+    def decode(self, bits: int) -> int:
+        bits &= (1 << self.width) - 1
+        if bits not in self.values:
+            raise DevilTypeError(
+                f"device returned {bits:#x}, not in {self.describe()}"
+            )
+        return bits
+
+    def describe(self) -> str:
+        return "int {" + ", ".join(str(v) for v in self.values) + "}"

@@ -1,0 +1,83 @@
+"""Driver sources for the evaluation.
+
+Two IDE drivers implement the same three-function boot ABI
+(`repro.kernel.DRIVER_ABI`):
+
+* :mod:`repro.drivers.ide_c` — the "original Linux driver": raw port I/O
+  through ``#define``'d port and bit constants, hardware-operating code
+  wrapped in ``/* HW-BEGIN */`` ... ``/* HW-END */`` mutation tags
+  (paper §3.3: "we manually insert tags to mark the corresponding
+  regions");
+* :mod:`repro.drivers.ide_cdevil` — the re-engineered driver: CDevil glue
+  over the stubs generated from ``specs/ide_piix4.dil``, written in the
+  status-switch style the paper notes is responsible for the Devil
+  driver's dead-code mutants.
+
+`assemble_c_program` / `assemble_cdevil_program` build the compile-ready
+source lists, the latter generating the stub header on the fly.
+"""
+
+from __future__ import annotations
+
+from repro.devil import compile_spec
+from repro.devil.codegen import CodegenOptions, generate_header
+from repro.drivers.busmouse_cdevil import BUSMOUSE_CDEVIL_SOURCE
+from repro.drivers.ide_c import IDE_C_SOURCE
+from repro.drivers.ide_cdevil import IDE_CDEVIL_SOURCE
+from repro.minic.program import SourceFile
+from repro.specs import load_spec_source
+
+IDE_HEADER_NAME = "ide.dil.h"
+BUSMOUSE_HEADER_NAME = "busmouse.dil.h"
+
+
+#: The hardware context the stubs are generated for (paper §2: stubs are
+#: generated "for the specific hardware/software context").
+IDE_BASES = (("cmd", 0x1F0), ("ctl", 0x3F6), ("data", 0x1F0))
+BUSMOUSE_BASES = (("base", 0x23C),)
+
+
+def ide_stub_header(mode: str = "debug") -> str:
+    """The generated stub header for the PIIX4 IDE spec."""
+    spec = compile_spec(load_spec_source("ide_piix4"))
+    return generate_header(spec, CodegenOptions(mode=mode, bases=IDE_BASES))
+
+
+def busmouse_stub_header(mode: str = "debug", prefix: str = "bm") -> str:
+    spec = compile_spec(load_spec_source("logitech_busmouse"))
+    return generate_header(
+        spec, CodegenOptions(mode=mode, prefix=prefix, bases=BUSMOUSE_BASES)
+    )
+
+
+def assemble_c_program(
+    driver_source: str | None = None,
+) -> tuple[list[SourceFile], dict[str, str]]:
+    """Sources + include registry for the original C driver."""
+    text = IDE_C_SOURCE if driver_source is None else driver_source
+    return [SourceFile("ide_c.c", text)], {}
+
+
+def assemble_cdevil_program(
+    driver_source: str | None = None,
+    mode: str = "debug",
+) -> tuple[list[SourceFile], dict[str, str]]:
+    """Sources + include registry for the CDevil driver."""
+    text = IDE_CDEVIL_SOURCE if driver_source is None else driver_source
+    return (
+        [SourceFile("ide_cdevil.c", text)],
+        {IDE_HEADER_NAME: ide_stub_header(mode)},
+    )
+
+
+__all__ = [
+    "BUSMOUSE_CDEVIL_SOURCE",
+    "BUSMOUSE_HEADER_NAME",
+    "IDE_CDEVIL_SOURCE",
+    "IDE_C_SOURCE",
+    "IDE_HEADER_NAME",
+    "assemble_c_program",
+    "assemble_cdevil_program",
+    "busmouse_stub_header",
+    "ide_stub_header",
+]

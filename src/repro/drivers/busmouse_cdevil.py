@@ -1,0 +1,42 @@
+'''A CDevil busmouse driver, used by the examples and integration tests.
+
+Mirrors Figure 1 of the paper: the driver detects the mouse through the
+signature register, configures it, then polls motion deltas through the
+typed stubs (prefix ``bm``).
+'''
+
+BUSMOUSE_CDEVIL_SOURCE = r"""
+/* repro busmouse driver over Devil stubs. */
+#include "busmouse.dil.h"
+
+#define BM_SIGNATURE_VALUE 0xa5
+
+static int bm_present;
+
+int bm_probe(void)
+{
+    bm_devil_init();
+    bm_set_signature((u8)BM_SIGNATURE_VALUE);
+    if (bm_get_signature() != (u8)BM_SIGNATURE_VALUE) {
+        bm_present = 0;
+        return -1;
+    }
+    bm_set_config(CONFIGURATION);
+    bm_set_interrupt(DISABLE);
+    bm_present = 1;
+    return 0;
+}
+
+int bm_get_state(void)
+{
+    s8 dx;
+    s8 dy;
+    u8 buttons;
+    if (bm_present == 0) { return -1; }
+    dx = bm_get_dx();
+    dy = bm_get_dy();
+    buttons = bm_get_buttons();
+    /* Pack for the caller: buttons in bits 18..16, dy in 15..8, dx in 7..0. */
+    return ((int)buttons << 16) | (((int)dy & 0xff) << 8) | ((int)dx & 0xff);
+}
+"""

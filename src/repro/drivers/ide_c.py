@@ -1,0 +1,143 @@
+'''The "original Linux" IDE driver: raw C port I/O (hd.c lineage).
+
+Everything between ``/* HW-BEGIN */`` and ``/* HW-END */`` is hardware
+operating code — the regions the paper mutates (§3.3).  The error checks
+are single-line, the style the paper observes keeps the C driver free of
+dead-code mutants.
+'''
+
+IDE_C_SOURCE = r"""
+/* repro IDE disk driver, original C style. */
+
+/* HW-BEGIN */
+#define HD_DATA     0x1f0
+#define HD_ERROR    0x1f1
+#define HD_NSECTOR  0x1f2
+#define HD_SECTOR   0x1f3
+#define HD_LCYL     0x1f4
+#define HD_HCYL     0x1f5
+#define HD_CURRENT  0x1f6
+#define HD_STATUS   0x1f7
+#define HD_COMMAND  0x1f7
+#define HD_CMD      0x3f6
+
+#define STAT_ERR    0x01
+#define STAT_INDEX  0x02
+#define STAT_ECC    0x04
+#define STAT_DRQ    0x08
+#define STAT_SEEK   0x10
+#define STAT_WRERR  0x20
+#define STAT_READY  0x40
+#define STAT_BUSY   0x80
+
+#define WIN_RESTORE  0x10
+#define WIN_READ     0x20
+#define WIN_WRITE    0x30
+#define WIN_VERIFY   0x40
+#define WIN_DIAGNOSE 0x90
+#define WIN_IDENTIFY 0xec
+
+#define SEL_LBA      0xe0
+#define SEL_DRV1     0x10
+#define SRST_ON      0x04
+#define SRST_OFF     0x00
+#define DIAG_OK      0x01
+
+#define HD_TIMEOUT   5000
+#define HD_WORDS     256
+/* HW-END */
+
+static u32 hd_sectors;
+
+/* HW-BEGIN */
+static int wait_ready(void)
+{
+    int t;
+    for (t = 0; t < HD_TIMEOUT; t++) {
+        if ((inb(HD_STATUS) & (STAT_BUSY | STAT_READY)) == STAT_READY) { return 0; }
+    }
+    return -1;
+}
+
+static int wait_drq(void)
+{
+    int t;
+    u8 s;
+    for (t = 0; t < HD_TIMEOUT; t++) {
+        s = inb(HD_STATUS);
+        if (s & STAT_ERR) { return -2; }
+        if (s & STAT_DRQ) { return 0; }
+    }
+    return -1;
+}
+
+static void hd_out(u8 drive, u8 nsect, u32 lba, u8 cmd)
+{
+    outb((u8)(SEL_LBA | (drive << 4) | ((lba >> 24) & 0x0f)), HD_CURRENT);
+    outb(nsect, HD_NSECTOR);
+    outb((u8)(lba & 0xff), HD_SECTOR);
+    outb((u8)((lba >> 8) & 0xff), HD_LCYL);
+    outb((u8)((lba >> 16) & 0xff), HD_HCYL);
+    outb(cmd, HD_COMMAND);
+}
+
+static int hd_reset(void)
+{
+    outb(SRST_ON, HD_CMD);
+    udelay(10);
+    outb(SRST_OFF, HD_CMD);
+    /* Settle spin, hd.c style: the controller is busy only briefly. */
+    while (inb(HD_STATUS) & STAT_BUSY) { ; }
+    if ((inb(HD_ERROR) & 0x7f) != DIAG_OK) { return -2; }
+    return 0;
+}
+
+static int hd_identify(u16 id[])
+{
+    outb((u8)SEL_LBA, HD_CURRENT);
+    if (wait_ready() != 0) { return -1; }
+    outb(WIN_IDENTIFY, HD_COMMAND);
+    if (wait_drq() != 0) { return -2; }
+    insw(HD_DATA, id, HD_WORDS);
+    if (inb(HD_STATUS) & STAT_ERR) { return -3; }
+    return 0;
+}
+/* HW-END */
+
+int ide_init(void)
+{
+    u16 id[256];
+    if (hd_reset() != 0) { printk("hd: reset failed\n"); return -1; }
+    if (hd_identify(id) != 0) { printk("hd: identify failed\n"); return -2; }
+    if ((id[0] & 0x8000) != 0) { return -3; }
+    hd_sectors = (u32)id[60] | ((u32)id[61] << 16);
+    printk("hd: disk with %u sectors\n", hd_sectors);
+    return (int)hd_sectors;
+}
+
+int ide_read(u32 lba, u16 buf[], u32 len)
+{
+/* HW-BEGIN */
+    if (wait_ready() != 0) { return -1; }
+    hd_out(0, 1, lba, WIN_READ);
+    if (wait_drq() != 0) { return -2; }
+    insw(HD_DATA, buf, HD_WORDS);
+    if (inb(HD_STATUS) & STAT_ERR) { return -3; }
+/* HW-END */
+    return 0;
+}
+
+int ide_write(u32 lba, u16 buf[], u32 len)
+{
+/* HW-BEGIN */
+    if (wait_ready() != 0) { return -1; }
+    hd_out(0, 1, lba, WIN_WRITE);
+    if (wait_drq() != 0) { return -2; }
+    outsw(HD_DATA, buf, HD_WORDS);
+    /* Drain spin: wait out the media write. */
+    while (inb(HD_STATUS) & STAT_BUSY) { ; }
+    if (inb(HD_STATUS) & STAT_ERR) { return -4; }
+/* HW-END */
+    return 0;
+}
+"""

@@ -1,0 +1,155 @@
+'''The Devil re-engineered IDE driver: CDevil glue over generated stubs.
+
+Everything except the ``#include`` is CDevil code — the mutation target of
+Table 4.  Stylistic points that matter to the evaluation (and that the
+paper calls out):
+
+* every command is followed by a ``switch`` on a status helper whose error
+  arms are never taken during a clean boot — the source of the Devil
+  driver's dead-code mutants;
+* sector loops run over the kernel-supplied ``len`` instead of a local
+  literal (the glue takes transfer sizes from the request, the way the
+  paper's re-engineered drivers take them from ``struct request``);
+* ``dil_eq`` is used for enum comparison, giving the run-time type check
+  of paper §2.3 a call site.
+'''
+
+IDE_CDEVIL_SOURCE = r"""
+/* repro IDE disk driver, re-engineered over Devil stubs. */
+#include "ide.dil.h"
+
+/* CDEVIL-BEGIN */
+#define IDE_TIMEOUT 5000
+
+static int wait_not_busy(void)
+{
+    int t;
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (dil_eq(get_busy(), IDLE)) { return 0; }
+    }
+    return -1;
+}
+
+static int wait_ready(void)
+{
+    int t;
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (dil_eq(get_busy(), IDLE) && dil_eq(get_ready(), READY)) { return 0; }
+    }
+    return -1;
+}
+
+static int wait_data(void)
+{
+    int t;
+    for (t = 0; t < IDE_TIMEOUT; t++) {
+        if (dil_eq(get_busy(), IDLE)) {
+            if (dil_eq(get_error_bit(), ERROR_SET)) { return -2; }
+            if (dil_eq(get_data_request(), DATA_READY)) { return 0; }
+        }
+    }
+    return -1;
+}
+
+static int command_status(void)
+{
+    if (wait_not_busy() != 0) { return -1; }
+    if (dil_eq(get_error_bit(), ERROR_SET)) { return -2; }
+    return 0;
+}
+
+int ide_init(void)
+{
+    u32 sectors;
+    u16 word;
+    u16 device_type;
+    int i;
+
+    devil_init();
+    set_soft_reset(1u);
+    udelay(10);
+    set_soft_reset(0u);
+    switch (command_status()) {
+    case 0:
+        break;
+    case -1:
+        printk("ide: reset timeout\n");
+        return -1;
+    case -2:
+        printk("ide: reset error %d\n", get_error());
+        return -2;
+    }
+
+    set_irq_masked(1u);
+    set_Drive(MASTER);
+    set_addressing(LBA);
+    if (wait_ready() != 0) { return -3; }
+    if (!dil_eq(get_Drive(), MASTER)) { return -4; }
+    if (!dil_eq(get_addressing(), LBA)) { return -4; }
+
+    set_feature(3u);
+    set_Command(SET_FEATURES);
+    switch (command_status()) {
+    case 0:
+        break;
+    default:
+        printk("ide: set features rejected\n");
+        return -5;
+    }
+
+    set_Command(IDENTIFY);
+    if (wait_data() != 0) { return -6; }
+    sectors = 0u;
+    device_type = 0u;
+    for (i = 0; i < 256; i++) {
+        word = (u16)get_sector_data();
+        if (i == 0) { device_type = word; }
+        if (i == 60) { sectors = sectors | (u32)word; }
+        if (i == 61) { sectors = sectors | ((u32)word << 16); }
+    }
+    if ((device_type & 0x8000u) != 0u) { return -7; }
+    printk("ide: disk with %u sectors\n", sectors);
+    return (int)sectors;
+}
+
+static int do_transfer(u32 lba, u16 buf[], u32 len, int writing)
+{
+    u32 i;
+    if (wait_ready() != 0) { return -1; }
+    set_sector_count(1u);
+    set_lba(lba);
+    if (writing) {
+        set_Command(WRITE_SECTORS);
+    } else {
+        set_Command(READ_SECTORS);
+    }
+    if (wait_data() != 0) { return -2; }
+    if (writing) {
+        for (i = 0u; i < len; i++) { set_sector_data(buf[i]); }
+    } else {
+        for (i = 0u; i < len; i++) { buf[i] = (u16)get_sector_data(); }
+    }
+    switch (command_status()) {
+    case 0:
+        break;
+    case -1:
+        printk("ide: transfer timeout\n");
+        return -3;
+    case -2:
+        printk("ide: transfer error %d\n", get_error());
+        return -4;
+    }
+    return 0;
+}
+
+int ide_read(u32 lba, u16 buf[], u32 len)
+{
+    return do_transfer(lba, buf, len, 0);
+}
+
+int ide_write(u32 lba, u16 buf[], u32 len)
+{
+    return do_transfer(lba, buf, len, 1);
+}
+/* CDEVIL-END */
+"""

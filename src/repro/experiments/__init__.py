@@ -1,0 +1,17 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+* ``table2`` — mutation coverage of the Devil compiler over the five
+  bundled specifications;
+* ``table3`` — mutations on the original C IDE driver;
+* ``table4`` — mutations on the CDevil IDE driver;
+* ``figure4`` — the generated debug stub for the IDE ``Drive`` variable;
+* ``report`` — the headline comparison (§4.2's "3× more errors ...").
+
+Each module exposes ``run(...)`` returning structured results and a
+``main()`` console entry point that prints the paper-shaped table next to
+the paper's own numbers.
+"""
+
+from repro.experiments import ablation, figure4, report, table2, table3, table4
+
+__all__ = ["ablation", "figure4", "report", "table2", "table3", "table4"]

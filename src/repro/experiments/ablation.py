@@ -1,0 +1,93 @@
+"""Ablation: what do the debug stubs actually buy?
+
+The paper's claim rests on the *debug-mode* stub design (distinct struct
+per enum type + run-time assertions).  This harness reruns the Table 4
+campaign with **production** stubs — same specification, same CDevil glue,
+same mutants — and compares.  If the mechanism is what matters, detection
+must collapse toward the plain-C level; typed confusion that died in the
+type checker or in ``dil_eq`` now boots silently or times out.
+
+Run with ``python -m repro.experiments.ablation`` (``--fraction 0.5`` by
+default; the campaign boots most mutants twice).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments.tables import pct, render_table
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import CampaignResult, run_driver_campaign
+
+
+@dataclass
+class AblationReport:
+    debug: CampaignResult
+    production: CampaignResult
+
+    @property
+    def detection_drop(self) -> float:
+        return self.debug.detected_fraction() - self.production.detected_fraction()
+
+
+def run(fraction: float = 0.5, seed: int = 4136) -> AblationReport:
+    return AblationReport(
+        debug=run_driver_campaign("cdevil", mode="debug", fraction=fraction, seed=seed),
+        production=run_driver_campaign(
+            "cdevil", mode="production", fraction=fraction, seed=seed
+        ),
+    )
+
+
+def render(report: AblationReport) -> str:
+    rows = []
+    for outcome in (
+        BootOutcome.COMPILE_CHECK,
+        BootOutcome.RUN_TIME_CHECK,
+        BootOutcome.CRASH,
+        BootOutcome.INFINITE_LOOP,
+        BootOutcome.HALT,
+        BootOutcome.DAMAGED_BOOT,
+        BootOutcome.BOOT,
+        BootOutcome.DEAD_CODE,
+    ):
+        rows.append(
+            [
+                str(outcome).capitalize(),
+                pct(report.debug.fraction(outcome)),
+                pct(report.production.fraction(outcome)),
+            ]
+        )
+    rows.append(
+        [
+            "Detected (compile + run time)",
+            pct(report.debug.detected_fraction()),
+            pct(report.production.detected_fraction()),
+        ]
+    )
+    return render_table(
+        ["Outcome", "Debug stubs", "Production stubs"],
+        rows,
+        title=(
+            "Ablation: the same CDevil mutants over debug vs production "
+            "stubs"
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fraction", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=4136)
+    args = parser.parse_args(argv)
+    report = run(fraction=args.fraction, seed=args.seed)
+    print(render(report))
+    print(
+        f"\nDetection drop without debug stubs: {pct(report.detection_drop)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

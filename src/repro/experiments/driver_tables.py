@@ -1,0 +1,69 @@
+"""Shared machinery for Tables 3 and 4 (driver mutation campaigns)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import pct, render_table
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import CampaignResult
+
+#: Row order of the paper's Tables 3/4.
+ROW_ORDER = [
+    BootOutcome.COMPILE_CHECK,
+    BootOutcome.RUN_TIME_CHECK,
+    BootOutcome.CRASH,
+    BootOutcome.INFINITE_LOOP,
+    BootOutcome.HALT,
+    BootOutcome.DAMAGED_BOOT,
+    BootOutcome.BOOT,
+    BootOutcome.DEAD_CODE,
+]
+
+ROW_LABELS = {
+    BootOutcome.COMPILE_CHECK: "Compile-time check",
+    BootOutcome.RUN_TIME_CHECK: "Run-time check",
+    BootOutcome.CRASH: "Crash",
+    BootOutcome.INFINITE_LOOP: "Infinite loop",
+    BootOutcome.HALT: "Halt",
+    BootOutcome.DAMAGED_BOOT: "Damaged boot",
+    BootOutcome.BOOT: "Boot",
+    BootOutcome.DEAD_CODE: "Dead code",
+}
+
+
+def render_campaign(
+    result: CampaignResult,
+    title: str,
+    paper_percentages: dict[BootOutcome, float],
+) -> str:
+    headers = ["Outcome", "Sites", "Mutants", "Fraction", "Paper"]
+    rows = []
+    for outcome in ROW_ORDER:
+        count = result.count(outcome)
+        paper = paper_percentages.get(outcome)
+        if count == 0 and paper is None:
+            continue
+        rows.append(
+            [
+                ROW_LABELS[outcome],
+                str(result.sites(outcome)),
+                str(count),
+                pct(result.fraction(outcome)),
+                f"{paper:.1f} %" if paper is not None else "-",
+            ]
+        )
+    rows.append(
+        [
+            "Total",
+            str(len({r.mutant.site.key for r in result.results})),
+            str(result.tested),
+            "N/A",
+            "N/A",
+        ]
+    )
+    table = render_table(headers, rows, title=title)
+    detected = result.detected_fraction()
+    return (
+        f"{table}\n"
+        f"Detected at compile or run time: {pct(detected)} "
+        f"(enumerated {result.enumerated}, tested {result.tested})"
+    )

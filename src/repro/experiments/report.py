@@ -1,0 +1,115 @@
+"""The §4.2 headline comparison.
+
+Runs (or accepts) Tables 3 and 4 and derives the paper's summary claims:
+
+* "72 % of the errors in the Devil driver are detected either at compile
+  time or at run time ... nearly 3 times more errors than are detected in
+  the original C driver";
+* "only 12.3 % of the mutations are not detected [in Devil] while 34.7 %
+  ... in the C code.  Thus the worst situation appears 3 times more often
+  in a traditional driver".
+
+Run with ``python -m repro.experiments.report`` (add ``--fraction`` to
+sample; the full populations take several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments import table3, table4
+from repro.experiments.tables import pct, render_table
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import CampaignResult
+
+PAPER_C_DETECTED = 0.267
+PAPER_DEVIL_DETECTED = 0.72
+PAPER_C_SILENT = 0.347
+PAPER_DEVIL_SILENT = 0.123
+
+
+@dataclass
+class HeadlineReport:
+    c_result: CampaignResult
+    cdevil_result: CampaignResult
+
+    @property
+    def c_detected(self) -> float:
+        return self.c_result.detected_fraction()
+
+    @property
+    def cdevil_detected(self) -> float:
+        return self.cdevil_result.detected_fraction()
+
+    @property
+    def detection_ratio(self) -> float:
+        if self.c_detected == 0:
+            return float("inf")
+        return self.cdevil_detected / self.c_detected
+
+    @property
+    def c_silent(self) -> float:
+        return self.c_result.fraction(BootOutcome.BOOT)
+
+    @property
+    def cdevil_silent(self) -> float:
+        return self.cdevil_result.fraction(BootOutcome.BOOT)
+
+    @property
+    def silent_ratio(self) -> float:
+        if self.cdevil_silent == 0:
+            return float("inf")
+        return self.c_silent / self.cdevil_silent
+
+
+def run(fraction: float = 1.0, seed: int = 4136) -> HeadlineReport:
+    return HeadlineReport(
+        c_result=table3.run(fraction=fraction, seed=seed),
+        cdevil_result=table4.run(fraction=fraction, seed=seed),
+    )
+
+
+def render(report: HeadlineReport) -> str:
+    headers = ["Claim", "Measured", "Paper"]
+    rows = [
+        ["C driver errors detected", pct(report.c_detected), "26.7 %"],
+        ["Devil driver errors detected", pct(report.cdevil_detected), "72 %"],
+        [
+            "Detection ratio (Devil / C)",
+            f"{report.detection_ratio:.1f}x",
+            "~3x",
+        ],
+        ["C driver silent mutants", pct(report.c_silent), "34.7 %"],
+        ["Devil driver silent mutants", pct(report.cdevil_silent), "12.3 %"],
+        [
+            "Silent ratio (C / Devil)",
+            f"{report.silent_ratio:.1f}x",
+            "~3x",
+        ],
+        [
+            "Crashes (C -> Devil)",
+            f"{pct(report.c_result.fraction(BootOutcome.CRASH))} -> "
+            f"{pct(report.cdevil_result.fraction(BootOutcome.CRASH))}",
+            "2.9 % -> 0 %",
+        ],
+    ]
+    return render_table(headers, rows, title="Headline comparison (paper section 4.2)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fraction", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=4136)
+    args = parser.parse_args(argv)
+    report = run(fraction=args.fraction, seed=args.seed)
+    print(table3.render(report.c_result))
+    print()
+    print(table4.render(report.cdevil_result))
+    print()
+    print(render(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,89 @@
+"""Table 2 — mutation coverage of the Devil compiler (paper §4.1).
+
+For each of the five bundled device specifications, inject every Devil
+mutant and count how many the checker rejects.  The paper's numbers are
+printed alongside for comparison.
+
+Run with ``python -m repro.experiments.table2`` (``--fraction 0.25`` for a
+sampled run, ``--seed N`` to resample).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+
+from repro.experiments.tables import pct, render_table
+from repro.mutation.runner import DevilCampaignResult, run_devil_campaign
+from repro.specs import PAPER_NAMES, spec_names
+
+#: The paper's Table 2: name -> (lines, sites, mutants, detected %).
+PAPER_TABLE2 = {
+    "logitech_busmouse": (22, 87, 1678, 95.4),
+    "pci_82371fb": (27, 82, 1465, 88.8),
+    "ide_piix4": (130, 352, 10299, 91.7),
+    "ne2000": (131, 434, 9410, 92.6),
+    "permedia2": (128, 400, 13683, 90.3),
+}
+
+
+@dataclass
+class Table2Result:
+    rows: list[DevilCampaignResult] = field(default_factory=list)
+
+    def row(self, spec_name: str) -> DevilCampaignResult:
+        for entry in self.rows:
+            if entry.spec_name == spec_name:
+                return entry
+        raise KeyError(spec_name)
+
+
+def run(fraction: float = 1.0, seed: int = 4136, progress=None) -> Table2Result:
+    result = Table2Result()
+    for name in spec_names():
+        result.rows.append(
+            run_devil_campaign(name, fraction=fraction, seed=seed, progress=progress)
+        )
+    return result
+
+
+def render(result: Table2Result) -> str:
+    headers = [
+        "Specification",
+        "Lines",
+        "Sites",
+        "Mutants",
+        "Tested",
+        "Detected",
+        "Paper",
+    ]
+    rows = []
+    for entry in result.rows:
+        paper = PAPER_TABLE2.get(entry.spec_name)
+        rows.append(
+            [
+                PAPER_NAMES.get(entry.spec_name, entry.spec_name),
+                str(entry.lines),
+                str(entry.sites),
+                str(entry.enumerated),
+                str(entry.tested),
+                pct(entry.detected_fraction),
+                f"{paper[3]:.1f} %" if paper else "-",
+            ]
+        )
+    return render_table(
+        headers, rows, title="Table 2: mutation coverage of the Devil compiler"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fraction", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=4136)
+    args = parser.parse_args(argv)
+    print(render(run(fraction=args.fraction, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

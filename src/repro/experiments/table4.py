@@ -1,0 +1,60 @@
+"""Table 4 — mutations on the CDevil code of the IDE driver (paper §4.2).
+
+Mutations target the stub call sites of the Devil re-engineered driver;
+stubs are generated in debug mode from the PIIX4 specification, so mutants
+face both the C type checker (distinct struct per enum type) and the
+generated run-time assertions.
+
+Run with ``python -m repro.experiments.table4``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.driver_tables import render_campaign
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import CampaignResult, run_driver_campaign
+
+#: The paper's Table 4 percentages.
+PAPER_TABLE4 = {
+    BootOutcome.COMPILE_CHECK: 58.0,
+    BootOutcome.RUN_TIME_CHECK: 14.1,
+    BootOutcome.CRASH: 0.0,
+    BootOutcome.INFINITE_LOOP: 0.7,
+    BootOutcome.HALT: 4.9,
+    BootOutcome.DAMAGED_BOOT: 0.5,
+    BootOutcome.BOOT: 12.3,
+    BootOutcome.DEAD_CODE: 9.4,
+}
+
+
+def run(
+    fraction: float = 1.0,
+    seed: int = 4136,
+    mode: str = "debug",
+    progress=None,
+) -> CampaignResult:
+    return run_driver_campaign(
+        "cdevil", mode=mode, fraction=fraction, seed=seed, progress=progress
+    )
+
+
+def render(result: CampaignResult) -> str:
+    return render_campaign(
+        result, "Table 4: mutations on CDevil code (Devil IDE driver)", PAPER_TABLE4
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fraction", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=4136)
+    parser.add_argument("--mode", choices=("debug", "production"), default="debug")
+    args = parser.parse_args(argv)
+    print(render(run(fraction=args.fraction, seed=args.seed, mode=args.mode)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Small text-table rendering shared by the experiment harnesses."""
+
+from __future__ import annotations
+
+
+def render_table(
+    headers: list[str], rows: list[list[str]], title: str = ""
+) -> str:
+    """Fixed-width text table, right-aligning numeric-looking cells."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def align(cell: str, index: int) -> str:
+        if cell and (cell[0].isdigit() or cell[0] in "-+."):
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(align(cell, i) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    return f"{100.0 * value:.1f} %"

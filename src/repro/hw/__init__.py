@@ -1,0 +1,38 @@
+"""Simulated hardware: the devices the paper's specifications describe.
+
+An :class:`~repro.hw.bus.IOBus` decodes port accesses to attached device
+models.  Five devices are modelled, matching Table 2 of the paper:
+
+* :class:`~repro.hw.busmouse.LogitechBusmouse` — Figure 3's device;
+* :class:`~repro.hw.ide.IdeController` (+ :class:`~repro.hw.diskimage.DiskImage`)
+  — the PIIX4-style IDE disk controller the driver experiments run on;
+* :class:`~repro.hw.ne2000.Ne2000` — paged-register Ethernet controller;
+* :class:`~repro.hw.pci.BusMaster82371FB` — PCI IDE bus master;
+* :class:`~repro.hw.permedia2.Permedia2` — indexed-access graphics card.
+
+`repro.hw.machine` assembles them into bootable machine configurations.
+"""
+
+from repro.hw.bus import BusFault, IOBus
+from repro.hw.device import Device
+from repro.hw.diskimage import DiskImage
+from repro.hw.busmouse import LogitechBusmouse
+from repro.hw.ide import IdeController
+from repro.hw.ne2000 import Ne2000
+from repro.hw.pci import BusMaster82371FB
+from repro.hw.permedia2 import Permedia2
+from repro.hw.machine import Machine, standard_pc
+
+__all__ = [
+    "BusFault",
+    "BusMaster82371FB",
+    "Device",
+    "DiskImage",
+    "IOBus",
+    "IdeController",
+    "LogitechBusmouse",
+    "Machine",
+    "Ne2000",
+    "Permedia2",
+    "standard_pc",
+]

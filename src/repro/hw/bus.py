@@ -1,0 +1,112 @@
+"""The I/O port bus.
+
+Devices claim port ranges; the bus decodes each access.  Like a real ISA
+bus, an access to a port *no* device claims is inert: reads float to 0xFF
+and writes vanish — drivers aimed at the wrong port time out rather than
+fault.  The paper's "Crash" outcomes come from scribbling on ports other
+hardware *does* claim; :class:`~repro.hw.legacy.LegacyBoard` models the
+fragile standard-PC devices (DMA, PIC, PIT, keyboard controller, CMOS,
+floppy) whose stray writes wedge the machine.
+
+``strict=True`` restores faulting on any unclaimed access — useful in
+tests and in the Python ``DeviceHandle`` runtime, where a stray access is
+a bug to surface, not a behaviour to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.errors import MachineFault
+
+
+class BusFault(MachineFault):
+    """Access to a port that no attached device claims."""
+
+
+@dataclass(frozen=True)
+class BusAccess:
+    """One observed port access, for tests and debugging."""
+
+    kind: str  # "read" | "write"
+    address: int
+    size: int
+    value: int
+
+    def __str__(self) -> str:
+        arrow = "->" if self.kind == "read" else "<-"
+        return f"{self.kind} {self.address:#06x}/{self.size} {arrow} {self.value:#x}"
+
+
+@dataclass
+class _Claim:
+    start: int
+    length: int
+    device: "object"
+
+    def covers(self, address: int) -> bool:
+        return self.start <= address < self.start + self.length
+
+
+@dataclass
+class IOBus:
+    """Port-decoding bus with an access trace.
+
+    ``trace_limit`` bounds the retained access history (0 disables
+    tracing entirely, the default for mutation campaigns where speed
+    matters).
+    """
+
+    trace_limit: int = 0
+    strict: bool = False
+    _claims: list[_Claim] = field(default_factory=list)
+    trace: list[BusAccess] = field(default_factory=list)
+
+    def attach(self, device) -> None:
+        """Attach a device, claiming the ranges it reports."""
+        for start, length in device.port_ranges():
+            for claim in self._claims:
+                overlap = not (
+                    start + length <= claim.start
+                    or claim.start + claim.length <= start
+                )
+                if overlap:
+                    raise ValueError(
+                        f"port range {start:#x}+{length} of {device!r} "
+                        f"overlaps {claim.device!r}"
+                    )
+            self._claims.append(_Claim(start, length, device))
+
+    def device_at(self, address: int):
+        for claim in self._claims:
+            if claim.covers(address):
+                return claim.device
+        return None
+
+    def _record(self, kind: str, address: int, size: int, value: int) -> None:
+        if self.trace_limit:
+            if len(self.trace) >= self.trace_limit:
+                del self.trace[0]
+            self.trace.append(BusAccess(kind, address, size, value))
+
+    def read_port(self, address: int, size: int) -> int:
+        device = self.device_at(address)
+        if device is None:
+            if self.strict:
+                raise BusFault(f"bus fault: read of unclaimed port {address:#x}")
+            value = (1 << size) - 1  # floating bus
+            self._record("read", address, size, value)
+            return value
+        value = device.io_read(address, size) & ((1 << size) - 1)
+        self._record("read", address, size, value)
+        return value
+
+    def write_port(self, address: int, value: int, size: int) -> None:
+        device = self.device_at(address)
+        if device is None:
+            if self.strict:
+                raise BusFault(f"bus fault: write of unclaimed port {address:#x}")
+            self._record("write", address, size, value & ((1 << size) - 1))
+            return
+        self._record("write", address, size, value & ((1 << size) - 1))
+        device.io_write(address, value & ((1 << size) - 1), size)

@@ -1,0 +1,87 @@
+"""Logitech busmouse model — the device of the paper's Figure 3.
+
+Register map (base, 4 ports):
+
+* base+0 — data: returns the nibble selected by the index register
+  (0 = x low, 1 = x high, 2 = y low, 3 = y high + buttons in bits 7..5);
+* base+1 — signature: write-then-read scratch register drivers use to
+  detect the device;
+* base+2 — control: bit 7 set → bits 6..5 select the data index;
+  bit 7 clear → bit 4 controls interrupt enable (0 = enabled);
+* base+3 — configuration (write-only).
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import Device
+
+
+class LogitechBusmouse(Device):
+    name = "busmouse"
+
+    def __init__(self, base: int = 0x23C):
+        self.base = base
+        self.reset()
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(self.base, 4)]
+
+    def reset(self) -> None:
+        self.signature = 0
+        self.config = 0
+        self.index = 0
+        self.interrupt_disabled = True
+        self.dx = 0
+        self.dy = 0
+        self.buttons = 0  # 3 bits, active state
+
+    # -- host-side stimulus (tests / examples) ----------------------------
+
+    def move(self, dx: int, dy: int, buttons: int | None = None) -> None:
+        """Accumulate mouse motion; values clamp to the 8-bit counters."""
+        self.dx = max(-128, min(127, self.dx + dx))
+        self.dy = max(-128, min(127, self.dy + dy))
+        if buttons is not None:
+            self.buttons = buttons & 0x7
+
+    def clear_motion(self) -> None:
+        self.dx = 0
+        self.dy = 0
+
+    # -- I/O -----------------------------------------------------------------
+
+    def io_read(self, address: int, size: int) -> int:
+        offset = address - self.base
+        if offset == 0:
+            return self._data_nibble()
+        if offset == 1:
+            return self.signature
+        if offset == 2:
+            # Reading the control port reflects the index bits.
+            return 0x80 | (self.index << 5)
+        return 0xFF
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        offset = address - self.base
+        if offset == 1:
+            self.signature = value & 0xFF
+        elif offset == 2:
+            if value & 0x80:
+                self.index = (value >> 5) & 0x3
+            else:
+                self.interrupt_disabled = bool(value & 0x10)
+        elif offset == 3:
+            self.config = value & 0xFF
+
+    def _data_nibble(self) -> int:
+        dx = self.dx & 0xFF
+        dy = self.dy & 0xFF
+        if self.index == 0:
+            return dx & 0x0F
+        if self.index == 1:
+            return (dx >> 4) & 0x0F
+        if self.index == 2:
+            return dy & 0x0F
+        # y high: buttons in bits 7..5 (active low on real hardware; the
+        # spec types them as a plain 3-bit integer, so we expose them raw).
+        return ((self.buttons & 0x7) << 5) | ((dy >> 4) & 0x0F)

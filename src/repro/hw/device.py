@@ -1,0 +1,30 @@
+"""Base class for simulated devices."""
+
+from __future__ import annotations
+
+
+class Device:
+    """A port-mapped device.
+
+    Subclasses implement :meth:`port_ranges`, :meth:`io_read` and
+    :meth:`io_write`; addresses passed in are absolute, so models usually
+    subtract their base first.
+    """
+
+    name = "device"
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        """Claimed ranges as ``(first_port, length)`` pairs."""
+        raise NotImplementedError
+
+    def io_read(self, address: int, size: int) -> int:
+        raise NotImplementedError
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Return to power-on state (default: nothing)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,157 @@
+"""Sector-addressed disk images with a bootable toy filesystem.
+
+The paper's worst mutants physically corrupted the partition table or
+filesystem of the test machine ("two mutants of the original IDE driver
+crashed the partition table/filesystem and required reformatting the
+disk").  To reproduce that failure mode the disk image carries:
+
+* an MBR at LBA 0 (0xAA55 signature, one partition entry),
+* an "RFS1" superblock at the partition start holding a file table with
+  per-file checksums,
+* file sectors filled with deterministic content.
+
+``repro.kernel.fsck`` compares a booted image against its pristine twin;
+any divergence is the paper's "Damaged boot" outcome.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+
+SECTOR_SIZE = 512
+
+MBR_SIGNATURE = 0xAA55
+PARTITION_ENTRY_OFFSET = 446
+SUPERBLOCK_MAGIC = b"RFS1"
+
+#: Default geometry: a deliberately small disk so campaigns stay fast.
+#: The partition straddles LBA 256 so the driver's mid/high LBA task-file
+#: bytes carry real payload during boot.
+DEFAULT_SECTORS = 512
+DEFAULT_PARTITION_START = 250
+DEFAULT_FILE_COUNT = 8
+DEFAULT_FILE_SECTORS = 2
+
+
+@dataclass
+class DiskImage:
+    """A mutable array of sectors with write tracking."""
+
+    sectors: list[bytes] = field(default_factory=list)
+    writes: list[int] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def blank(cls, sector_count: int = DEFAULT_SECTORS) -> "DiskImage":
+        return cls(sectors=[bytes(SECTOR_SIZE)] * sector_count)
+
+    @classmethod
+    def bootable(
+        cls,
+        sector_count: int = DEFAULT_SECTORS,
+        partition_start: int = DEFAULT_PARTITION_START,
+        file_count: int = DEFAULT_FILE_COUNT,
+        file_sectors: int = DEFAULT_FILE_SECTORS,
+        seed: int = 2001,
+    ) -> "DiskImage":
+        """Build a disk a kernel can mount: MBR + superblock + files."""
+        disk = cls.blank(sector_count)
+
+        partition_size = sector_count - partition_start
+        mbr = bytearray(SECTOR_SIZE)
+        entry = PARTITION_ENTRY_OFFSET
+        mbr[entry + 0] = 0x80  # bootable
+        mbr[entry + 4] = 0x83  # "Linux" type
+        mbr[entry + 8 : entry + 12] = partition_start.to_bytes(4, "little")
+        mbr[entry + 12 : entry + 16] = partition_size.to_bytes(4, "little")
+        mbr[510] = MBR_SIGNATURE & 0xFF
+        mbr[511] = MBR_SIGNATURE >> 8
+        disk.sectors[0] = bytes(mbr)
+
+        # Files first (so checksums can go into the superblock).
+        file_table: list[tuple[int, int, int]] = []  # (start, sectors, crc)
+        next_lba = partition_start + 1
+        for index in range(file_count):
+            content = bytearray()
+            for sector in range(file_sectors):
+                payload = (
+                    f"RFS file {index} sector {sector} seed {seed} ".encode()
+                )
+                block = (payload * (SECTOR_SIZE // len(payload) + 1))[:SECTOR_SIZE]
+                disk.sectors[next_lba + sector] = bytes(block)
+                content.extend(block)
+            file_table.append(
+                (next_lba, file_sectors, zlib.crc32(bytes(content)) & 0xFFFFFFFF)
+            )
+            next_lba += file_sectors
+
+        superblock = bytearray(SECTOR_SIZE)
+        superblock[0:4] = SUPERBLOCK_MAGIC
+        superblock[4:8] = partition_size.to_bytes(4, "little")
+        superblock[8:12] = file_count.to_bytes(4, "little")
+        offset = 16
+        for start, length, crc in file_table:
+            superblock[offset : offset + 4] = start.to_bytes(4, "little")
+            superblock[offset + 4 : offset + 8] = length.to_bytes(4, "little")
+            superblock[offset + 8 : offset + 12] = crc.to_bytes(4, "little")
+            offset += 12
+        disk.sectors[partition_start] = bytes(superblock)
+        disk.writes.clear()
+        return disk
+
+    # -- geometry ---------------------------------------------------------------
+
+    @property
+    def sector_count(self) -> int:
+        return len(self.sectors)
+
+    # -- access -----------------------------------------------------------------
+
+    def read_sector(self, lba: int) -> bytes:
+        if not 0 <= lba < len(self.sectors):
+            raise IndexError(f"LBA {lba} outside disk of {len(self.sectors)}")
+        return self.sectors[lba]
+
+    def write_sector(self, lba: int, data: bytes) -> None:
+        if not 0 <= lba < len(self.sectors):
+            raise IndexError(f"LBA {lba} outside disk of {len(self.sectors)}")
+        if len(data) != SECTOR_SIZE:
+            raise ValueError(f"sector write of {len(data)} bytes")
+        self.sectors[lba] = bytes(data)
+        self.writes.append(lba)
+
+    def copy(self) -> "DiskImage":
+        return DiskImage(sectors=list(self.sectors))
+
+    def fingerprint(self) -> str:
+        digest = hashlib.sha256()
+        for sector in self.sectors:
+            digest.update(sector)
+        return digest.hexdigest()
+
+    def differs_from(self, other: "DiskImage") -> list[int]:
+        """LBAs whose content differs between the two images."""
+        return [
+            lba
+            for lba, (mine, theirs) in enumerate(zip(self.sectors, other.sectors))
+            if mine != theirs
+        ]
+
+
+def words_to_bytes(words: list[int]) -> bytes:
+    """Little-endian byte view of 16-bit words (IDE data-port order)."""
+    out = bytearray()
+    for word in words:
+        out.append(word & 0xFF)
+        out.append((word >> 8) & 0xFF)
+    return bytes(out)
+
+
+def bytes_to_words(data: bytes) -> list[int]:
+    """Inverse of :func:`words_to_bytes`."""
+    return [
+        data[index] | (data[index + 1] << 8) for index in range(0, len(data), 2)
+    ]

@@ -1,0 +1,378 @@
+"""PIIX4-style IDE disk controller model.
+
+Implements the register-level protocol a Linux 2.2-era IDE driver speaks:
+the command block (data/error/nsector/sector/lcyl/hcyl/select/status) at
+one base, the control block (altstatus/devctl) at another, BSY/DRDY/DRQ
+status sequencing, software reset, IDENTIFY, READ/WRITE SECTORS (LBA and
+CHS addressing) and READ VERIFY.
+
+Fidelity notes relevant to the evaluation:
+
+* after a command or reset the controller reports BSY for a couple of
+  status reads, so driver polling loops are genuinely exercised (mutants
+  that break the loop bound become the paper's "Infinite loop" class);
+* WRITE SECTORS really commits to the attached :class:`DiskImage` with
+  write tracking — mutants that redirect or corrupt writes produce the
+  paper's "Damaged boot" / reformat-the-disk failures;
+* selecting an absent drive parks status at 0x00, so probe loops time out
+  the way real hardware does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.device import Device
+from repro.hw.diskimage import DiskImage, bytes_to_words, words_to_bytes
+
+# Status bits.
+STAT_BSY = 0x80
+STAT_DRDY = 0x40
+STAT_DF = 0x20
+STAT_DSC = 0x10
+STAT_DRQ = 0x08
+STAT_CORR = 0x04
+STAT_IDX = 0x02
+STAT_ERR = 0x01
+
+# Error bits.
+ERR_AMNF = 0x01
+ERR_ABRT = 0x04
+ERR_IDNF = 0x10
+
+# Commands.
+CMD_RECALIBRATE = 0x10
+CMD_READ = 0x20
+CMD_READ_NORETRY = 0x21
+CMD_WRITE = 0x30
+CMD_WRITE_NORETRY = 0x31
+CMD_VERIFY = 0x40
+CMD_DIAGNOSTICS = 0x90
+CMD_INITPARAMS = 0x91
+CMD_FLUSH = 0xE7
+CMD_IDENTIFY = 0xEC
+CMD_SETFEATURES = 0xEF
+
+#: CHS geometry exposed by the model (kept tiny, like the disk).
+HEADS = 4
+SECTORS_PER_TRACK = 16
+
+#: Number of status reads a fresh command reports BSY for.
+BUSY_READS = 2
+
+MODEL_STRING = "REPRO IDE DISK RR-4136"
+
+
+@dataclass
+class _DriveState:
+    disk: DiskImage | None
+    buffer: list[int] = field(default_factory=list)
+    buffer_index: int = 0
+    mode: str = "idle"  # idle | read | write
+    pending_sectors: int = 0
+    next_lba: int = 0
+    write_accumulator: list[int] = field(default_factory=list)
+
+    @property
+    def present(self) -> bool:
+        return self.disk is not None
+
+
+class IdeController(Device):
+    """One IDE channel with a master and an optional slave drive."""
+
+    name = "ide"
+
+    def __init__(
+        self,
+        master: DiskImage | None,
+        slave: DiskImage | None = None,
+        command_base: int = 0x1F0,
+        control_base: int = 0x3F6,
+    ):
+        self.command_base = command_base
+        self.control_base = control_base
+        self.drives = [_DriveState(master), _DriveState(slave)]
+        self.reset()
+
+    # -- Device interface ----------------------------------------------------
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(self.command_base, 8), (self.control_base, 1)]
+
+    def reset(self) -> None:
+        self.error = 0x01  # diagnostic pass code, as after power-on
+        self.error_flag = False  # the status-register ERR bit
+        self.features = 0
+        self.nsector = 0x01
+        self.sector = 0x01
+        self.lcyl = 0
+        self.hcyl = 0
+        self.select = 0xA0
+        self.devctl = 0
+        self.busy_reads = BUSY_READS
+        self.in_srst = False
+        for drive in self.drives:
+            drive.mode = "idle"
+            drive.buffer = []
+            drive.buffer_index = 0
+            drive.pending_sectors = 0
+            drive.write_accumulator = []
+
+    # -- helpers --------------------------------------------------------------
+
+    @property
+    def _drive(self) -> _DriveState:
+        return self.drives[(self.select >> 4) & 1]
+
+    def _lba(self) -> int:
+        if self.select & 0x40:  # LBA mode
+            return (
+                ((self.select & 0x0F) << 24)
+                | (self.hcyl << 16)
+                | (self.lcyl << 8)
+                | self.sector
+            )
+        cylinder = (self.hcyl << 8) | self.lcyl
+        head = self.select & 0x0F
+        if self.sector == 0:
+            return -1  # CHS sectors start at 1
+        return (
+            (cylinder * HEADS + head) * SECTORS_PER_TRACK + self.sector - 1
+        )
+
+    def _status(self) -> int:
+        drive = self._drive
+        if not drive.present:
+            return 0x00
+        if self.in_srst:
+            return STAT_BSY
+        if self.busy_reads > 0:
+            self.busy_reads -= 1
+            return STAT_BSY
+        status = STAT_DRDY | STAT_DSC
+        if drive.mode in ("read", "write") and (
+            drive.buffer_index < len(drive.buffer) or drive.mode == "write"
+        ):
+            status |= STAT_DRQ
+        if self.error_flag:
+            status |= STAT_ERR
+        return status
+
+    # -- I/O decode ---------------------------------------------------------------
+
+    def io_read(self, address: int, size: int) -> int:
+        if address == self.control_base:
+            return self._status()  # altstatus
+        offset = address - self.command_base
+        if offset == 0:
+            return self._data_read(size)
+        if offset == 1:
+            return self.error
+        if offset == 2:
+            return self.nsector
+        if offset == 3:
+            return self.sector
+        if offset == 4:
+            return self.lcyl
+        if offset == 5:
+            return self.hcyl
+        if offset == 6:
+            return self.select
+        if offset == 7:
+            return self._status()
+        return 0xFF
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        if address == self.control_base:
+            self._devctl_write(value)
+            return
+        offset = address - self.command_base
+        if offset == 0:
+            self._data_write(value, size)
+        elif offset == 1:
+            self.features = value
+        elif offset == 2:
+            self.nsector = value
+        elif offset == 3:
+            self.sector = value
+        elif offset == 4:
+            self.lcyl = value
+        elif offset == 5:
+            self.hcyl = value
+        elif offset == 6:
+            self.select = value
+        elif offset == 7:
+            self._command(value)
+
+    # -- control block ----------------------------------------------------------
+
+    def _devctl_write(self, value: int) -> None:
+        was_srst = bool(self.devctl & 0x04)
+        self.devctl = value
+        if value & 0x04:
+            self.in_srst = True
+        elif was_srst:
+            # Falling edge of SRST: drives post their signature.
+            self.in_srst = False
+            self.error = 0x01  # diagnostic pass code
+            self.error_flag = False
+            self.nsector = 0x01
+            self.sector = 0x01
+            self.lcyl = 0
+            self.hcyl = 0
+            self.busy_reads = BUSY_READS
+            for drive in self.drives:
+                drive.mode = "idle"
+                drive.buffer = []
+                drive.buffer_index = 0
+                drive.pending_sectors = 0
+                drive.write_accumulator = []
+
+    # -- data port -----------------------------------------------------------------
+
+    def _data_read(self, size: int) -> int:
+        drive = self._drive
+        if drive.mode != "read" or drive.buffer_index >= len(drive.buffer):
+            return (1 << size) - 1  # floating bus
+        word = drive.buffer[drive.buffer_index]
+        drive.buffer_index += 1
+        if drive.buffer_index >= len(drive.buffer):
+            self._refill_read_buffer(drive)
+        return word & ((1 << size) - 1)
+
+    def _refill_read_buffer(self, drive: _DriveState) -> None:
+        if drive.pending_sectors <= 0 or drive.disk is None:
+            drive.mode = "idle"
+            return
+        if not 0 <= drive.next_lba < drive.disk.sector_count:
+            self.error = ERR_IDNF
+            self.error_flag = True
+            drive.mode = "idle"
+            return
+        drive.buffer = bytes_to_words(drive.disk.read_sector(drive.next_lba))
+        drive.buffer_index = 0
+        drive.next_lba += 1
+        drive.pending_sectors -= 1
+
+    def _data_write(self, value: int, size: int) -> None:
+        drive = self._drive
+        if drive.mode != "write":
+            return  # junk write, ignored like real hardware
+        drive.write_accumulator.append(value & 0xFFFF)
+        if len(drive.write_accumulator) >= 256:
+            self._commit_write_sector(drive)
+
+    def _commit_write_sector(self, drive: _DriveState) -> None:
+        if drive.disk is None:
+            drive.mode = "idle"
+            return
+        if not 0 <= drive.next_lba < drive.disk.sector_count:
+            self.error = ERR_IDNF
+            self.error_flag = True
+            drive.mode = "idle"
+            return
+        drive.disk.write_sector(
+            drive.next_lba, words_to_bytes(drive.write_accumulator[:256])
+        )
+        drive.write_accumulator = []
+        drive.next_lba += 1
+        drive.pending_sectors -= 1
+        if drive.pending_sectors <= 0:
+            drive.mode = "idle"
+
+    # -- commands -----------------------------------------------------------------
+
+    def _command(self, command: int) -> None:
+        drive = self._drive
+        self.error = 0
+        self.error_flag = False
+        self.busy_reads = BUSY_READS
+        if not drive.present:
+            return
+
+        if command in (CMD_READ, CMD_READ_NORETRY):
+            count = self.nsector if self.nsector != 0 else 256
+            lba = self._lba()
+            if drive.disk is None or not 0 <= lba < drive.disk.sector_count:
+                self.error = ERR_IDNF
+                self.error_flag = True
+                drive.mode = "idle"
+                return
+            drive.mode = "read"
+            drive.next_lba = lba
+            drive.pending_sectors = count
+            drive.buffer = []
+            drive.buffer_index = 0
+            self._refill_read_buffer(drive)
+            return
+
+        if command in (CMD_WRITE, CMD_WRITE_NORETRY):
+            count = self.nsector if self.nsector != 0 else 256
+            lba = self._lba()
+            if drive.disk is None or not 0 <= lba < drive.disk.sector_count:
+                self.error = ERR_IDNF
+                self.error_flag = True
+                drive.mode = "idle"
+                return
+            drive.mode = "write"
+            drive.next_lba = lba
+            drive.pending_sectors = count
+            drive.write_accumulator = []
+            return
+
+        if command == CMD_VERIFY:
+            count = self.nsector if self.nsector != 0 else 256
+            lba = self._lba()
+            if drive.disk is None or not (
+                0 <= lba and lba + count <= drive.disk.sector_count
+            ):
+                self.error = ERR_IDNF
+                self.error_flag = True
+            drive.mode = "idle"
+            return
+
+        if command == CMD_IDENTIFY:
+            drive.mode = "read"
+            drive.buffer = self._identify_words(drive)
+            drive.buffer_index = 0
+            drive.pending_sectors = 0
+            return
+
+        if command == CMD_DIAGNOSTICS:
+            self.error = 0x01  # "no error detected"
+            self.error_flag = False
+            drive.mode = "idle"
+            return
+
+        if (command & 0xF0) == CMD_RECALIBRATE or command in (
+            CMD_INITPARAMS,
+            CMD_FLUSH,
+            CMD_SETFEATURES,
+        ):
+            drive.mode = "idle"
+            return
+
+        self.error = ERR_ABRT
+        self.error_flag = True
+        drive.mode = "idle"
+
+    def _identify_words(self, drive: _DriveState) -> list[int]:
+        assert drive.disk is not None
+        words = [0] * 256
+        total = drive.disk.sector_count
+        cylinders = max(1, total // (HEADS * SECTORS_PER_TRACK))
+        words[0] = 0x0040  # fixed disk
+        words[1] = cylinders
+        words[3] = HEADS
+        words[6] = SECTORS_PER_TRACK
+        model = MODEL_STRING.ljust(40)[:40]
+        for index in range(20):
+            words[27 + index] = (ord(model[2 * index]) << 8) | ord(
+                model[2 * index + 1]
+            )
+        words[47] = 0x8001  # multiple: 1 sector
+        words[49] = 0x0200  # LBA supported
+        words[60] = total & 0xFFFF
+        words[61] = (total >> 16) & 0xFFFF
+        return words

@@ -1,0 +1,53 @@
+"""The fragile legacy devices of a standard PC.
+
+A stray *write* into the DMA controllers, the interrupt controllers, the
+timer, the keyboard controller, the CMOS/RTC or the floppy controller
+reconfigures hardware the whole machine depends on — the canonical way a
+mutated port constant turned into the paper's "Crash. The kernel crashes
+but no information is printed."  Reads are harmless (they float like any
+ISA read).
+
+The floppy range stops at 0x3f5 because 0x3f6 belongs to the IDE control
+block, exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import Device
+from repro.minic.errors import MachineFault
+
+#: (first_port, length, subsystem) of write-fragile standard-PC hardware.
+FRAGILE_RANGES: tuple[tuple[int, int, str], ...] = (
+    (0x000, 0x20, "DMA controller 1"),
+    (0x020, 0x02, "interrupt controller 1"),
+    (0x040, 0x04, "programmable interval timer"),
+    (0x060, 0x05, "keyboard controller"),
+    (0x070, 0x02, "CMOS/RTC"),
+    (0x0A0, 0x02, "interrupt controller 2"),
+    (0x0C0, 0x20, "DMA controller 2"),
+    (0x3F0, 0x06, "floppy controller"),
+)
+
+
+class LegacyBoard(Device):
+    """Write-fragile chipset devices; reads float, writes wedge the box."""
+
+    name = "legacy-board"
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(start, length) for start, length, _ in FRAGILE_RANGES]
+
+    def _subsystem(self, address: int) -> str:
+        for start, length, subsystem in FRAGILE_RANGES:
+            if start <= address < start + length:
+                return subsystem
+        return "chipset"
+
+    def io_read(self, address: int, size: int) -> int:
+        return (1 << size) - 1
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        raise MachineFault(
+            f"machine wedged: stray write of {value:#x} to the "
+            f"{self._subsystem(address)} at port {address:#x}"
+        )

@@ -1,0 +1,71 @@
+"""Machine assembly: bus + devices, ready to boot.
+
+``standard_pc`` builds the configuration the driver experiments run on:
+one IDE channel at the legacy addresses with a bootable master disk, plus
+the busmouse so multi-device examples work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.bus import IOBus
+from repro.hw.busmouse import LogitechBusmouse
+from repro.hw.diskimage import DiskImage
+from repro.hw.ide import IdeController
+from repro.hw.legacy import LegacyBoard
+
+IDE_COMMAND_BASE = 0x1F0
+IDE_CONTROL_BASE = 0x3F6
+BUSMOUSE_BASE = 0x23C
+
+
+@dataclass
+class Machine:
+    """One simulated computer."""
+
+    bus: IOBus
+    ide: IdeController | None = None
+    busmouse: LogitechBusmouse | None = None
+    disk: DiskImage | None = None
+    pristine_disk: DiskImage | None = None
+    extra_devices: list = field(default_factory=list)
+
+    def attach(self, device) -> None:
+        self.bus.attach(device)
+        self.extra_devices.append(device)
+
+    def disk_diff(self) -> list[int]:
+        """LBAs where the disk now differs from its boot-time snapshot."""
+        if self.disk is None or self.pristine_disk is None:
+            return []
+        return self.disk.differs_from(self.pristine_disk)
+
+
+def standard_pc(
+    disk: DiskImage | None = None,
+    with_busmouse: bool = True,
+    trace_limit: int = 0,
+) -> Machine:
+    """The evaluation machine: IDE master disk (+ busmouse)."""
+    if disk is None:
+        disk = DiskImage.bootable()
+    bus = IOBus(trace_limit=trace_limit)
+    bus.attach(LegacyBoard())
+    ide = IdeController(
+        master=disk,
+        command_base=IDE_COMMAND_BASE,
+        control_base=IDE_CONTROL_BASE,
+    )
+    bus.attach(ide)
+    machine = Machine(
+        bus=bus,
+        ide=ide,
+        disk=disk,
+        pristine_disk=disk.copy(),
+    )
+    if with_busmouse:
+        mouse = LogitechBusmouse(BUSMOUSE_BASE)
+        bus.attach(mouse)
+        machine.busmouse = mouse
+    return machine

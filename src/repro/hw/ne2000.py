@@ -1,0 +1,174 @@
+"""NE2000 (ns8390) Ethernet controller model.
+
+The interesting property for Devil is its *paged* register file: bits 7..6
+of the command register select one of three register pages at the same
+port addresses — exactly the pre-action pattern of the busmouse index
+register, but wider.  The model implements pages 0 and 1, the remote-DMA
+engine over a 16 KiB buffer, and the station-address PROM.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import Device
+
+BUFFER_SIZE = 16 * 1024
+
+# Command register bits.
+CR_STP = 0x01
+CR_STA = 0x02
+CR_TXP = 0x04
+CR_RD_READ = 0x08
+CR_RD_WRITE = 0x10
+CR_RD_ABORT = 0x20
+
+DEFAULT_MAC = (0x00, 0x40, 0x05, 0x20, 0x01, 0x36)
+
+
+class Ne2000(Device):
+    name = "ne2000"
+
+    def __init__(self, base: int = 0x300, mac: tuple[int, ...] = DEFAULT_MAC):
+        self.base = base
+        self.mac = tuple(mac)
+        self.reset()
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(self.base, 32)]  # 16 registers + data port + reset port
+
+    def reset(self) -> None:
+        self.command = CR_STP | CR_RD_ABORT
+        self.page0 = {
+            "pstart": 0, "pstop": 0, "bnry": 0, "tpsr": 0, "tbcr0": 0,
+            "tbcr1": 0, "isr": 0x80, "rsar0": 0, "rsar1": 0, "rbcr0": 0,
+            "rbcr1": 0, "rcr": 0, "tcr": 0, "dcr": 0, "imr": 0,
+        }
+        self.page1 = {
+            "par": list(self.mac), "curr": 0, "mar": [0] * 8,
+        }
+        self.buffer = bytearray(BUFFER_SIZE)
+        # Station address PROM (doubled bytes, as on real cards).
+        self.prom = bytearray()
+        for byte in self.mac:
+            self.prom.extend((byte, byte))
+        self.prom.extend(b"WW")  # word-wide marker
+        self.remote_address = 0
+        self.remote_count = 0
+        self.remote_mode = "idle"
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def page(self) -> int:
+        return (self.command >> 6) & 0x3
+
+    def _remote_setup(self) -> None:
+        self.remote_address = self.page0["rsar0"] | (self.page0["rsar1"] << 8)
+        self.remote_count = self.page0["rbcr0"] | (self.page0["rbcr1"] << 8)
+
+    def _remote_read_byte(self) -> int:
+        if self.remote_count <= 0:
+            return 0xFF
+        address = self.remote_address
+        if address < len(self.prom) and self.remote_mode == "prom":
+            value = self.prom[address]
+        else:
+            value = self.buffer[address % BUFFER_SIZE]
+        self.remote_address += 1
+        self.remote_count -= 1
+        if self.remote_count == 0:
+            self.page0["isr"] |= 0x40  # remote DMA complete
+        return value
+
+    def _remote_write_byte(self, value: int) -> None:
+        if self.remote_count <= 0:
+            return
+        self.buffer[self.remote_address % BUFFER_SIZE] = value & 0xFF
+        self.remote_address += 1
+        self.remote_count -= 1
+        if self.remote_count == 0:
+            self.page0["isr"] |= 0x40
+
+    # -- I/O ------------------------------------------------------------------
+
+    _PAGE0_READ = [
+        "command", "clda0", "clda1", "bnry", "tsr", "ncr", "fifo", "isr",
+        "crda0", "crda1", "res1", "res2", "rsr", "cntr0", "cntr1", "cntr2",
+    ]
+    _PAGE0_WRITE = [
+        "command", "pstart", "pstop", "bnry", "tpsr", "tbcr0", "tbcr1", "isr",
+        "rsar0", "rsar1", "rbcr0", "rbcr1", "rcr", "tcr", "dcr", "imr",
+    ]
+
+    def io_read(self, address: int, size: int) -> int:
+        offset = address - self.base
+        if offset == 0x10:  # data port
+            if size == 16:
+                low = self._remote_read_byte()
+                high = self._remote_read_byte()
+                return low | (high << 8)
+            return self._remote_read_byte()
+        if offset == 0x1F:  # reset port
+            self.page0["isr"] |= 0x80
+            return 0
+        if offset == 0:
+            return self.command
+        if self.page == 0:
+            name = self._PAGE0_READ[offset] if offset < 16 else None
+            if name == "isr":
+                return self.page0["isr"]
+            if name in ("bnry",):
+                return self.page0["bnry"]
+            if name in ("clda0", "crda0"):
+                return self.remote_address & 0xFF
+            if name in ("clda1", "crda1"):
+                return (self.remote_address >> 8) & 0xFF
+            if name == "tsr":
+                return 0x01  # transmit ok
+            if name == "rsr":
+                return 0x01  # receive ok
+            return 0
+        if self.page == 1:
+            if 1 <= offset <= 6:
+                return self.page1["par"][offset - 1]
+            if offset == 7:
+                return self.page1["curr"]
+            if 8 <= offset <= 15:
+                return self.page1["mar"][offset - 8]
+        return 0
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        offset = address - self.base
+        if offset == 0x10:  # data port
+            if size == 16:
+                self._remote_write_byte(value & 0xFF)
+                self._remote_write_byte((value >> 8) & 0xFF)
+            else:
+                self._remote_write_byte(value)
+            return
+        if offset == 0x1F:
+            self.reset()
+            return
+        if offset == 0:
+            self.command = value & 0xFF
+            if value & (CR_RD_READ | CR_RD_WRITE) and not value & CR_RD_ABORT:
+                self._remote_setup()
+                # Remote reads below address 32 hit the station PROM, as on
+                # a freshly reset card; everything else is packet memory.
+                self.remote_mode = "prom" if self.remote_address < 32 else "buffer"
+            if value & CR_TXP:
+                self.page0["isr"] |= 0x02  # packet transmitted
+            return
+        if self.page == 0 and offset < 16:
+            name = self._PAGE0_WRITE[offset]
+            if name == "isr":
+                self.page0["isr"] &= ~value & 0xFF  # write-1-to-clear
+            else:
+                self.page0[name] = value & 0xFF
+            return
+        if self.page == 1:
+            if 1 <= offset <= 6:
+                self.page1["par"][offset - 1] = value & 0xFF
+            elif offset == 7:
+                self.page1["curr"] = value & 0xFF
+            elif 8 <= offset <= 15:
+                self.page1["mar"][offset - 8] = value & 0xFF

@@ -1,0 +1,89 @@
+"""Intel 82371FB (PIIX) PCI IDE bus-master model.
+
+The bus-master IDE function exposes, per channel, a command register, a
+status register and a 32-bit PRD (physical region descriptor) table
+pointer in I/O space.  The model accepts DMA programming and "completes"
+transfers instantly — enough substrate for the Devil specification and its
+driver examples; the boot-path experiments use PIO, as the paper's 2.2-era
+driver does.
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import Device
+
+# Command register bits.
+BMICOM_START = 0x01
+BMICOM_READ = 0x08  # direction: 1 = device-to-memory
+
+# Status register bits.
+BMISTA_ACTIVE = 0x01
+BMISTA_ERROR = 0x02
+BMISTA_IRQ = 0x04
+BMISTA_DMA0_CAP = 0x20
+BMISTA_DMA1_CAP = 0x40
+
+
+class BusMaster82371FB(Device):
+    name = "piix-bm"
+
+    def __init__(self, base: int = 0xF000):
+        self.base = base
+        self.reset()
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(self.base, 16)]  # two channels x 8 bytes
+
+    def reset(self) -> None:
+        self.command = [0, 0]
+        self.status = [BMISTA_DMA0_CAP | BMISTA_DMA1_CAP] * 2
+        self.prd = [0, 0]
+        self.transfers: list[tuple[int, int, int]] = []  # (channel, prd, dir)
+
+    def _channel(self, offset: int) -> int:
+        return 0 if offset < 8 else 1
+
+    def io_read(self, address: int, size: int) -> int:
+        offset = address - self.base
+        channel = self._channel(offset)
+        reg = offset & 0x7
+        if reg == 0:
+            return self.command[channel]
+        if reg == 2:
+            return self.status[channel]
+        if reg == 4:
+            if size == 32:
+                return self.prd[channel]
+            return self.prd[channel] & 0xFF
+        if reg in (5, 6, 7):
+            return (self.prd[channel] >> ((reg - 4) * 8)) & 0xFF
+        return 0
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        offset = address - self.base
+        channel = self._channel(offset)
+        reg = offset & 0x7
+        if reg == 0:
+            starting = bool(value & BMICOM_START) and not (
+                self.command[channel] & BMICOM_START
+            )
+            self.command[channel] = value & 0xFF
+            if starting:
+                # Instant-completion DMA: record and raise IRQ+done.
+                self.transfers.append(
+                    (channel, self.prd[channel], (value >> 3) & 1)
+                )
+                self.status[channel] |= BMISTA_IRQ
+                self.status[channel] &= ~BMISTA_ACTIVE & 0xFF
+        elif reg == 2:
+            # Write-1-to-clear for IRQ and ERROR bits.
+            self.status[channel] &= ~(value & (BMISTA_IRQ | BMISTA_ERROR)) & 0xFF
+        elif reg == 4:
+            if size == 32:
+                self.prd[channel] = value & 0xFFFFFFFC
+            else:
+                self.prd[channel] = (self.prd[channel] & ~0xFF) | (value & 0xFC)
+        elif reg in (5, 6, 7):
+            shift = (reg - 4) * 8
+            mask = ~(0xFF << shift) & 0xFFFFFFFF
+            self.prd[channel] = (self.prd[channel] & mask) | ((value & 0xFF) << shift)

@@ -1,0 +1,102 @@
+"""3Dlabs Permedia 2 graphics card model (port-mapped projection).
+
+The real Permedia 2 is memory-mapped; Devil abstracts the mapping behind
+ports, so the model exposes the control space through an index/data window
+(the idiom its DOS-era VGA compatibility uses) plus the RAMDAC's palette
+autoincrement registers — the two access patterns its Devil specification
+exercises (indexed access pre-actions and sequenced palette writes).
+"""
+
+from __future__ import annotations
+
+from repro.hw.device import Device
+
+#: Well-known control registers reachable through the index window.
+REG_RESET_STATUS = 0x00
+REG_CHIP_CONFIG = 0x02
+REG_FIFO_SPACE = 0x03
+REG_VIDEO_CONTROL = 0x10
+REG_SCREEN_BASE = 0x11
+REG_SCREEN_STRIDE = 0x12
+REG_HTOTAL = 0x13
+REG_VTOTAL = 0x14
+
+CHIP_ID = 0x3D
+
+FIFO_DEPTH = 32
+
+
+class Permedia2(Device):
+    name = "permedia2"
+
+    def __init__(self, base: int = 0x3C0):
+        self.base = base
+        self.reset()
+
+    def port_ranges(self) -> list[tuple[int, int]]:
+        return [(self.base, 16)]
+
+    def reset(self) -> None:
+        self.index = 0
+        self.registers = {
+            REG_RESET_STATUS: 0,
+            REG_CHIP_CONFIG: CHIP_ID,
+            REG_FIFO_SPACE: FIFO_DEPTH,
+            REG_VIDEO_CONTROL: 0,
+            REG_SCREEN_BASE: 0,
+            REG_SCREEN_STRIDE: 0,
+            REG_HTOTAL: 0,
+            REG_VTOTAL: 0,
+        }
+        self.palette = [(0, 0, 0)] * 256
+        self.palette_index = 0
+        self.palette_phase = 0  # 0=r 1=g 2=b
+        self.palette_stage = [0, 0, 0]
+        self.fifo_used = 0
+
+    # -- I/O ---------------------------------------------------------------
+
+    def io_read(self, address: int, size: int) -> int:
+        offset = address - self.base
+        if offset == 0:  # index register
+            return self.index
+        if offset == 1:  # data register
+            if self.index == REG_FIFO_SPACE:
+                return FIFO_DEPTH - self.fifo_used
+            return self.registers.get(self.index, 0) & 0xFF
+        if offset == 4:  # palette read index
+            return self.palette_index
+        if offset == 5:  # palette data (autoincrement through r,g,b)
+            value = self.palette[self.palette_index][self.palette_phase]
+            self._advance_palette()
+            return value
+        if offset == 8:  # chip id low
+            return CHIP_ID
+        return 0xFF
+
+    def io_write(self, address: int, value: int, size: int) -> None:
+        offset = address - self.base
+        if offset == 0:
+            self.index = value & 0xFF
+        elif offset == 1:
+            if self.index == REG_RESET_STATUS and value & 0x80:
+                self.reset()
+                return
+            self.registers[self.index] = value & 0xFF
+            self.fifo_used = min(FIFO_DEPTH, self.fifo_used + 1)
+        elif offset == 4:
+            self.palette_index = value & 0xFF
+            self.palette_phase = 0
+        elif offset == 5:
+            self.palette_stage[self.palette_phase] = value & 0xFF
+            if self.palette_phase == 2:
+                self.palette[self.palette_index] = tuple(self.palette_stage)
+            self._advance_palette()
+        elif offset == 8 and value == 0:
+            self.fifo_used = 0  # host-visible FIFO drain strobe
+
+    def _advance_palette(self) -> None:
+        self.palette_phase += 1
+        if self.palette_phase == 3:
+            self.palette_phase = 0
+            self.palette_index = (self.palette_index + 1) & 0xFF

@@ -1,0 +1,13 @@
+"""Simulated Linux boot harness (paper §4.2).
+
+Boots a compiled driver program on a :class:`~repro.hw.machine.Machine`:
+runs the driver's initialisation, reads the partition table, mounts the
+toy root filesystem (checksummed), updates the superblock mount count, and
+classifies the run into the paper's outcome classes.
+"""
+
+from repro.kernel.outcomes import BootOutcome, BootReport
+from repro.kernel.kernel import DRIVER_ABI, boot
+from repro.kernel.fsck import FsckResult, fsck
+
+__all__ = ["BootOutcome", "BootReport", "DRIVER_ABI", "FsckResult", "boot", "fsck"]

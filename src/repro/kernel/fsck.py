@@ -1,0 +1,99 @@
+"""Post-boot damage assessment.
+
+After a completed boot the harness compares the disk against its boot-time
+snapshot.  The only legitimate difference is the superblock mount-count
+bump the kernel itself performs; anything else is the paper's "Damaged
+boot" — the class whose worst members forced the authors to reformat
+their disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.diskimage import (
+    DiskImage,
+    MBR_SIGNATURE,
+    PARTITION_ENTRY_OFFSET,
+    SUPERBLOCK_MAGIC,
+)
+from repro.hw.machine import Machine
+
+MOUNT_COUNT_OFFSET = 12
+
+
+@dataclass
+class FsckResult:
+    damaged: bool
+    detail: str = ""
+    dirty_lbas: list[int] = field(default_factory=list)
+
+
+def partition_start(disk: DiskImage) -> int | None:
+    """Parse the MBR for the first partition's start LBA."""
+    mbr = disk.read_sector(0)
+    if mbr[510] | (mbr[511] << 8) != MBR_SIGNATURE:
+        return None
+    entry = PARTITION_ENTRY_OFFSET
+    return int.from_bytes(mbr[entry + 8 : entry + 12], "little")
+
+
+def read_mount_count(disk: DiskImage) -> int | None:
+    start = partition_start(disk)
+    if start is None or start >= disk.sector_count:
+        return None
+    superblock = disk.read_sector(start)
+    if superblock[0:4] != SUPERBLOCK_MAGIC:
+        return None
+    return int.from_bytes(
+        superblock[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4], "little"
+    )
+
+
+def fsck(machine: Machine, mounted: bool = True) -> FsckResult:
+    """Compare the disk with its snapshot, tolerating only the mount bump.
+
+    ``mounted=False`` (boot failed before the mount-count update) demands
+    a byte-identical disk.
+    """
+    if machine.disk is None or machine.pristine_disk is None:
+        return FsckResult(damaged=False, detail="no disk attached")
+
+    diff = machine.disk_diff()
+    if not diff:
+        # A silently-dropped mount-count update is *not* visible damage —
+        # it is exactly the kind of latent bug the paper's "Boot" class
+        # captures.
+        return FsckResult(damaged=False)
+
+    start = partition_start(machine.pristine_disk)
+    if not mounted or start is None:
+        return FsckResult(
+            damaged=True,
+            detail=f"{len(diff)} sector(s) altered",
+            dirty_lbas=diff,
+        )
+
+    if diff != [start]:
+        return FsckResult(
+            damaged=True,
+            detail=f"{len(diff)} sector(s) altered beyond the superblock",
+            dirty_lbas=[lba for lba in diff if lba != start],
+        )
+
+    before = machine.pristine_disk.read_sector(start)
+    after = machine.disk.read_sector(start)
+    expected = bytearray(before)
+    count = int.from_bytes(
+        before[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4], "little"
+    )
+    expected[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4] = (count + 1).to_bytes(
+        4, "little"
+    )
+    if after != bytes(expected):
+        return FsckResult(
+            damaged=True,
+            detail="superblock altered beyond the mount count",
+            dirty_lbas=[start],
+        )
+    return FsckResult(damaged=False)

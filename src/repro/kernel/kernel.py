@@ -1,0 +1,185 @@
+"""The boot sequence.
+
+The kernel side is trusted Python (mutations never touch it); the driver
+side is mini-C.  Drivers implement the three-function ABI below; the boot
+sequence then mirrors what a 2001 Linux kernel does between "ide: probing"
+and "VFS: mounted root":
+
+1. ``ide_init()`` — reset/probe/identify; returns the drive's sector count
+   (negative = no drive);
+2. read LBA 0 through ``ide_read``, parse the partition table;
+3. read the superblock, walk the file table, verify every file checksum
+   (the "mount");
+4. bump the superblock mount count through ``ide_write`` and read it back
+   — the one legitimate disk write of a boot, which is what gives write-
+   path mutants the chance to destroy the disk, as two of the paper's
+   mutants famously did.
+
+Failures raise :class:`KernelPanic` (the paper's "Halt"); stray bus
+accesses, watchdog expiry and Devil assertions surface as their own
+outcome classes via the exception types of `repro.minic.errors`.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.hw.diskimage import (
+    MBR_SIGNATURE,
+    PARTITION_ENTRY_OFFSET,
+    SECTOR_SIZE,
+    SUPERBLOCK_MAGIC,
+    bytes_to_words,
+    words_to_bytes,
+)
+from repro.hw.machine import Machine
+from repro.kernel.fsck import MOUNT_COUNT_OFFSET, fsck
+from repro.kernel.outcomes import BootOutcome, BootReport
+from repro.minic.ctypes import U16
+from repro.minic.errors import (
+    DevilAssertion,
+    KernelPanic,
+    MachineFault,
+    StepBudgetExceeded,
+)
+from repro.minic.interp import Interpreter
+from repro.minic.program import CompiledProgram
+from repro.minic.values import CArray, CPointer
+
+#: Functions a boot-capable driver must define.
+DRIVER_ABI = ("ide_init", "ide_read", "ide_write")
+
+#: Default watchdog: generous against the ~60k-step clean boot.
+DEFAULT_STEP_BUDGET = 1_500_000
+
+MAX_FILES = 64
+
+
+class _KernelContext:
+    """Driver calls + sector marshalling for one boot."""
+
+    def __init__(self, interp: Interpreter):
+        self.interp = interp
+
+    def _call_checked(self, name: str, *args) -> int:
+        result = self.interp.call(name, *args)
+        return int(result) if result is not None else 0
+
+    def init_driver(self) -> int:
+        for name in DRIVER_ABI:
+            if not self.interp.has_function(name):
+                raise KernelPanic(f"ide: driver lacks required entry {name!r}")
+        return self._call_checked("ide_init")
+
+    #: Sector buffers carry slack: a driver overrunning by a few words
+    #: scribbles adjacent kernel memory (silently, as on real hardware)
+    #: instead of faulting; only a far overrun crashes.
+    BUFFER_SLACK = 256
+
+    def read_sector(self, lba: int) -> bytes:
+        array = CArray.zeroed(U16, 256 + self.BUFFER_SLACK)
+        status = self._call_checked("ide_read", lba, CPointer(array, 0), 256)
+        if status != 0:
+            raise KernelPanic(f"ide: read error {status} at sector {lba}")
+        return words_to_bytes([int(word) for word in array.values[:256]])
+
+    def write_sector(self, lba: int, data: bytes) -> None:
+        words = bytes_to_words(data) + [0] * self.BUFFER_SLACK
+        array = CArray(U16, words)
+        status = self._call_checked("ide_write", lba, CPointer(array, 0), 256)
+        if status != 0:
+            raise KernelPanic(f"ide: write error {status} at sector {lba}")
+
+
+def boot(
+    program: CompiledProgram,
+    machine: Machine,
+    step_budget: int = DEFAULT_STEP_BUDGET,
+) -> BootReport:
+    """Boot a compiled driver program on a machine and classify the run."""
+    mounted = False
+    try:
+        interp = Interpreter(program, machine.bus, step_budget=step_budget)
+        context = _KernelContext(interp)
+        _boot_sequence(context, machine)
+        mounted = True
+    except DevilAssertion as event:
+        return _report(BootOutcome.RUN_TIME_CHECK, str(event), machine, interp)
+    except KernelPanic as event:
+        return _report(BootOutcome.HALT, str(event), machine, interp)
+    except MachineFault as event:
+        return _report(BootOutcome.CRASH, str(event), machine, interp)
+    except StepBudgetExceeded as event:
+        return _report(BootOutcome.INFINITE_LOOP, str(event), machine, interp)
+
+    check = fsck(machine, mounted=mounted)
+    if check.damaged:
+        return _report(BootOutcome.DAMAGED_BOOT, check.detail, machine, interp)
+    return _report(BootOutcome.BOOT, "clean boot", machine, interp)
+
+
+def _report(
+    outcome: BootOutcome, detail: str, machine: Machine, interp: Interpreter
+) -> BootReport:
+    return BootReport(
+        outcome=outcome,
+        detail=detail,
+        steps=interp.steps,
+        coverage=set(interp.coverage),
+        log=list(interp.log),
+        disk_diff=machine.disk_diff(),
+    )
+
+
+def _boot_sequence(context: _KernelContext, machine: Machine) -> None:
+    sectors = context.init_driver()
+    if sectors <= 0:
+        raise KernelPanic(f"ide: no drive found (init returned {sectors})")
+
+    # Partition scan.
+    mbr = context.read_sector(0)
+    if mbr[510] | (mbr[511] << 8) != MBR_SIGNATURE:
+        raise KernelPanic("ide: invalid partition table")
+    entry = PARTITION_ENTRY_OFFSET
+    part_start = int.from_bytes(mbr[entry + 8 : entry + 12], "little")
+    part_size = int.from_bytes(mbr[entry + 12 : entry + 16], "little")
+    if part_start == 0 or part_size == 0:
+        raise KernelPanic("ide: empty partition table")
+    if part_start + part_size > sectors:
+        raise KernelPanic("ide: partition exceeds reported drive capacity")
+
+    # Mount: superblock.
+    superblock = context.read_sector(part_start)
+    if superblock[0:4] != SUPERBLOCK_MAGIC:
+        raise KernelPanic("VFS: unable to mount root fs (bad superblock magic)")
+    file_count = int.from_bytes(superblock[8:12], "little")
+    if not 0 < file_count <= MAX_FILES:
+        raise KernelPanic("VFS: unable to mount root fs (corrupt file table)")
+
+    # Mount: verify every file's checksum.
+    offset = 16
+    for index in range(file_count):
+        start = int.from_bytes(superblock[offset : offset + 4], "little")
+        length = int.from_bytes(superblock[offset + 4 : offset + 8], "little")
+        expected_crc = int.from_bytes(superblock[offset + 8 : offset + 12], "little")
+        offset += 12
+        if length == 0 or length > 64:
+            raise KernelPanic(f"RFS: file {index} has corrupt extent")
+        content = bytearray()
+        for sector in range(start, start + length):
+            content.extend(context.read_sector(sector))
+        if zlib.crc32(bytes(content)) & 0xFFFFFFFF != expected_crc:
+            raise KernelPanic(f"RFS: checksum error in file {index}")
+
+    # Mount write-back: bump the mount count.  Deliberately *not* read
+    # back and verified — a real mount doesn't, and this is the window
+    # through which write-path mutants damage the disk undetected, as the
+    # paper's two disk-destroying mutants did.
+    updated = bytearray(superblock)
+    count = int.from_bytes(
+        superblock[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4], "little"
+    )
+    updated[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4] = (count + 1).to_bytes(
+        4, "little"
+    )
+    context.write_sector(part_start, bytes(updated))

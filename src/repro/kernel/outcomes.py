@@ -1,0 +1,72 @@
+"""Outcome classes of a mutant run (paper §4.2, cases 1-7 + compile time).
+
+Classification precedence: compile beats run; within a run the first
+terminating event wins; damage is assessed only for completed boots and
+dead code only for undamaged completed boots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BootOutcome(enum.Enum):
+    #: The front end rejected the mutant (Devil checker or mini-C sema).
+    COMPILE_CHECK = "compile-time check"
+    #: Case 1 — a Devil debug assertion fired; source line reported.
+    RUN_TIME_CHECK = "run-time check"
+    #: Case 2 — boot was clean and the mutated line never executed.
+    DEAD_CODE = "dead code"
+    #: Case 3 — boot completed, mutation executed, nothing visible: the
+    #: worst case (a latent bug).
+    BOOT = "boot"
+    #: Case 4 — machine-level fault, nothing printed.
+    CRASH = "crash"
+    #: Case 5 — the watchdog expired.
+    INFINITE_LOOP = "infinite loop"
+    #: Case 6 — kernel panic with a message.
+    HALT = "halt"
+    #: Case 7 — boot completed but the disk was altered.
+    DAMAGED_BOOT = "damaged boot"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Outcomes that count as "detected" in the paper's headline numbers.
+DETECTED_OUTCOMES = frozenset(
+    {BootOutcome.COMPILE_CHECK, BootOutcome.RUN_TIME_CHECK}
+)
+
+#: Outcomes where the developer at least knows something is wrong.
+OBSERVABLE_OUTCOMES = frozenset(
+    {
+        BootOutcome.COMPILE_CHECK,
+        BootOutcome.RUN_TIME_CHECK,
+        BootOutcome.CRASH,
+        BootOutcome.INFINITE_LOOP,
+        BootOutcome.HALT,
+        BootOutcome.DAMAGED_BOOT,
+    }
+)
+
+
+@dataclass
+class BootReport:
+    """Everything observed while booting one kernel."""
+
+    outcome: BootOutcome
+    detail: str = ""
+    steps: int = 0
+    coverage: set[tuple[str, int]] = field(default_factory=set)
+    log: list[str] = field(default_factory=list)
+    disk_diff: list[int] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome in (BootOutcome.BOOT, BootOutcome.DAMAGED_BOOT)
+
+    def __str__(self) -> str:
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.outcome}{detail}"

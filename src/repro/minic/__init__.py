@@ -1,0 +1,40 @@
+"""mini-C: the C substrate of the reproduction.
+
+The paper compiles driver mutants with gcc and boots them inside Linux;
+this package is the equivalent gate in pure Python:
+
+* a line-based preprocessor (`preprocessor`) with object- and function-like
+  macros, ``#include`` from a virtual file registry, ``__FILE__`` and
+  ``__LINE__``;
+* a lexer and recursive-descent parser (`lexer`, `parser`) for the C subset
+  used by Linux-style hardware operating code *and* by the stubs the Devil
+  compiler generates (structs, typedefs, ternary and comma operators,
+  ``switch``, arrays, ``static inline`` functions);
+* a semantic analyser (`sema`) implementing the C type rules that produce
+  the paper's "Compile-time check" row: struct type mismatches, lvalue
+  violations, arity/argument errors, const violations, int/pointer
+  confusion;
+* a tree-walking interpreter (`interp`) with C integer semantics, a step
+  budget (the "Infinite loop" watchdog), statement coverage (the "Dead
+  code" classifier) and port-I/O builtins wired to simulated hardware.
+"""
+
+from repro.minic.program import CompiledProgram, SourceFile, compile_program
+from repro.minic.errors import (
+    DevilAssertion,
+    KernelPanic,
+    MachineFault,
+    StepBudgetExceeded,
+)
+from repro.minic.interp import Interpreter
+
+__all__ = [
+    "CompiledProgram",
+    "DevilAssertion",
+    "Interpreter",
+    "KernelPanic",
+    "MachineFault",
+    "SourceFile",
+    "StepBudgetExceeded",
+    "compile_program",
+]

@@ -1,0 +1,267 @@
+"""Abstract syntax tree for mini-C.
+
+Nodes are plain mutable dataclasses; `repro.minic.sema` annotates
+expressions with their computed type (``ctype``) and statements keep an
+``origins`` set — every ``(file, line)`` a statement's tokens came from,
+including macro definition sites.  The interpreter unions ``origins`` of
+executed statements to produce the coverage set used by the paper's
+dead-code classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.diagnostics import SourceLocation
+from repro.minic.ctypes import CType
+
+Origins = frozenset[tuple[str, int]]
+
+EMPTY_ORIGINS: Origins = frozenset()
+
+
+@dataclass
+class Node:
+    location: SourceLocation = field(default_factory=SourceLocation, kw_only=True)
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    ctype: CType | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+    unsigned: bool = False
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr | None = None
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class Member(Expr):
+    base: Expr | None = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Postfix(Expr):
+    op: str = ""  # "++" or "--"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # "=", "+=", "&=", ...
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class Comma(Expr):
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+# -- statements -------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    origins: Origins = field(default=EMPTY_ORIGINS, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    """One local variable declaration (possibly one of several per line)."""
+
+    name: str = ""
+    var_type: CType | None = None
+    init: "Expr | InitList | None" = None
+    const: bool = False
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    otherwise: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None  # LocalDecl / ExprStmt / EmptyStmt
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class CaseGroup(Node):
+    """One run of labels and the statements under them (fallthrough kept)."""
+
+    values: list[int | None] = field(default_factory=list)  # None = default
+    body: list[Stmt] = field(default_factory=list)
+    origins: Origins = EMPTY_ORIGINS
+
+
+@dataclass
+class Switch(Stmt):
+    expr: Expr | None = None
+    groups: list[CaseGroup] = field(default_factory=list)
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+# -- top-level declarations ---------------------------------------------------
+
+
+@dataclass
+class InitList(Node):
+    """Brace initializer ``{ a, b, c }`` for structs and arrays."""
+
+    items: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class TopDecl(Node):
+    origins: Origins = field(default=EMPTY_ORIGINS, kw_only=True)
+
+
+@dataclass
+class StructDef(TopDecl):
+    name: str = ""
+    # fields resolved into the StructType registry by the parser
+
+
+@dataclass
+class TypedefDecl(TopDecl):
+    name: str = ""
+    target: CType | None = None
+
+
+@dataclass
+class GlobalDecl(TopDecl):
+    name: str = ""
+    var_type: CType | None = None
+    init: Expr | InitList | None = None
+    const: bool = False
+    static: bool = False
+    extern: bool = False
+
+
+@dataclass
+class Param(Node):
+    name: str = ""
+    ctype: CType | None = None
+
+
+@dataclass
+class FuncDecl(TopDecl):
+    name: str = ""
+    return_type: CType | None = None
+    params: list[Param] = field(default_factory=list)
+    variadic: bool = False
+    body: Block | None = None  # None = prototype
+    static: bool = False
+    inline: bool = False
+
+
+@dataclass
+class TranslationUnit(Node):
+    decls: list[TopDecl] = field(default_factory=list)

@@ -1,0 +1,176 @@
+"""Kernel-environment builtins of the mini-C machine.
+
+These are the primitives a Linux driver of the paper's era leans on:
+port I/O (``inb``/``outb`` families, including the 16-bit string forms the
+IDE driver uses for sector transfers), ``panic``/``printk``, ``strcmp``,
+delays — plus ``dil_panic``, the distinguished assertion sink the Devil
+debug stubs call so the harness can tell a "Run-time check" (Devil
+assertion) from a "Halt" (ordinary kernel panic).
+
+Argument order matches Linux: ``outb(value, port)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.minic.errors import DevilAssertion, KernelPanic, MachineFault
+from repro.minic.values import CPointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minic.interp import Interpreter
+
+
+def c_format(fmt: str, args: list) -> str:
+    """Minimal printk-style formatting: %s %d %u %x %c %%."""
+    result: list[str] = []
+    arg_index = 0
+    index = 0
+    while index < len(fmt):
+        char = fmt[index]
+        if char != "%" or index + 1 >= len(fmt):
+            result.append(char)
+            index += 1
+            continue
+        spec = fmt[index + 1]
+        index += 2
+        if spec == "%":
+            result.append("%")
+            continue
+        if arg_index >= len(args):
+            result.append(f"%{spec}")
+            continue
+        value = args[arg_index]
+        arg_index += 1
+        if spec == "s":
+            result.append(str(value) if value is not None else "(null)")
+        elif spec in ("d", "u"):
+            result.append(str(_formattable_int(value)))
+        elif spec == "x":
+            result.append(f"{_formattable_int(value) & 0xFFFFFFFF:x}")
+        elif spec == "c":
+            result.append(chr(_formattable_int(value) & 0xFF))
+        else:
+            result.append(f"%{spec}")
+    return "".join(result)
+
+
+def _formattable_int(value) -> int:
+    """Garbage in, garbage out — like printk with a mismatched format."""
+    if isinstance(value, int):
+        return value
+    return 0xDEADBEEF
+
+
+def _as_pointer(value, name: str) -> CPointer:
+    if isinstance(value, CPointer):
+        return value
+    raise MachineFault(f"{name}: bad buffer argument")
+
+
+def builtin_inb(interp: "Interpreter", args: list) -> int:
+    return interp.bus_read(int(args[0]), 8)
+
+
+def builtin_inw(interp: "Interpreter", args: list) -> int:
+    return interp.bus_read(int(args[0]), 16)
+
+
+def builtin_inl(interp: "Interpreter", args: list) -> int:
+    return interp.bus_read(int(args[0]), 32)
+
+
+def builtin_outb(interp: "Interpreter", args: list) -> None:
+    interp.bus_write(int(args[1]), int(args[0]) & 0xFF, 8)
+
+
+def builtin_outw(interp: "Interpreter", args: list) -> None:
+    interp.bus_write(int(args[1]), int(args[0]) & 0xFFFF, 16)
+
+
+def builtin_outl(interp: "Interpreter", args: list) -> None:
+    interp.bus_write(int(args[1]), int(args[0]) & 0xFFFFFFFF, 32)
+
+
+def builtin_insw(interp: "Interpreter", args: list) -> None:
+    port, buffer, count = int(args[0]), _as_pointer(args[1], "insw"), int(args[2])
+    for index in range(count):
+        buffer.store(interp.bus_read(port, 16), index)
+        interp.consume_steps(1)
+
+
+def builtin_outsw(interp: "Interpreter", args: list) -> None:
+    port, buffer, count = int(args[0]), _as_pointer(args[1], "outsw"), int(args[2])
+    for index in range(count):
+        interp.bus_write(port, int(buffer.load(index)) & 0xFFFF, 16)
+        interp.consume_steps(1)
+
+
+def builtin_insl(interp: "Interpreter", args: list) -> None:
+    port, buffer, count = int(args[0]), _as_pointer(args[1], "insl"), int(args[2])
+    for index in range(count):
+        buffer.store(interp.bus_read(port, 32), index)
+        interp.consume_steps(1)
+
+
+def builtin_outsl(interp: "Interpreter", args: list) -> None:
+    port, buffer, count = int(args[0]), _as_pointer(args[1], "outsl"), int(args[2])
+    for index in range(count):
+        interp.bus_write(port, int(buffer.load(index)) & 0xFFFFFFFF, 32)
+        interp.consume_steps(1)
+
+
+def builtin_panic(interp: "Interpreter", args: list) -> int:
+    message = c_format(str(args[0]), args[1:])
+    raise KernelPanic(message)
+
+
+def builtin_dil_panic(interp: "Interpreter", args: list) -> int:
+    message = c_format(str(args[0]), args[1:])
+    raise DevilAssertion(message)
+
+
+def builtin_printk(interp: "Interpreter", args: list) -> int:
+    message = c_format(str(args[0]), args[1:])
+    interp.log.append(message)
+    return len(message)
+
+
+def builtin_strcmp(interp: "Interpreter", args: list) -> int:
+    left, right = args[0], args[1]
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise MachineFault("strcmp: wild or null pointer")
+    left_s, right_s = str(left), str(right)
+    if left_s == right_s:
+        return 0
+    return -1 if left_s < right_s else 1
+
+
+def builtin_udelay(interp: "Interpreter", args: list) -> None:
+    interp.time_us += int(args[0])
+    interp.consume_steps(2)
+
+
+def builtin_mdelay(interp: "Interpreter", args: list) -> None:
+    interp.time_us += int(args[0]) * 1000
+    interp.consume_steps(2)
+
+
+BUILTIN_IMPLS = {
+    "inb": builtin_inb,
+    "inw": builtin_inw,
+    "inl": builtin_inl,
+    "outb": builtin_outb,
+    "outw": builtin_outw,
+    "outl": builtin_outl,
+    "insw": builtin_insw,
+    "outsw": builtin_outsw,
+    "insl": builtin_insl,
+    "outsl": builtin_outsl,
+    "panic": builtin_panic,
+    "dil_panic": builtin_dil_panic,
+    "printk": builtin_printk,
+    "strcmp": builtin_strcmp,
+    "udelay": builtin_udelay,
+    "mdelay": builtin_mdelay,
+}

@@ -1,0 +1,177 @@
+"""The mini-C type model.
+
+Nominal struct typing is the load-bearing part: the Devil debug stubs
+represent each enum type as a distinct ``struct`` precisely because the C
+compiler only raises type errors for incorrectly-used structures
+(paper §2.3).  ``repro.minic.sema`` enforces the same rule here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class CType:
+    """Base class for mini-C types."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntCType, PointerType))
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class IntCType(CType):
+    name: str
+    width: int
+    signed: bool
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.width - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        if self.signed:
+            return (1 << (self.width - 1)) - 1
+        return (1 << self.width) - 1
+
+    def wrap(self, value: int) -> int:
+        """Reduce a Python int to this type's value range (C wraparound)."""
+        value &= (1 << self.width) - 1
+        if self.signed and value >= (1 << (self.width - 1)):
+            value -= 1 << self.width
+        return value
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def describe(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    pointee: CType
+    const_pointee: bool = False
+
+    def describe(self) -> str:
+        const = "const " if self.const_pointee else ""
+        return f"{const}{self.pointee.describe()} *"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    length: int | None = None
+
+    def describe(self) -> str:
+        size = "" if self.length is None else str(self.length)
+        return f"{self.element.describe()}[{size}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    ctype: CType
+
+
+@dataclass
+class StructType(CType):
+    """Nominal struct type; fields may be filled in after first reference."""
+
+    name: str
+    fields: list[StructField] = field(default_factory=list)
+    defined: bool = False
+
+    def field_named(self, name: str) -> StructField | None:
+        for entry in self.fields:
+            if entry.name == name:
+                return entry
+        return None
+
+    def describe(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:  # nominal identity
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    return_type: CType
+    params: tuple[CType, ...]
+    variadic: bool = False
+
+    def describe(self) -> str:
+        params = ", ".join(p.describe() for p in self.params)
+        if self.variadic:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.return_type.describe()} (*)({params})"
+
+
+# -- canonical instances -------------------------------------------------------
+
+VOID = VoidType()
+CHAR = IntCType("char", 8, signed=True)
+S8 = IntCType("s8", 8, signed=True)
+U8 = IntCType("u8", 8, signed=False)
+S16 = IntCType("s16", 16, signed=True)
+U16 = IntCType("u16", 16, signed=False)
+S32 = IntCType("int", 32, signed=True)
+U32 = IntCType("u32", 32, signed=False)
+
+#: Typedefs every program starts with (the kernel environment's integer
+#: vocabulary — in real Linux these come from <linux/types.h>).
+BUILTIN_TYPEDEFS: dict[str, CType] = {
+    "u8": U8,
+    "u16": U16,
+    "u32": U32,
+    "s8": S8,
+    "s16": S16,
+    "s32": IntCType("s32", 32, signed=True),
+    "size_t": U32,
+}
+
+CONST_CHAR_PTR = PointerType(CHAR, const_pointee=True)
+
+
+def promote(ctype: IntCType) -> IntCType:
+    """C integer promotion: anything narrower than int becomes int."""
+    if ctype.width < 32:
+        return S32
+    return ctype
+
+
+def usual_arithmetic(left: IntCType, right: IntCType) -> IntCType:
+    """Usual arithmetic conversions for 32-bit-int mini-C."""
+    left_p, right_p = promote(left), promote(right)
+    if not left_p.signed or not right_p.signed:
+        return U32
+    return S32
+
+
+def is_integer(ctype: CType) -> bool:
+    return isinstance(ctype, IntCType)
+
+
+def is_pointerish(ctype: CType) -> bool:
+    return isinstance(ctype, (PointerType, ArrayType))
+
+
+def decay(ctype: CType) -> CType:
+    """Array-to-pointer decay in value contexts."""
+    if isinstance(ctype, ArrayType):
+        return PointerType(ctype.element)
+    return ctype

@@ -1,0 +1,47 @@
+"""Run-time events of the mini-C machine.
+
+These exceptions are the raw signals the kernel harness maps onto the
+paper's §4.2 outcome classes (Run-time check, Crash, Infinite loop, Halt).
+"""
+
+from __future__ import annotations
+
+
+class MiniCRuntimeError(Exception):
+    """Base class for events raised while interpreting mini-C."""
+
+
+class KernelPanic(MiniCRuntimeError):
+    """``panic()`` was called — the paper's "Halt" outcome."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class DevilAssertion(MiniCRuntimeError):
+    """``dil_panic()`` fired from a generated debug stub — "Run-time check"."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class MachineFault(MiniCRuntimeError):
+    """An un-survivable machine-level fault — the paper's "Crash".
+
+    Raised for stray port I/O (bus fault), division by zero, null
+    dereference and out-of-bounds array access.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class StepBudgetExceeded(MiniCRuntimeError):
+    """The watchdog expired — the paper's "Infinite loop"."""
+
+
+class InterpreterBug(Exception):
+    """An internal invariant of the interpreter failed (never an outcome)."""

@@ -1,0 +1,178 @@
+"""Lexer for mini-C.
+
+Operates on a single *logical line* at a time (the preprocessor drives it
+line by line so that directives and ``__LINE__`` behave), or on whole text
+for direct use in tests.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import CompileError, Diagnostic, Severity, SourceLocation
+from repro.minic.tokens import KEYWORDS, PUNCTUATION, CToken, CTokenKind
+
+
+class CLexError(CompileError):
+    """A character sequence that is not part of mini-C."""
+
+
+def _error(message: str, location: SourceLocation) -> CLexError:
+    return CLexError([Diagnostic(Severity.ERROR, "c-lex", message, location)])
+
+
+def lex_line(text: str, line: int, filename: str) -> list[CToken]:
+    """Tokenize one logical line (no newline handling, no comments).
+
+    The preprocessor strips comments before calling this.
+    """
+    tokens: list[CToken] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        char = text[pos]
+        if char in " \t\r\f\v":
+            pos += 1
+            continue
+        column = pos + 1
+        location = SourceLocation(line, column, filename)
+
+        if char.isalpha() or char == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            kind = CTokenKind.KEYWORD if word in KEYWORDS else CTokenKind.IDENT
+            tokens.append(CToken(kind, word, line, column, filename))
+            pos = end
+            continue
+
+        if char.isdigit():
+            end = pos
+            if text.startswith(("0x", "0X"), pos):
+                end = pos + 2
+                while end < length and text[end] in "0123456789abcdefABCDEF":
+                    end += 1
+                if end == pos + 2:
+                    raise _error("hexadecimal literal with no digits", location)
+            else:
+                while end < length and text[end].isdigit():
+                    end += 1
+            while end < length and text[end] in "uUlL":
+                end += 1
+            if end < length and (text[end].isalpha() or text[end] == "_"):
+                raise _error(f"malformed number near {text[pos:end + 1]!r}", location)
+            tokens.append(CToken(CTokenKind.INT, text[pos:end], line, column, filename))
+            pos = end
+            continue
+
+        if char == "'":
+            end = pos + 1
+            while end < length and text[end] != "'":
+                if text[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise _error("unterminated character literal", location)
+            tokens.append(
+                CToken(CTokenKind.CHAR, text[pos : end + 1], line, column, filename)
+            )
+            pos = end + 1
+            continue
+
+        if char == '"':
+            end = pos + 1
+            while end < length and text[end] != '"':
+                if text[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise _error("unterminated string literal", location)
+            tokens.append(
+                CToken(CTokenKind.STRING, text[pos : end + 1], line, column, filename)
+            )
+            pos = end + 1
+            continue
+
+        matched = None
+        for punct in PUNCTUATION:
+            if text.startswith(punct, pos):
+                matched = punct
+                break
+        if matched is None:
+            raise _error(f"unexpected character {char!r}", location)
+        tokens.append(CToken(CTokenKind.PUNCT, matched, line, column, filename))
+        pos += len(matched)
+    return tokens
+
+
+def strip_comments(text: str) -> str:
+    """Replace comments with spaces, preserving line structure."""
+    result: list[str] = []
+    pos = 0
+    length = len(text)
+    state = "code"
+    while pos < length:
+        char = text[pos]
+        nxt = text[pos + 1] if pos + 1 < length else ""
+        if state == "code":
+            if char == "/" and nxt == "/":
+                state = "line"
+                result.append("  ")
+                pos += 2
+            elif char == "/" and nxt == "*":
+                state = "block"
+                result.append("  ")
+                pos += 2
+            elif char == '"':
+                state = "string"
+                result.append(char)
+                pos += 1
+            elif char == "'":
+                state = "char"
+                result.append(char)
+                pos += 1
+            else:
+                result.append(char)
+                pos += 1
+        elif state == "line":
+            if char == "\n":
+                state = "code"
+                result.append(char)
+            else:
+                result.append(" ")
+            pos += 1
+        elif state == "block":
+            if char == "*" and nxt == "/":
+                state = "code"
+                result.append("  ")
+                pos += 2
+            else:
+                result.append(char if char == "\n" else " ")
+                pos += 1
+        elif state == "string":
+            result.append(char)
+            if char == "\\" and nxt:
+                result.append(nxt)
+                pos += 2
+                continue
+            if char == '"':
+                state = "code"
+            pos += 1
+        elif state == "char":
+            result.append(char)
+            if char == "\\" and nxt:
+                result.append(nxt)
+                pos += 2
+                continue
+            if char == "'":
+                state = "code"
+            pos += 1
+    return "".join(result)
+
+
+def tokenize(text: str, filename: str = "<c>") -> list[CToken]:
+    """Tokenize full text (comments stripped); no preprocessing."""
+    tokens: list[CToken] = []
+    for index, line in enumerate(strip_comments(text).splitlines(), start=1):
+        tokens.extend(lex_line(line, index, filename))
+    tokens.append(CToken(CTokenKind.EOF, "", len(text.splitlines()) + 1, 1, filename))
+    return tokens

@@ -1,0 +1,903 @@
+"""Recursive-descent parser for mini-C.
+
+Consumes the preprocessor's token stream and produces a
+:class:`~repro.minic.ast.TranslationUnit`.  The parser owns the classic
+"lexer hack" state: a typedef table (seeded with the kernel integer
+typedefs) and a struct registry, both needed to tell declarations from
+expressions.
+
+Mutants must stay parseable (the §3.1 error model only produces
+syntactically correct programs), so the grammar accepts everything the
+mutation operators can produce — e.g. assignment in conditions, ``|``
+where ``||`` stood, comma expressions — and leaves judgement to `sema`.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import CompileError, Diagnostic, Severity, SourceLocation
+from repro.minic import ast
+from repro.minic.ctypes import (
+    ArrayType,
+    BUILTIN_TYPEDEFS,
+    CHAR,
+    CType,
+    IntCType,
+    PointerType,
+    S16,
+    S32,
+    StructField,
+    StructType,
+    U16,
+    U32,
+    U8,
+    VOID,
+    S8,
+)
+from repro.minic.tokens import (
+    CToken,
+    CTokenKind,
+    is_unsigned_literal,
+    parse_c_char,
+    parse_c_int,
+    parse_c_string,
+)
+
+_TYPE_KEYWORDS = frozenset(
+    {"void", "char", "int", "long", "short", "unsigned", "signed", "struct", "const", "volatile"}
+)
+
+_SPEC_KEYWORDS = frozenset({"static", "extern", "inline", "typedef"})
+
+_ASSIGN_OPS = frozenset(
+    {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+)
+
+#: Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "*": 10, "/": 10, "%": 10,
+    "+": 9, "-": 9,
+    "<<": 8, ">>": 8,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "==": 6, "!=": 6,
+    "&": 5,
+    "^": 4,
+    "|": 3,
+    "&&": 2,
+    "||": 1,
+}
+
+
+class CParseError(CompileError):
+    """Input is not syntactically valid mini-C."""
+
+
+class Parser:
+    def __init__(self, tokens: list[CToken]):
+        if not tokens or tokens[-1].kind is not CTokenKind.EOF:
+            eof_line = tokens[-1].line if tokens else 1
+            tokens = list(tokens) + [
+                CToken(CTokenKind.EOF, "", eof_line, 1, "<c>")
+            ]
+        self.tokens = tokens
+        self.index = 0
+        self.typedefs: dict[str, CType] = dict(BUILTIN_TYPEDEFS)
+        self.structs: dict[str, StructType] = {}
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> CToken:
+        return self.tokens[self.index]
+
+    def _peek(self, ahead: int = 1) -> CToken:
+        return self.tokens[min(self.index + ahead, len(self.tokens) - 1)]
+
+    def _advance(self) -> CToken:
+        token = self.current
+        if token.kind is not CTokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: CToken | None = None) -> CParseError:
+        token = token or self.current
+        found = token.text or "end of input"
+        return CParseError(
+            [
+                Diagnostic(
+                    Severity.ERROR,
+                    "c-parse",
+                    f"{message} (found {found!r})",
+                    token.location,
+                )
+            ]
+        )
+
+    def _expect(self, text: str) -> CToken:
+        if self.current.text != text or self.current.kind not in (
+            CTokenKind.PUNCT,
+            CTokenKind.KEYWORD,
+        ):
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> CToken:
+        if self.current.kind is not CTokenKind.IDENT:
+            raise self._error(f"expected {what}")
+        return self._advance()
+
+    # -- origins ------------------------------------------------------------
+
+    def _origins(self, start: int, end: int | None = None) -> ast.Origins:
+        """Source lines covered by tokens[start:end], macro sites included."""
+        end = self.index if end is None else end
+        lines: set[tuple[str, int]] = set()
+        for token in self.tokens[start:end]:
+            lines.add((token.filename, token.line))
+            if token.macro_file is not None and token.macro_line is not None:
+                lines.add((token.macro_file, token.macro_line))
+        return frozenset(lines)
+
+    # -- type recognition -----------------------------------------------------
+
+    def _starts_type(self, token: CToken) -> bool:
+        if token.kind is CTokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return True
+        return token.kind is CTokenKind.IDENT and token.text in self.typedefs
+
+    def _starts_declaration(self, token: CToken) -> bool:
+        if token.kind is CTokenKind.KEYWORD and token.text in _SPEC_KEYWORDS:
+            return True
+        return self._starts_type(token)
+
+    # -- entry point -------------------------------------------------------------
+
+    def parse_translation_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(location=self.current.location)
+        while self.current.kind is not CTokenKind.EOF:
+            unit.decls.extend(self._parse_top_decl())
+        return unit
+
+    # -- declarations ----------------------------------------------------------
+
+    def _parse_top_decl(self) -> list[ast.TopDecl]:
+        start = self.index
+        location = self.current.location
+
+        specs = self._parse_spec_flags()
+        if self.current.is_keyword("typedef"):
+            self._advance()
+            return [self._parse_typedef(start, location)]
+
+        base, struct_def = self._parse_base_type(allow_body=True)
+
+        # Bare "struct X { ... };" definition.
+        if struct_def is not None and self.current.is_punct(";"):
+            self._advance()
+            return [
+                ast.StructDef(
+                    name=struct_def.name,
+                    location=location,
+                    origins=self._origins(start),
+                )
+            ]
+        if self.current.is_punct(";"):
+            self._advance()
+            return []  # e.g. a stray "int;" — tolerated
+
+        decls: list[ast.TopDecl] = []
+        while True:
+            var_type, name_token, is_function, params, variadic = self._parse_declarator(
+                base
+            )
+            if is_function:
+                func = ast.FuncDecl(
+                    name=name_token.text,
+                    return_type=var_type,
+                    params=params,
+                    variadic=variadic,
+                    static=specs["static"],
+                    inline=specs["inline"],
+                    location=name_token.location,
+                )
+                if self.current.is_punct("{"):
+                    func.origins = self._origins(start)
+                    func.body = self._parse_block()
+                    decls.append(func)
+                    return decls
+                func.origins = self._origins(start)
+                self._expect(";")
+                decls.append(func)
+                return decls
+
+            init: ast.Expr | ast.InitList | None = None
+            if self.current.is_punct("="):
+                self._advance()
+                init = self._parse_initializer()
+            var_type, symbol_const = _apply_leading_const(var_type, specs["const"])
+            decls.append(
+                ast.GlobalDecl(
+                    name=name_token.text,
+                    var_type=var_type,
+                    init=init,
+                    const=symbol_const,
+                    static=specs["static"],
+                    extern=specs["extern"],
+                    location=name_token.location,
+                )
+            )
+            if self.current.is_punct(","):
+                self._advance()
+                continue
+            self._expect(";")
+            break
+        origins = self._origins(start)
+        for decl in decls:
+            decl.origins = origins
+        return decls
+
+    def _parse_spec_flags(self) -> dict[str, bool]:
+        flags = {"static": False, "extern": False, "inline": False, "const": False}
+        while True:
+            token = self.current
+            if token.is_keyword("static"):
+                flags["static"] = True
+            elif token.is_keyword("extern"):
+                flags["extern"] = True
+            elif token.is_keyword("inline"):
+                flags["inline"] = True
+            elif token.is_keyword("const"):
+                flags["const"] = True
+            elif token.is_keyword("volatile"):
+                pass  # accepted and ignored
+            elif token.is_keyword("typedef"):
+                return flags  # caller handles
+            else:
+                return flags
+            if token.is_keyword("typedef"):
+                return flags
+            self._advance()
+
+    def _parse_typedef(self, start: int, location: SourceLocation) -> ast.TopDecl:
+        base, _ = self._parse_base_type(allow_body=True)
+        var_type, name_token, is_function, _, _ = self._parse_declarator(base)
+        if is_function:
+            raise self._error("function typedefs are not supported", name_token)
+        self._expect(";")
+        self.typedefs[name_token.text] = var_type
+        return ast.TypedefDecl(
+            name=name_token.text,
+            target=var_type,
+            location=location,
+            origins=self._origins(start),
+        )
+
+    def _parse_base_type(
+        self, allow_body: bool = False
+    ) -> tuple[CType, StructType | None]:
+        """Parse declaration specifiers' type part (plus trailing quals)."""
+        token = self.current
+
+        if token.is_keyword("struct"):
+            self._advance()
+            name_token = self._expect_ident("struct name")
+            struct = self.structs.get(name_token.text)
+            if struct is None:
+                struct = StructType(name=name_token.text)
+                self.structs[name_token.text] = struct
+            struct_def = None
+            if self.current.is_punct("{"):
+                if not allow_body:
+                    raise self._error("struct body not allowed here")
+                if struct.defined:
+                    raise self._error(
+                        f"struct {struct.name!r} defined twice", name_token
+                    )
+                self._advance()
+                fields: list[StructField] = []
+                while not self.current.is_punct("}"):
+                    field_base, _ = self._parse_base_type()
+                    while True:
+                        field_type, field_name, is_fn, _, _ = self._parse_declarator(
+                            field_base
+                        )
+                        if is_fn:
+                            raise self._error("function fields are not supported")
+                        fields.append(StructField(field_name.text, field_type))
+                        if self.current.is_punct(","):
+                            self._advance()
+                            continue
+                        break
+                    self._expect(";")
+                self._expect("}")
+                struct.fields = fields
+                struct.defined = True
+                struct_def = struct
+            self._consume_quals()
+            return struct, struct_def
+
+        if token.kind is CTokenKind.IDENT and token.text in self.typedefs:
+            self._advance()
+            self._consume_quals()
+            return self.typedefs[token.text], None
+
+        # Built-in combinations: collect the keyword multiset.
+        words: list[str] = []
+        while self.current.kind is CTokenKind.KEYWORD and self.current.text in (
+            "void", "char", "int", "long", "short", "unsigned", "signed",
+            "const", "volatile",
+        ):
+            if self.current.text not in ("const", "volatile"):
+                words.append(self.current.text)
+            self._advance()
+        if not words:
+            raise self._error("expected a type")
+        return _base_type_from_words(words, token), None
+
+    def _consume_quals(self) -> None:
+        while self.current.is_keyword("const") or self.current.is_keyword("volatile"):
+            self._advance()
+
+    def _parse_declarator(
+        self, base: CType
+    ) -> tuple[CType, CToken, bool, list[ast.Param], bool]:
+        """Parse ``'*'* name ( '(' params ')' | ('[' n ']')* )``.
+
+        Returns (type, name token, is_function, params, variadic).
+        """
+        result = base
+        const_pointee = False
+        while self.current.is_punct("*"):
+            self._advance()
+            result = PointerType(result, const_pointee=const_pointee)
+            while self.current.is_keyword("const") or self.current.is_keyword(
+                "volatile"
+            ):
+                self._advance()
+
+        name_token = self._expect_ident("declarator name")
+
+        if self.current.is_punct("("):
+            self._advance()
+            params, variadic = self._parse_params()
+            self._expect(")")
+            return result, name_token, True, params, variadic
+
+        while self.current.is_punct("["):
+            self._advance()
+            length: int | None = None
+            if not self.current.is_punct("]"):
+                length = self._parse_constant_expression()
+            self._expect("]")
+            result = ArrayType(result, length)
+        return result, name_token, False, [], False
+
+    def _parse_params(self) -> tuple[list[ast.Param], bool]:
+        params: list[ast.Param] = []
+        variadic = False
+        if self.current.is_punct(")"):
+            return params, variadic
+        if self.current.is_keyword("void") and self._peek().is_punct(")"):
+            self._advance()
+            return params, variadic
+        while True:
+            if self.current.is_punct("..."):
+                self._advance()
+                variadic = True
+                break
+            base, _ = self._parse_base_type()
+            ctype = base
+            while self.current.is_punct("*"):
+                self._advance()
+                const_ptr = False
+                while self.current.is_keyword("const") or self.current.is_keyword(
+                    "volatile"
+                ):
+                    self._advance()
+                ctype = PointerType(ctype, const_pointee=const_ptr)
+            name = ""
+            location = self.current.location
+            if self.current.kind is CTokenKind.IDENT:
+                token = self._advance()
+                name = token.text
+                location = token.location
+            while self.current.is_punct("["):
+                self._advance()
+                if not self.current.is_punct("]"):
+                    self._parse_constant_expression()
+                self._expect("]")
+                ctype = PointerType(ctype)  # array params decay
+            params.append(ast.Param(name=name, ctype=ctype, location=location))
+            if self.current.is_punct(","):
+                self._advance()
+                continue
+            break
+        return params, variadic
+
+    def _parse_initializer(self) -> ast.Expr | ast.InitList:
+        if not self.current.is_punct("{"):
+            return self._parse_assignment()
+        location = self.current.location
+        self._advance()
+        items: list[ast.Expr] = []
+        while not self.current.is_punct("}"):
+            items.append(self._parse_assignment())
+            if self.current.is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect("}")
+        return ast.InitList(items=items, location=location)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        location = self.current.location
+        self._expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind is CTokenKind.EOF:
+                raise self._error("unterminated block")
+            statements.extend(self._parse_statement())
+        self._expect("}")
+        return ast.Block(statements=statements, location=location)
+
+    def _parse_statement(self) -> list[ast.Stmt]:
+        """Parse one statement (a declaration line may yield several)."""
+        token = self.current
+        start = self.index
+
+        if token.is_punct("{"):
+            return [self._parse_block()]
+        if token.is_punct(";"):
+            self._advance()
+            return [ast.EmptyStmt(location=token.location, origins=self._origins(start))]
+        if token.is_keyword("if"):
+            return [self._parse_if(start)]
+        if token.is_keyword("while"):
+            return [self._parse_while(start)]
+        if token.is_keyword("do"):
+            return [self._parse_do_while(start)]
+        if token.is_keyword("for"):
+            return [self._parse_for(start)]
+        if token.is_keyword("switch"):
+            return [self._parse_switch(start)]
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect(";")
+            return [ast.Break(location=token.location, origins=self._origins(start))]
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect(";")
+            return [ast.Continue(location=token.location, origins=self._origins(start))]
+        if token.is_keyword("return"):
+            self._advance()
+            value = None
+            if not self.current.is_punct(";"):
+                value = self._parse_expression()
+            self._expect(";")
+            return [
+                ast.Return(
+                    value=value, location=token.location, origins=self._origins(start)
+                )
+            ]
+        if token.is_keyword("goto"):
+            raise self._error("goto is not supported in mini-C")
+        if self._starts_declaration(token):
+            return self._parse_local_decl(start)
+
+        expr = self._parse_expression()
+        self._expect(";")
+        return [
+            ast.ExprStmt(expr=expr, location=token.location, origins=self._origins(start))
+        ]
+
+    def _parse_local_decl(self, start: int) -> list[ast.Stmt]:
+        specs = self._parse_spec_flags()
+        if self.current.is_keyword("typedef"):
+            raise self._error("local typedefs are not supported")
+        base, _ = self._parse_base_type()
+        decls: list[ast.Stmt] = []
+        while True:
+            var_type, name_token, is_function, _, _ = self._parse_declarator(base)
+            if is_function:
+                raise self._error("local function declarations are not supported")
+            init: ast.Expr | ast.InitList | None = None
+            if self.current.is_punct("="):
+                self._advance()
+                init = self._parse_initializer()
+            var_type, symbol_const = _apply_leading_const(var_type, specs["const"])
+            decls.append(
+                ast.LocalDecl(
+                    name=name_token.text,
+                    var_type=var_type,
+                    init=init,
+                    const=symbol_const,
+                    location=name_token.location,
+                )
+            )
+            if self.current.is_punct(","):
+                self._advance()
+                continue
+            break
+        self._expect(";")
+        origins = self._origins(start)
+        for decl in decls:
+            decl.origins = origins
+        return decls
+
+    def _parse_if(self, start: int) -> ast.If:
+        location = self.current.location
+        self._expect("if")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        origins = self._origins(start)  # header only: coverage excludes arms
+        then = _single(self._parse_statement())
+        otherwise = None
+        if self.current.is_keyword("else"):
+            self._advance()
+            otherwise = _single(self._parse_statement())
+        return ast.If(
+            cond=cond, then=then, otherwise=otherwise, location=location, origins=origins
+        )
+
+    def _parse_while(self, start: int) -> ast.While:
+        location = self.current.location
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        origins = self._origins(start)
+        body = _single(self._parse_statement())
+        return ast.While(cond=cond, body=body, location=location, origins=origins)
+
+    def _parse_do_while(self, start: int) -> ast.DoWhile:
+        location = self.current.location
+        self._expect("do")
+        do_origins = self._origins(start)
+        body = _single(self._parse_statement())
+        tail_start = self.index
+        self._expect("while")
+        self._expect("(")
+        cond = self._parse_expression()
+        self._expect(")")
+        self._expect(";")
+        return ast.DoWhile(
+            body=body,
+            cond=cond,
+            location=location,
+            origins=do_origins | self._origins(tail_start),
+        )
+
+    def _parse_for(self, start: int) -> ast.For:
+        location = self.current.location
+        self._expect("for")
+        self._expect("(")
+        init: ast.Stmt | None = None
+        if self.current.is_punct(";"):
+            self._advance()
+        elif self._starts_declaration(self.current):
+            init = _single(self._parse_local_decl(self.index))
+        else:
+            expr = self._parse_expression()
+            init = ast.ExprStmt(expr=expr, location=expr.location)
+            self._expect(";")
+        cond = None
+        if not self.current.is_punct(";"):
+            cond = self._parse_expression()
+        self._expect(";")
+        step = None
+        if not self.current.is_punct(")"):
+            step = self._parse_expression()
+        self._expect(")")
+        origins = self._origins(start)
+        if init is not None:
+            init.origins = origins
+        body = _single(self._parse_statement())
+        return ast.For(
+            init=init, cond=cond, step=step, body=body, location=location, origins=origins
+        )
+
+    def _parse_switch(self, start: int) -> ast.Switch:
+        location = self.current.location
+        self._expect("switch")
+        self._expect("(")
+        expr = self._parse_expression()
+        self._expect(")")
+        origins = self._origins(start)
+        self._expect("{")
+        groups: list[ast.CaseGroup] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind is CTokenKind.EOF:
+                raise self._error("unterminated switch")
+            label_start = self.index
+            values: list[int | None] = []
+            while self.current.is_keyword("case") or self.current.is_keyword("default"):
+                if self.current.is_keyword("case"):
+                    self._advance()
+                    values.append(self._parse_constant_expression())
+                else:
+                    self._advance()
+                    values.append(None)
+                self._expect(":")
+            if not values:
+                raise self._error("expected 'case' or 'default' inside switch")
+            label_origins = self._origins(label_start)
+            body: list[ast.Stmt] = []
+            while not (
+                self.current.is_punct("}")
+                or self.current.is_keyword("case")
+                or self.current.is_keyword("default")
+            ):
+                body.extend(self._parse_statement())
+            groups.append(
+                ast.CaseGroup(values=values, body=body, origins=label_origins)
+            )
+        self._expect("}")
+        return ast.Switch(expr=expr, groups=groups, location=location, origins=origins)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        expr = self._parse_assignment()
+        while self.current.is_punct(","):
+            location = self._advance().location
+            right = self._parse_assignment()
+            expr = ast.Comma(left=expr, right=right, location=location)
+        return expr
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        token = self.current
+        if token.kind is CTokenKind.PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._parse_assignment()
+            return ast.Assign(
+                op=token.text, target=left, value=value, location=token.location
+            )
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(1)
+        if not self.current.is_punct("?"):
+            return cond
+        location = self._advance().location
+        then = self._parse_expression()
+        self._expect(":")
+        other = self._parse_assignment()
+        return ast.Ternary(cond=cond, then=then, other=other, location=location)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            precedence = (
+                _BINARY_PRECEDENCE.get(token.text)
+                if token.kind is CTokenKind.PUNCT
+                else None
+            )
+            if precedence is None or precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Binary(
+                op=token.text, left=left, right=right, location=token.location
+            )
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is CTokenKind.PUNCT:
+            if token.text in ("-", "+", "!", "~", "*", "&"):
+                self._advance()
+                operand = self._parse_unary()
+                if token.text == "+":
+                    return operand
+                return ast.Unary(op=token.text, operand=operand, location=token.location)
+            if token.text in ("++", "--"):
+                self._advance()
+                operand = self._parse_unary()
+                return ast.Unary(op=token.text, operand=operand, location=token.location)
+            if token.text == "(" and self._starts_type(self._peek()):
+                self._advance()
+                base, _ = self._parse_base_type()
+                ctype = base
+                while self.current.is_punct("*"):
+                    self._advance()
+                    ctype = PointerType(ctype)
+                self._expect(")")
+                operand = self._parse_unary()
+                return ast.Cast(
+                    target_type=ctype, operand=operand, location=token.location
+                )
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.current
+            if token.is_punct("("):
+                self._advance()
+                args: list[ast.Expr] = []
+                while not self.current.is_punct(")"):
+                    args.append(self._parse_assignment())
+                    if self.current.is_punct(","):
+                        self._advance()
+                        continue
+                    break
+                self._expect(")")
+                expr = ast.Call(callee=expr, args=args, location=token.location)
+            elif token.is_punct("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect("]")
+                expr = ast.Index(base=expr, index=index, location=token.location)
+            elif token.is_punct("."):
+                self._advance()
+                name = self._expect_ident("member name")
+                expr = ast.Member(
+                    base=expr, name=name.text, arrow=False, location=token.location
+                )
+            elif token.is_punct("->"):
+                self._advance()
+                name = self._expect_ident("member name")
+                expr = ast.Member(
+                    base=expr, name=name.text, arrow=True, location=token.location
+                )
+            elif token.is_punct("++") or token.is_punct("--"):
+                self._advance()
+                expr = ast.Postfix(op=token.text, operand=expr, location=token.location)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is CTokenKind.INT:
+            self._advance()
+            return ast.IntLit(
+                value=parse_c_int(token.text),
+                unsigned=is_unsigned_literal(token.text),
+                location=token.location,
+            )
+        if token.kind is CTokenKind.CHAR:
+            self._advance()
+            return ast.CharLit(value=parse_c_char(token.text), location=token.location)
+        if token.kind is CTokenKind.STRING:
+            self._advance()
+            value = parse_c_string(token.text)
+            # Adjacent string literal concatenation.
+            while self.current.kind is CTokenKind.STRING:
+                value += parse_c_string(self._advance().text)
+            return ast.StrLit(value=value, location=token.location)
+        if token.kind is CTokenKind.IDENT:
+            self._advance()
+            return ast.Ident(name=token.text, location=token.location)
+        if token.is_punct("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.is_keyword("sizeof"):
+            raise self._error("sizeof is not supported in mini-C")
+        raise self._error("expected an expression")
+
+    # -- constant expressions ------------------------------------------------------
+
+    def _parse_constant_expression(self) -> int:
+        expr = self._parse_ternary()
+        value = _const_eval(expr)
+        if value is None:
+            raise self._error("expected a constant expression", self.current)
+        return value
+
+
+def _apply_leading_const(ctype: CType, const_flag: bool) -> tuple[CType, bool]:
+    """Resolve a leading ``const`` against the declarator.
+
+    ``const char *s`` makes the *pointee* const (the pointer variable stays
+    assignable); ``const u32 k`` makes the variable itself const.
+    """
+    if not const_flag:
+        return ctype, False
+    if isinstance(ctype, PointerType):
+        inner, _ = _apply_leading_const(ctype.pointee, True)
+        if isinstance(ctype.pointee, PointerType):
+            return PointerType(inner, ctype.const_pointee), False
+        return PointerType(ctype.pointee, const_pointee=True), False
+    return ctype, True
+
+
+def _single(stmts: list[ast.Stmt]) -> ast.Stmt:
+    if len(stmts) == 1:
+        return stmts[0]
+    return ast.Block(statements=stmts, location=stmts[0].location)
+
+
+def _base_type_from_words(words: list[str], token: CToken) -> CType:
+    key = tuple(sorted(words))
+    mapping: dict[tuple[str, ...], CType] = {
+        ("void",): VOID,
+        ("char",): CHAR,
+        ("char", "signed"): S8,
+        ("char", "unsigned"): U8,
+        ("int",): S32,
+        ("signed",): S32,
+        ("int", "signed"): S32,
+        ("unsigned",): U32,
+        ("int", "unsigned"): U32,
+        ("short",): S16,
+        ("int", "short"): S16,
+        ("short", "unsigned"): U16,
+        ("int", "short", "unsigned"): U16,
+        ("long",): S32,
+        ("int", "long"): S32,
+        ("long", "unsigned"): U32,
+        ("int", "long", "unsigned"): U32,
+        ("long", "long"): IntCType("long long", 64, signed=True),
+        ("long", "long", "unsigned"): IntCType("unsigned long long", 64, signed=False),
+    }
+    result = mapping.get(key)
+    if result is None:
+        raise CParseError(
+            [
+                Diagnostic(
+                    Severity.ERROR,
+                    "c-parse",
+                    f"unsupported type combination {' '.join(words)!r}",
+                    token.location,
+                )
+            ]
+        )
+    return result
+
+
+def _const_eval(expr: ast.Expr) -> int | None:
+    """Fold an integer constant expression (case labels, array sizes)."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.CharLit):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.operand is not None:
+        value = _const_eval(expr.operand)
+        if value is None:
+            return None
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~value & 0xFFFFFFFF
+        if expr.op == "!":
+            return int(value == 0)
+        return None
+    if isinstance(expr, ast.Cast) and expr.operand is not None:
+        inner = _const_eval(expr.operand)
+        if inner is None or not isinstance(expr.target_type, IntCType):
+            return None
+        return expr.target_type.wrap(inner)
+    if isinstance(expr, ast.Binary) and expr.left is not None and expr.right is not None:
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right if right else None,
+                "%": lambda: left % right if right else None,
+                "<<": lambda: left << (right & 31),
+                ">>": lambda: left >> (right & 31),
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "==": lambda: int(left == right),
+                "!=": lambda: int(left != right),
+                "<": lambda: int(left < right),
+                ">": lambda: int(left > right),
+                "<=": lambda: int(left <= right),
+                ">=": lambda: int(left >= right),
+                "&&": lambda: int(bool(left) and bool(right)),
+                "||": lambda: int(bool(left) or bool(right)),
+            }[expr.op]()
+        except KeyError:
+            return None
+    return None

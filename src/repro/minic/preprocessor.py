@@ -1,0 +1,324 @@
+"""Line-based C preprocessor for mini-C.
+
+Supports exactly what Linux-era driver code and the generated Devil stubs
+need: object- and function-like ``#define`` (with multi-line continuation),
+``#undef``, ``#include "name"`` resolved from a virtual registry,
+``#ifdef``/``#ifndef``/``#else``/``#endif`` (header guards), ``__FILE__``
+and ``__LINE__``.
+
+Two properties matter to the evaluation harness:
+
+* substituted tokens keep the *use-site* line (so statement coverage and
+  ``__LINE__`` behave), while carrying the macro definition's file/line in
+  ``macro_file``/``macro_line`` — that is how a mutation inside a
+  ``#define`` body is traced to executed code for dead-code classification;
+* expansion is purely textual/token-level with a hide-set, like a real
+  cpp, so mutants that alter macro bodies behave exactly as they would
+  under gcc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diagnostics import CompileError, Diagnostic, Severity, SourceLocation
+from repro.minic.lexer import lex_line, strip_comments
+from repro.minic.tokens import CToken, CTokenKind
+
+
+class CPreprocessorError(CompileError):
+    """A malformed directive or macro invocation."""
+
+
+def _error(message: str, location: SourceLocation) -> CPreprocessorError:
+    return CPreprocessorError([Diagnostic(Severity.ERROR, "c-cpp", message, location)])
+
+
+@dataclass(frozen=True)
+class MacroDef:
+    name: str
+    params: tuple[str, ...] | None  # None = object-like
+    body: tuple[CToken, ...]
+    filename: str
+    line: int
+
+    @property
+    def function_like(self) -> bool:
+        return self.params is not None
+
+
+class Preprocessor:
+    """Stateful preprocessor; one instance per compilation."""
+
+    def __init__(self, include_registry: dict[str, str] | None = None):
+        self.includes = dict(include_registry or {})
+        self.macros: dict[str, MacroDef] = {}
+        self._include_stack: list[str] = []
+
+    # -- public API --------------------------------------------------------
+
+    def process(self, text: str, filename: str) -> list[CToken]:
+        """Preprocess ``text`` into an expanded token stream (no EOF)."""
+        output: list[CToken] = []
+        self._process_file(text, filename, output)
+        return output
+
+    # -- file / line walking ----------------------------------------------
+
+    def _process_file(self, text: str, filename: str, output: list[CToken]) -> None:
+        if filename in self._include_stack:
+            raise _error(
+                f"circular include of {filename!r}",
+                SourceLocation(1, 1, filename),
+            )
+        self._include_stack.append(filename)
+        try:
+            lines = strip_comments(text).split("\n")
+            buffer: list[CToken] = []
+            condition_stack: list[bool] = []
+            index = 0
+            while index < len(lines):
+                line = lines[index]
+                line_number = index + 1
+                # Logical-line continuation for directives and long lines.
+                while line.rstrip().endswith("\\") and index + 1 < len(lines):
+                    line = line.rstrip()[:-1] + " " + lines[index + 1]
+                    index += 1
+                index += 1
+
+                stripped = line.strip()
+                active = all(condition_stack)
+                if stripped.startswith("#"):
+                    self._flush(buffer, output)
+                    self._directive(
+                        stripped[1:].strip(),
+                        line_number,
+                        filename,
+                        condition_stack,
+                        active,
+                        output,
+                    )
+                    continue
+                if not active:
+                    continue
+                buffer.extend(lex_line(line, line_number, filename))
+            self._flush(buffer, output)
+            if condition_stack:
+                raise _error(
+                    "unterminated #ifdef", SourceLocation(len(lines), 1, filename)
+                )
+        finally:
+            self._include_stack.pop()
+
+    def _flush(self, buffer: list[CToken], output: list[CToken]) -> None:
+        if buffer:
+            output.extend(self._expand(buffer, frozenset()))
+            buffer.clear()
+
+    # -- directives -----------------------------------------------------------
+
+    def _directive(
+        self,
+        body: str,
+        line: int,
+        filename: str,
+        condition_stack: list[bool],
+        active: bool,
+        output: list[CToken],
+    ) -> None:
+        location = SourceLocation(line, 1, filename)
+        parts = body.split(None, 1)
+        if not parts:
+            return
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+
+        if name == "ifdef":
+            condition_stack.append(active and rest.split()[0] in self.macros)
+            return
+        if name == "ifndef":
+            condition_stack.append(active and rest.split()[0] not in self.macros)
+            return
+        if name == "else":
+            if not condition_stack:
+                raise _error("#else without #ifdef", location)
+            condition_stack[-1] = not condition_stack[-1] and all(condition_stack[:-1])
+            return
+        if name == "endif":
+            if not condition_stack:
+                raise _error("#endif without #ifdef", location)
+            condition_stack.pop()
+            return
+        if not active:
+            return
+
+        if name == "define":
+            self._define(rest, line, filename)
+            return
+        if name == "undef":
+            self.macros.pop(rest.split()[0], None)
+            return
+        if name == "include":
+            target = rest.strip().strip('"<>')
+            if target not in self.includes:
+                raise _error(f"cannot find include file {target!r}", location)
+            self._process_file(self.includes[target], target, output)
+            return
+        if name in ("pragma", "error", "warning"):
+            return
+        raise _error(f"unknown directive #{name}", location)
+
+    def _define(self, rest: str, line: int, filename: str) -> None:
+        location = SourceLocation(line, 1, filename)
+        tokens = lex_line(rest, line, filename)
+        if not tokens or tokens[0].kind is not CTokenKind.IDENT:
+            raise _error("#define needs a macro name", location)
+        name_token = tokens[0]
+        params: tuple[str, ...] | None = None
+        body_start = 1
+        # Function-like iff '(' immediately follows the name (no space).
+        name_end_column = name_token.column + len(name_token.text)
+        if (
+            len(tokens) > 1
+            and tokens[1].is_punct("(")
+            and tokens[1].column == name_end_column
+        ):
+            names: list[str] = []
+            index = 2
+            while index < len(tokens) and not tokens[index].is_punct(")"):
+                if tokens[index].kind is CTokenKind.IDENT:
+                    names.append(tokens[index].text)
+                elif not tokens[index].is_punct(","):
+                    raise _error("malformed macro parameter list", location)
+                index += 1
+            if index >= len(tokens):
+                raise _error("unterminated macro parameter list", location)
+            params = tuple(names)
+            body_start = index + 1
+        self.macros[name_token.text] = MacroDef(
+            name=name_token.text,
+            params=params,
+            body=tuple(tokens[body_start:]),
+            filename=filename,
+            line=line,
+        )
+
+    # -- expansion ---------------------------------------------------------------
+
+    def _expand(
+        self, tokens: list[CToken], hidden: frozenset[str]
+    ) -> list[CToken]:
+        output: list[CToken] = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            index += 1
+            if token.kind is not CTokenKind.IDENT:
+                output.append(token)
+                continue
+            if token.text == "__FILE__":
+                output.append(
+                    CToken(
+                        CTokenKind.STRING,
+                        f'"{token.filename}"',
+                        token.line,
+                        token.column,
+                        token.filename,
+                        token.macro_line,
+                        token.macro_file,
+                    )
+                )
+                continue
+            if token.text == "__LINE__":
+                output.append(
+                    CToken(
+                        CTokenKind.INT,
+                        str(token.line),
+                        token.line,
+                        token.column,
+                        token.filename,
+                        token.macro_line,
+                        token.macro_file,
+                    )
+                )
+                continue
+            macro = self.macros.get(token.text)
+            if macro is None or token.text in hidden:
+                output.append(token)
+                continue
+            if macro.function_like:
+                if index >= len(tokens) or not tokens[index].is_punct("("):
+                    output.append(token)  # name without call: leave alone
+                    continue
+                arguments, index = self._collect_arguments(tokens, index, token)
+                expanded_args = [
+                    self._expand(argument, hidden) for argument in arguments
+                ]
+                substituted = self._substitute(macro, expanded_args, token)
+            else:
+                substituted = [
+                    _stamp(body_token, token, macro) for body_token in macro.body
+                ]
+            output.extend(self._expand(substituted, hidden | {macro.name}))
+        return output
+
+    def _collect_arguments(
+        self, tokens: list[CToken], index: int, name_token: CToken
+    ) -> tuple[list[list[CToken]], int]:
+        """Collect macro call arguments starting at the '(' token."""
+        assert tokens[index].is_punct("(")
+        index += 1
+        depth = 1
+        arguments: list[list[CToken]] = [[]]
+        while index < len(tokens):
+            token = tokens[index]
+            if token.is_punct("("):
+                depth += 1
+            elif token.is_punct(")"):
+                depth -= 1
+                if depth == 0:
+                    index += 1
+                    if arguments == [[]]:
+                        arguments = []
+                    return arguments, index
+            elif token.is_punct(",") and depth == 1:
+                arguments.append([])
+                index += 1
+                continue
+            arguments[-1].append(token)
+            index += 1
+        raise _error(
+            f"unterminated call of macro {name_token.text!r}", name_token.location
+        )
+
+    def _substitute(
+        self, macro: MacroDef, arguments: list[list[CToken]], use: CToken
+    ) -> list[CToken]:
+        assert macro.params is not None
+        if len(arguments) != len(macro.params):
+            raise _error(
+                f"macro {macro.name!r} expects {len(macro.params)} argument(s), "
+                f"got {len(arguments)}",
+                use.location,
+            )
+        by_name = dict(zip(macro.params, arguments))
+        result: list[CToken] = []
+        for body_token in macro.body:
+            if body_token.kind is CTokenKind.IDENT and body_token.text in by_name:
+                result.extend(by_name[body_token.text])
+            else:
+                result.append(_stamp(body_token, use, macro))
+        return result
+
+
+def _stamp(body_token: CToken, use: CToken, macro: MacroDef) -> CToken:
+    """Relocate a macro-body token to the use site, keeping its origin."""
+    return CToken(
+        body_token.kind,
+        body_token.text,
+        use.line,
+        use.column,
+        use.filename,
+        macro_line=body_token.macro_line or body_token.line,
+        macro_file=body_token.macro_file or body_token.filename,
+    )

@@ -1,0 +1,191 @@
+"""Token definitions for the mini-C lexer.
+
+As with the Devil tokens, exact source spans matter: the C mutation
+operators (`repro.mutation.c_ops`) rewrite driver source textually, one
+token at a time, inside the tagged hardware-operating regions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.diagnostics import SourceLocation
+
+
+class CTokenKind(enum.Enum):
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT = "integer"
+    CHAR = "character"
+    STRING = "string"
+    PUNCT = "punctuation"
+    EOF = "end of input"
+
+
+KEYWORDS = frozenset(
+    {
+        "void",
+        "char",
+        "int",
+        "long",
+        "short",
+        "unsigned",
+        "signed",
+        "struct",
+        "union",
+        "enum",
+        "typedef",
+        "static",
+        "extern",
+        "const",
+        "volatile",
+        "inline",
+        "if",
+        "else",
+        "while",
+        "do",
+        "for",
+        "switch",
+        "case",
+        "default",
+        "break",
+        "continue",
+        "return",
+        "goto",
+        "sizeof",
+    }
+)
+
+#: Longest first, so the lexer is greedy ("<<=" before "<<" before "<").
+PUNCTUATION = (
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    ".",
+    "?",
+    ":",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "&",
+    "|",
+    "^",
+    "!",
+    "~",
+)
+
+
+@dataclass(frozen=True)
+class CToken:
+    kind: CTokenKind
+    text: str
+    line: int
+    column: int
+    filename: str = "<c>"
+    #: Line of the macro definition this token was expanded from, if any —
+    #: used by dead-code classification for mutations in ``#define`` bodies.
+    macro_line: int | None = None
+    macro_file: str | None = None
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.line, self.column, self.filename)
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is CTokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is CTokenKind.KEYWORD and self.text == text
+
+    def __str__(self) -> str:
+        return self.text
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+def parse_c_int(text: str) -> int:
+    """Value of a C integer literal (dec/hex/octal, u/l suffixes)."""
+    body = text.rstrip("uUlL")
+    lowered = body.lower()
+    if lowered.startswith("0x"):
+        return int(lowered[2:], 16)
+    if len(body) > 1 and body.startswith("0"):
+        return int(body, 8)
+    return int(body, 10)
+
+
+def is_unsigned_literal(text: str) -> bool:
+    suffix = text[len(text.rstrip("uUlL")) :]
+    return "u" in suffix.lower() or parse_c_int(text) > 0x7FFFFFFF
+
+
+def parse_c_char(text: str) -> int:
+    """Value of a character literal including simple escapes."""
+    body = text[1:-1]
+    if body.startswith("\\"):
+        escape = body[1:]
+        if escape in _ESCAPES:
+            return ord(_ESCAPES[escape])
+        if escape.startswith("x"):
+            return int(escape[1:], 16)
+        return int(escape, 8)
+    return ord(body)
+
+
+def parse_c_string(text: str) -> str:
+    """Payload of a string literal with escapes decoded."""
+    body = text[1:-1]
+    result: list[str] = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "\\" and index + 1 < len(body):
+            escape = body[index + 1]
+            result.append(_ESCAPES.get(escape, escape))
+            index += 2
+        else:
+            result.append(char)
+            index += 1
+    return "".join(result)

@@ -1,0 +1,67 @@
+"""Runtime values of the mini-C machine.
+
+Integers are plain Python ints, always stored pre-wrapped to their static
+type's range.  Structs have C value semantics (copied on assignment, on
+argument passing and on return).  Arrays are reference objects reached
+through :class:`CPointer`, which also models the limited pointer
+arithmetic mini-C allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic.ctypes import CType, IntCType
+from repro.minic.errors import MachineFault
+
+
+@dataclass
+class CStructValue:
+    struct_name: str
+    fields: dict[str, object] = field(default_factory=dict)
+
+    def copy(self) -> "CStructValue":
+        return CStructValue(self.struct_name, dict(self.fields))
+
+
+@dataclass
+class CArray:
+    element: CType
+    values: list = field(default_factory=list)
+
+    @classmethod
+    def zeroed(cls, element: CType, length: int) -> "CArray":
+        if isinstance(element, IntCType):
+            return cls(element, [0] * length)
+        raise MachineFault(f"unsupported array element {element.describe()}")
+
+    def load(self, index: int):
+        if not 0 <= index < len(self.values):
+            raise MachineFault(
+                f"array index {index} out of bounds (size {len(self.values)})"
+            )
+        return self.values[index]
+
+    def store(self, index: int, value) -> None:
+        if not 0 <= index < len(self.values):
+            raise MachineFault(
+                f"array index {index} out of bounds (size {len(self.values)})"
+            )
+        self.values[index] = value
+
+
+@dataclass(frozen=True)
+class CPointer:
+    """A pointer into a :class:`CArray` (or a decayed array)."""
+
+    array: CArray
+    offset: int = 0
+
+    def load(self, index: int = 0):
+        return self.array.load(self.offset + index)
+
+    def store(self, value, index: int = 0) -> None:
+        self.array.store(self.offset + index, value)
+
+    def advanced(self, delta: int) -> "CPointer":
+        return CPointer(self.array, self.offset + delta)

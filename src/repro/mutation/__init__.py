@@ -1,0 +1,42 @@
+"""Mutation analysis (paper §3).
+
+The error model simulates typographical and inattention errors:
+
+* *literal* mutations — add, remove or replace one character of a numeric
+  literal or bit pattern, always within its semantic class (`literals`);
+* *operator* mutations — swap an operator for another of the same class
+  (`c_ops.OPERATOR_CLASSES` reconstructs the paper's Table 1;
+  `devil_ops` covers Devil's range and mapping operators);
+* *identifier* mutations — replace an identifier with another defined in
+  the same file and semantic class (`c_ops`, `devil_ops`).
+
+`generator` enumerates sites and mutants (validating that every mutant
+still parses — the paper's rule that mutants are syntactically correct),
+`runner` compiles and boots them, and `sampling` provides the seeded 25 %
+subset the paper tests.
+"""
+
+from repro.mutation.model import Mutant, MutationSite
+from repro.mutation.generator import (
+    enumerate_c_mutants,
+    enumerate_devil_mutants,
+)
+from repro.mutation.runner import (
+    CampaignResult,
+    MutantResult,
+    run_devil_campaign,
+    run_driver_campaign,
+)
+from repro.mutation.sampling import sample_mutants
+
+__all__ = [
+    "CampaignResult",
+    "Mutant",
+    "MutantResult",
+    "MutationSite",
+    "enumerate_c_mutants",
+    "enumerate_devil_mutants",
+    "run_devil_campaign",
+    "run_driver_campaign",
+    "sample_mutants",
+]

@@ -1,0 +1,251 @@
+"""C mutation operators (paper §3.3).
+
+Sites are enumerated over the raw driver text (tagged regions only):
+
+* integer literals — decimal/hex/octal character edits with C value
+  semantics (a leading zero *changes* the value, unlike in Devil);
+* operators — swapped within the classes of the paper's Table 1
+  (:data:`OPERATOR_CLASSES`; reconstruction documented in DESIGN.md);
+* identifiers — replaced by another identifier defined in the same file
+  and semantic class.  Plain C collapses macros, variables and functions
+  into integers after preprocessing, so those classes are broad; in CDevil
+  the generated API adds its own classes (set functions, get functions,
+  interface values), per the paper.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.minic.lexer import lex_line, strip_comments
+from repro.minic.tokens import CToken, CTokenKind, parse_c_int
+from repro.mutation.literals import mutate_integer_literal
+from repro.mutation.model import Mutant, MutationSite
+from repro.mutation.tagging import Region, in_regions
+
+#: Table 1 (reconstructed): operator confusion classes.  An operator may
+#: mutate to any *other* member of any class containing it.
+OPERATOR_CLASSES: tuple[frozenset[str], ...] = (
+    frozenset({"&", "&&"}),
+    frozenset({"|", "||"}),
+    frozenset({"&", "|", "^"}),
+    frozenset({"<<", ">>"}),
+    frozenset({"<<", "<"}),
+    frozenset({">>", ">"}),
+    frozenset({"==", "="}),
+    frozenset({"~", "!"}),
+    frozenset({"+", "-"}),
+    frozenset({"<", "<=", ">", ">=", "==", "!="}),
+)
+
+
+def operator_mutants(op: str) -> list[str]:
+    """All same-class alternatives for an operator, deterministic order."""
+    alternatives: list[str] = []
+    for cls in OPERATOR_CLASSES:
+        if op in cls:
+            for candidate in sorted(cls):
+                if candidate != op and candidate not in alternatives:
+                    alternatives.append(candidate)
+    return alternatives
+
+
+#: Tokens that directly precede a declarator name (used to skip
+#: declaration sites, which the paper does not mutate).
+_DECL_PRECEDERS = frozenset(
+    {
+        "void", "char", "int", "long", "short", "unsigned", "signed",
+        "struct", "const", "volatile", "inline", "static", "extern",
+        "u8", "u16", "u32", "s8", "s16", "s32", "size_t", "*",
+    }
+)
+
+_DIRECTIVE = re.compile(r"^(\s*#\s*)(\w+)(.*)$", re.DOTALL)
+
+
+@dataclass
+class IdentifierPools:
+    """Same-file identifier classes for replacement (paper §3.1/§3.3).
+
+    For plain C the paper is explicit that the pre-processor erases the
+    distinctions — "the mutation rules for identifiers replace an
+    identifier with any other defined identifier" — so the replacement
+    pool is the *union* of macros, variables and functions.  Identifiers
+    of the Devil-generated interface (CDevil only) instead stay within
+    their semantic class: set functions, get functions, interface values.
+    """
+
+    functions: set[str] = field(default_factory=set)
+    variables: set[str] = field(default_factory=set)
+    macros: set[str] = field(default_factory=set)
+    #: CDevil: generated-interface classes, name -> full class pool.
+    api_classes: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def replacements_for(self, name: str) -> list[str]:
+        pool = self.api_classes.get(name)
+        if pool is None:
+            union = self.functions | self.variables | self.macros
+            if name not in union:
+                return []
+            # Generated-interface names never replace plain identifiers.
+            pool = frozenset(union)
+        return sorted(pool - {name})
+
+
+def scan_c_sites(
+    source: str,
+    filename: str,
+    regions: list[Region],
+    pools: IdentifierPools,
+) -> list[tuple[MutationSite, list[str]]]:
+    """Enumerate mutation sites and their replacement lists."""
+    stripped = strip_comments(source)
+    results: list[tuple[MutationSite, list[str]]] = []
+    offset = 0
+    for line_number, line in enumerate(stripped.split("\n"), start=1):
+        directive = _DIRECTIVE.match(line)
+        if directive is not None:
+            results.extend(
+                _scan_directive(
+                    directive, line_number, offset, filename, regions, pools,
+                    stripped,
+                )
+            )
+        else:
+            tokens = lex_line(line, line_number, filename)
+            results.extend(
+                _scan_tokens(tokens, offset, regions, pools, skip_decls=True)
+            )
+        offset += len(line) + 1
+    return results
+
+
+def _scan_directive(
+    match: re.Match,
+    line_number: int,
+    line_offset: int,
+    filename: str,
+    regions: list[Region],
+    pools: IdentifierPools,
+    whole_source: str,
+) -> list[tuple[MutationSite, list[str]]]:
+    """Mutate the *body* of ``#define`` lines; skip other directives.
+
+    Bodies of macros that are never used are skipped: a mutant there does
+    not change the program's semantics, and the error model only admits
+    semantically different mutants (paper §3.1).
+    """
+    if match.group(2) != "define":
+        return []
+    body = match.group(3)
+    body_offset = match.end(2)
+    tokens = lex_line(" " * body_offset + body, line_number, filename)
+    # Skip the macro name (and a function-like parameter list).
+    index = 0
+    if index < len(tokens) and tokens[index].kind is CTokenKind.IDENT:
+        name_token = tokens[index]
+        uses = re.findall(rf"\b{re.escape(name_token.text)}\b", whole_source)
+        if len(uses) < 2:  # the definition itself is the only occurrence
+            return []
+        index += 1
+        if (
+            index < len(tokens)
+            and tokens[index].is_punct("(")
+            and tokens[index].column == name_token.column + len(name_token.text)
+        ):
+            while index < len(tokens) and not tokens[index].is_punct(")"):
+                index += 1
+            index += 1
+    return _scan_tokens(
+        tokens[index:], line_offset, regions, pools, skip_decls=False
+    )
+
+
+def _scan_tokens(
+    tokens: list[CToken],
+    line_offset: int,
+    regions: list[Region],
+    pools: IdentifierPools,
+    skip_decls: bool,
+) -> list[tuple[MutationSite, list[str]]]:
+    results: list[tuple[MutationSite, list[str]]] = []
+    for position, token in enumerate(tokens):
+        offset = line_offset + token.column - 1
+        if not in_regions(regions, offset):
+            continue
+        previous = tokens[position - 1] if position > 0 else None
+
+        if token.kind is CTokenKind.INT:
+            replacements = mutate_integer_literal(token.text, parse_c_int)
+            if replacements:
+                results.append(
+                    (
+                        _site(token, offset, "literal", "int"),
+                        replacements,
+                    )
+                )
+            continue
+
+        if token.kind is CTokenKind.PUNCT:
+            replacements = operator_mutants(token.text)
+            if replacements:
+                results.append(
+                    (
+                        _site(token, offset, "operator", "table1"),
+                        replacements,
+                    )
+                )
+            continue
+
+        if token.kind is CTokenKind.IDENT:
+            if skip_decls and previous is not None and (
+                previous.text in _DECL_PRECEDERS
+                or previous.is_punct(".")
+                or previous.is_punct("->")
+            ):
+                continue
+            replacements = pools.replacements_for(token.text)
+            if replacements:
+                results.append(
+                    (
+                        _site(token, offset, "identifier", _class_name(token.text, pools)),
+                        replacements,
+                    )
+                )
+    return results
+
+
+def _site(token: CToken, offset: int, kind: str, detail: str) -> MutationSite:
+    return MutationSite(
+        file=token.filename,
+        line=token.line,
+        column=token.column,
+        offset=offset,
+        length=len(token.text),
+        original=token.text,
+        kind=kind,
+        detail=detail,
+    )
+
+
+def _class_name(name: str, pools: IdentifierPools) -> str:
+    if name in pools.api_classes:
+        return "api"
+    if name in pools.functions:
+        return "function"
+    if name in pools.macros:
+        return "macro"
+    if name in pools.variables:
+        return "variable"
+    return "unknown"
+
+
+def flatten(
+    sites: list[tuple[MutationSite, list[str]]]
+) -> list[Mutant]:
+    return [
+        Mutant(site=site, replacement=replacement)
+        for site, replacements in sites
+        for replacement in replacements
+    ]

@@ -1,0 +1,238 @@
+"""Devil mutation operators (paper §3.2).
+
+* literals — decimal/hex constants (Devil value semantics: a leading zero
+  does not change the value, so such edits are filtered as semantically
+  equal) and quoted bit patterns, mutated within their character class:
+  value patterns use ``0 1 *``, register masks additionally ``.``;
+* operators — the range/set separators ``,``/``..`` (only where both are
+  grammatical, i.e. inside ``{...}`` sets; edits that leave the denoted
+  set unchanged, like ``0,1`` → ``0..1``, are dropped) and the mapping
+  arrows ``<=``/``=>``/``<=>``;
+* identifiers — register, variable, type and port names replaced within
+  their class at *use* sites; declaration-site variable names are not
+  mutated ("such a mutation would only affect the stub name").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devil import ast
+from repro.devil.lexer import tokenize
+from repro.devil.tokens import Token, TokenKind, parse_devil_int
+from repro.mutation.literals import (
+    BIT_PATTERN_CHARS,
+    BIT_STRING_CHARS,
+    mutate_integer_literal,
+    mutate_pattern_literal,
+)
+from repro.mutation.model import Mutant, MutationSite
+
+_ARROWS = ("<=", "=>", "<=>")
+
+
+@dataclass
+class DevilPools:
+    params: set[str] = field(default_factory=set)
+    registers: set[str] = field(default_factory=set)
+    variables: set[str] = field(default_factory=set)
+    types: set[str] = field(default_factory=set)
+
+    @classmethod
+    def from_spec(cls, device: ast.DeviceSpec) -> "DevilPools":
+        return cls(
+            params={p.name for p in device.params},
+            registers={r.name for r in device.registers},
+            variables={v.name for v in device.variables},
+            types={t.name for t in device.types},
+        )
+
+    def replacements_for(self, name: str) -> list[str]:
+        for pool in (self.params, self.registers, self.variables, self.types):
+            if name in pool:
+                return sorted(pool - {name})
+        return []
+
+    def class_of(self, name: str) -> str:
+        if name in self.params:
+            return "port"
+        if name in self.registers:
+            return "register"
+        if name in self.variables:
+            return "variable"
+        if name in self.types:
+            return "type"
+        return "unknown"
+
+
+def scan_devil_sites(
+    source: str, device: ast.DeviceSpec, filename: str = "<spec>"
+) -> list[tuple[MutationSite, list[str]]]:
+    """Enumerate Devil mutation sites with their replacements."""
+    tokens = tokenize(source, filename)
+    pools = DevilPools.from_spec(device)
+    results: list[tuple[MutationSite, list[str]]] = []
+
+    in_params = False
+    param_depth = 0
+    param_brace_depth = 0
+    #: Stack of brace kinds: "set" ({..} after '@' or 'int') or "plain".
+    braces: list[str] = []
+
+    for index, token in enumerate(tokens):
+        previous = tokens[index - 1] if index > 0 else None
+        nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+
+        # Track the device parameter list (declaration sites, skipped).
+        if token.is_punct("(") and previous is not None and (
+            previous.kind is TokenKind.IDENT
+            and index >= 2
+            and tokens[index - 2].is_keyword("device")
+        ):
+            in_params = True
+            param_depth = 1
+            continue
+        if in_params:
+            if token.is_punct("("):
+                param_depth += 1
+            elif token.is_punct(")"):
+                param_depth -= 1
+                if param_depth == 0:
+                    in_params = False
+            elif token.is_punct("{"):
+                param_brace_depth += 1
+            elif token.is_punct("}"):
+                param_brace_depth -= 1
+            # Integer literals inside the parameter list are real sites
+            # (port data sizes, offset ranges); so are the range operators
+            # inside an offset set; identifiers (declarations) are not.
+            if token.kind is TokenKind.INT:
+                results.append(_literal_site(token, filename))
+            elif (
+                param_brace_depth > 0
+                and token.text in (",", "..")
+                and not _adjacent_set_edit_is_equal(tokens, index)
+            ):
+                replacement = ".." if token.text == "," else ","
+                results.append(
+                    (
+                        _site(token, filename, "operator", "range"),
+                        [replacement],
+                    )
+                )
+            continue
+
+        if token.is_punct("{"):
+            kind = "plain"
+            if previous is not None and (
+                previous.is_punct("@") or previous.is_keyword("int")
+            ):
+                kind = "set"
+            braces.append(kind)
+            continue
+        if token.is_punct("}"):
+            if braces:
+                braces.pop()
+            continue
+
+        if token.kind is TokenKind.INT:
+            results.append(_literal_site(token, filename))
+            continue
+
+        if token.kind is TokenKind.BITPATTERN:
+            is_mask = previous is not None and previous.is_keyword("mask")
+            alphabet = BIT_PATTERN_CHARS if is_mask else BIT_STRING_CHARS
+            replacements = [
+                f"'{body}'"
+                for body in mutate_pattern_literal(token.pattern_value, alphabet)
+            ]
+            if replacements:
+                results.append(
+                    (
+                        _site(token, filename, "literal", "pattern"),
+                        replacements,
+                    )
+                )
+            continue
+
+        if token.kind is TokenKind.PUNCT:
+            if token.text in _ARROWS:
+                results.append(
+                    (
+                        _site(token, filename, "operator", "mapping"),
+                        [a for a in _ARROWS if a != token.text],
+                    )
+                )
+                continue
+            in_set = bool(braces) and braces[-1] == "set"
+            if in_set and token.text in (",", ".."):
+                if _adjacent_set_edit_is_equal(tokens, index):
+                    continue
+                replacement = ".." if token.text == "," else ","
+                results.append(
+                    (
+                        _site(token, filename, "operator", "range"),
+                        [replacement],
+                    )
+                )
+            continue
+
+        if token.kind is TokenKind.IDENT:
+            # Skip declaration sites: names introduced by a keyword, and
+            # enum member names (followed by a mapping arrow).
+            if previous is not None and (
+                previous.is_keyword("register")
+                or previous.is_keyword("variable")
+                or previous.is_keyword("type")
+                or previous.is_keyword("device")
+            ):
+                continue
+            if nxt is not None and nxt.text in _ARROWS:
+                continue
+            replacements = pools.replacements_for(token.text)
+            if replacements:
+                results.append(
+                    (
+                        _site(token, filename, "identifier", pools.class_of(token.text)),
+                        replacements,
+                    )
+                )
+    return results
+
+
+def _adjacent_set_edit_is_equal(tokens: list[Token], index: int) -> bool:
+    """Whether swapping ','/'..' here denotes the same integer set.
+
+    ``a, b`` and ``a..b`` coincide exactly when ``b == a + 1`` (and for
+    ``a..b`` → ``a, b`` when the range spans two values).
+    """
+    previous = tokens[index - 1] if index > 0 else None
+    nxt = tokens[index + 1] if index + 1 < len(tokens) else None
+    if (
+        previous is None
+        or nxt is None
+        or previous.kind is not TokenKind.INT
+        or nxt.kind is not TokenKind.INT
+    ):
+        return False
+    return nxt.int_value == previous.int_value + 1
+
+
+def _literal_site(
+    token: Token, filename: str
+) -> tuple[MutationSite, list[str]]:
+    replacements = mutate_integer_literal(token.text, parse_devil_int)
+    return (_site(token, filename, "literal", "int"), replacements)
+
+
+def _site(token: Token, filename: str, kind: str, detail: str) -> MutationSite:
+    return MutationSite(
+        file=filename,
+        line=token.line,
+        column=token.column,
+        offset=token.offset,
+        length=token.length,
+        original=token.text,
+        kind=kind,
+        detail=detail,
+    )

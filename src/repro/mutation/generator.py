@@ -1,0 +1,85 @@
+"""Mutant enumeration with syntactic validation.
+
+The paper's rules guarantee mutants are "syntactically correct, and have a
+different semantics than the original program".  Literal and identifier
+edits preserve parse structure by construction; operator edits can break
+it (``int t = 0`` → ``int t == 0``), so operator mutants are validated by
+re-parsing and silently dropped when the result is not a program.
+"""
+
+from __future__ import annotations
+
+from repro.devil import ast as devil_ast
+from repro.devil.parser import parse as devil_parse
+from repro.diagnostics import CompileError
+from repro.minic.parser import Parser as CParser
+from repro.minic.preprocessor import Preprocessor
+from repro.minic.tokens import CToken, CTokenKind
+from repro.mutation.c_ops import IdentifierPools, scan_c_sites
+from repro.mutation.devil_ops import scan_devil_sites
+from repro.mutation.model import Mutant, MutationSite
+from repro.mutation.tagging import Region, tagged_regions
+
+
+def enumerate_devil_mutants(
+    source: str, device: devil_ast.DeviceSpec, filename: str = "<spec>"
+) -> list[Mutant]:
+    """All Devil mutants of a specification source."""
+    mutants: list[Mutant] = []
+    for site, replacements in scan_devil_sites(source, device, filename):
+        for replacement in replacements:
+            mutant = Mutant(site=site, replacement=replacement)
+            if site.kind == "operator" and not _devil_parses(
+                mutant.apply(source), filename
+            ):
+                continue
+            mutants.append(mutant)
+    return mutants
+
+
+def enumerate_c_mutants(
+    source: str,
+    filename: str,
+    pools: IdentifierPools,
+    include_registry: dict[str, str] | None = None,
+    regions: list[Region] | None = None,
+) -> list[Mutant]:
+    """All C mutants of a driver source's tagged regions."""
+    if regions is None:
+        regions = tagged_regions(source)
+    mutants: list[Mutant] = []
+    for site, replacements in scan_c_sites(source, filename, regions, pools):
+        for replacement in replacements:
+            mutant = Mutant(site=site, replacement=replacement)
+            if site.kind == "operator" and not _c_parses(
+                mutant.apply(source), filename, include_registry
+            ):
+                continue
+            mutants.append(mutant)
+    return mutants
+
+
+def sites_of(mutants: list[Mutant]) -> set[tuple[str, int, int]]:
+    """Distinct site keys of a mutant collection."""
+    return {mutant.site.key for mutant in mutants}
+
+
+def _devil_parses(source: str, filename: str) -> bool:
+    try:
+        devil_parse(source, filename)
+    except CompileError:
+        return False
+    return True
+
+
+def _c_parses(
+    source: str, filename: str, include_registry: dict[str, str] | None
+) -> bool:
+    try:
+        preprocessor = Preprocessor(include_registry)
+        tokens = preprocessor.process(source, filename)
+        tokens.append(CToken(CTokenKind.EOF, "", 1, 1, filename))
+        CParser(tokens).parse_translation_unit()
+    except CompileError:
+        return False
+    return True

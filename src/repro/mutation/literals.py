@@ -1,0 +1,101 @@
+"""Literal mutation rules (paper §3.1).
+
+"Typographical errors are the result of an additional character, a missing
+character or a replaced character in a literal constant."  For an n-digit
+base-b number that yields n removals (unless it would empty the literal),
+(n+1)·b insertions and n·(b-1) replacements — the paper's example: a
+2-digit decimal yields 2 + 30 + 18 = 50 mutants.
+
+Character changes stay within the literal's semantic class (decimal digits
+with decimal, hex digits with hex, mask characters with masks), and every
+candidate whose *value* equals the original is dropped (mutants must
+differ semantically).
+"""
+
+from __future__ import annotations
+
+DECIMAL_DIGITS = "0123456789"
+HEX_DIGITS = "0123456789abcdef"
+OCTAL_DIGITS = "01234567"
+
+#: Character classes of Devil patterns (paper §3.2): bit strings (enum
+#: value patterns) use 0/1/*; register masks additionally use '.'.
+BIT_STRING_CHARS = "01*"
+BIT_PATTERN_CHARS = "01*."
+
+
+def char_edits(body: str, alphabet: str, allow_empty: bool = False) -> list[str]:
+    """All single-character removals, insertions and replacements."""
+    results: list[str] = []
+    # Removals.
+    if len(body) > 1 or allow_empty:
+        for index in range(len(body)):
+            results.append(body[:index] + body[index + 1 :])
+    # Insertions.
+    for index in range(len(body) + 1):
+        for char in alphabet:
+            results.append(body[:index] + char + body[index:])
+    # Replacements.
+    for index in range(len(body)):
+        for char in alphabet:
+            if char != body[index]:
+                results.append(body[:index] + char + body[index + 1 :])
+    return results
+
+
+def mutate_integer_literal(
+    text: str, value_of, max_length: int = 12
+) -> list[str]:
+    """Mutants of an integer literal, value-filtered.
+
+    ``value_of`` maps literal text to its numeric value in the target
+    language (C semantics differ from Devil's for leading zeros), and may
+    raise to veto a malformed candidate.
+    """
+    prefix = ""
+    suffix = ""
+    body = text
+    if body[:2].lower() == "0x":
+        prefix, body = body[:2], body[2:]
+        alphabet = HEX_DIGITS
+    else:
+        alphabet = DECIMAL_DIGITS
+    while body and body[-1] in "uUlL":
+        suffix = body[-1] + suffix
+        body = body[:-1]
+    if not body:
+        return []
+
+    try:
+        original_value = value_of(text)
+    except (ValueError, OverflowError):
+        return []
+
+    seen: set[str] = set()
+    results: list[str] = []
+    for candidate_body in char_edits(body.lower(), alphabet):
+        candidate = prefix + candidate_body + suffix
+        if candidate == text or candidate in seen:
+            continue
+        seen.add(candidate)
+        if len(candidate) > max_length:
+            continue
+        try:
+            if value_of(candidate) == original_value:
+                continue
+        except (ValueError, OverflowError):
+            continue
+        results.append(candidate)
+    return results
+
+
+def mutate_pattern_literal(pattern: str, alphabet: str) -> list[str]:
+    """Mutants of a Devil bit pattern body (without quotes)."""
+    seen: set[str] = set()
+    results: list[str] = []
+    for candidate in char_edits(pattern, alphabet):
+        if candidate == pattern or candidate in seen or not candidate:
+            continue
+        seen.add(candidate)
+        results.append(candidate)
+    return results

@@ -1,0 +1,61 @@
+"""Mutant and mutation-site data model.
+
+A :class:`MutationSite` is one token span in the original source text; a
+:class:`Mutant` is that span replaced with alternative text.  Exactly one
+token differs from the original program — the granularity of the paper's
+error model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One mutable token occurrence in a source text."""
+
+    file: str
+    line: int
+    column: int
+    offset: int
+    length: int
+    original: str
+    kind: str  # "literal" | "operator" | "identifier"
+    detail: str = ""  # operator class, identifier class, literal base ...
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return (self.file, self.line, self.column)
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.column} {self.kind} {self.original!r}"
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One single-token rewrite of the original source."""
+
+    site: MutationSite
+    replacement: str
+
+    @property
+    def mutant_id(self) -> str:
+        return (
+            f"{self.site.file}:{self.site.line}:{self.site.column}:"
+            f"{self.site.original}->{self.replacement}"
+        )
+
+    def apply(self, source: str) -> str:
+        """Splice the replacement into the original text."""
+        start = self.site.offset
+        end = start + self.site.length
+        if source[start:end] != self.site.original:
+            raise ValueError(
+                f"source drifted under mutant {self.mutant_id}: "
+                f"expected {self.site.original!r}, found {source[start:end]!r}"
+            )
+        return source[:start] + self.replacement + source[end:]
+
+    def __str__(self) -> str:
+        return self.mutant_id

@@ -1,0 +1,356 @@
+"""Campaign runner: compile and boot every mutant, classify outcomes.
+
+``run_driver_campaign`` reproduces the paper's §4.2 experiment for either
+driver; ``run_devil_campaign`` reproduces §4.1 for a specification.  Both
+are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.devil import ast as devil_ast
+from repro.devil.compiler import CheckedSpec, compile_spec, parse_spec, spec_errors
+from repro.devil.types import EnumType
+from repro.diagnostics import CompileError
+from repro.drivers import (
+    IDE_HEADER_NAME,
+    assemble_c_program,
+    assemble_cdevil_program,
+)
+from repro.hw.machine import standard_pc
+from repro.kernel.kernel import boot
+from repro.kernel.outcomes import BootOutcome
+from repro.minic import ast as c_ast
+from repro.minic.program import SourceFile, compile_program
+from repro.minic.sema import BUILTIN_SIGNATURES
+from repro.mutation.c_ops import IdentifierPools
+from repro.mutation.generator import enumerate_c_mutants, enumerate_devil_mutants
+from repro.mutation.model import Mutant
+from repro.mutation.sampling import DEFAULT_SEED, sample_mutants
+from repro.mutation.tagging import api_call_regions
+from repro.specs import load_spec_source
+
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass
+class MutantResult:
+    mutant: Mutant
+    outcome: BootOutcome
+    detail: str = ""
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one driver campaign (a Table 3/4 run)."""
+
+    driver: str
+    enumerated: int
+    results: list[MutantResult] = field(default_factory=list)
+    clean_steps: int = 0
+    step_budget: int = 0
+
+    @property
+    def tested(self) -> int:
+        return len(self.results)
+
+    def count(self, outcome: BootOutcome) -> int:
+        return sum(1 for r in self.results if r.outcome is outcome)
+
+    def sites(self, outcome: BootOutcome) -> int:
+        return len(
+            {r.mutant.site.key for r in self.results if r.outcome is outcome}
+        )
+
+    def fraction(self, outcome: BootOutcome) -> float:
+        return self.count(outcome) / self.tested if self.tested else 0.0
+
+    def detected_fraction(self) -> float:
+        """Compile-time + run-time checks, the paper's headline metric."""
+        detected = self.count(BootOutcome.COMPILE_CHECK) + self.count(
+            BootOutcome.RUN_TIME_CHECK
+        )
+        return detected / self.tested if self.tested else 0.0
+
+
+@dataclass
+class DevilCampaignResult:
+    """One row of Table 2."""
+
+    spec_name: str
+    lines: int
+    sites: int
+    enumerated: int
+    results: list[MutantResult] = field(default_factory=list)
+
+    @property
+    def tested(self) -> int:
+        return len(self.results)
+
+    @property
+    def detected(self) -> int:
+        return sum(
+            1 for r in self.results if r.outcome is BootOutcome.COMPILE_CHECK
+        )
+
+    @property
+    def detected_fraction(self) -> float:
+        return self.detected / self.tested if self.tested else 0.0
+
+
+# -- identifier pool construction ---------------------------------------------
+
+
+def build_c_pools(
+    program_files: list[SourceFile],
+    include_registry: dict[str, str],
+    driver_filename: str,
+    api_spec: CheckedSpec | None = None,
+    api_prefix: str = "",
+) -> IdentifierPools:
+    """Same-file identifier classes, per the paper's replacement rule."""
+    pools = IdentifierPools()
+    program = compile_program(program_files, include_registry)
+
+    for decl in program.unit.decls:
+        in_driver = decl.location.filename == driver_filename
+        if isinstance(decl, c_ast.FuncDecl):
+            if in_driver:
+                pools.functions.add(decl.name)
+                for param in decl.params:
+                    if param.name:
+                        pools.variables.add(param.name)
+                if decl.body is not None:
+                    _collect_locals(decl.body, pools.variables)
+        elif isinstance(decl, c_ast.GlobalDecl) and in_driver:
+            pools.variables.add(decl.name)
+
+    # Builtins called from the driver join the function pool ("defined"
+    # by the kernel environment headers).
+    driver_text = next(
+        f.text for f in program_files if f.name == driver_filename
+    )
+    for name in BUILTIN_SIGNATURES:
+        if name in ("dil_panic",):
+            continue
+        if f"{name}(" in driver_text:
+            pools.functions.add(name)
+
+    for line in driver_text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#define"):
+            parts = stripped.split(None, 2)
+            if len(parts) >= 2:
+                pools.macros.add(parts[1].split("(")[0])
+
+    if api_spec is not None:
+        pools.api_classes.update(cdevil_api_pools(api_spec, api_prefix))
+    return pools
+
+
+def _collect_locals(stmt: c_ast.Stmt, into: set[str]) -> None:
+    if isinstance(stmt, c_ast.LocalDecl):
+        into.add(stmt.name)
+    elif isinstance(stmt, c_ast.Block):
+        for inner in stmt.statements:
+            _collect_locals(inner, into)
+    elif isinstance(stmt, c_ast.If):
+        for inner in (stmt.then, stmt.otherwise):
+            if inner is not None:
+                _collect_locals(inner, into)
+    elif isinstance(stmt, (c_ast.While, c_ast.DoWhile)):
+        if stmt.body is not None:
+            _collect_locals(stmt.body, into)
+    elif isinstance(stmt, c_ast.For):
+        for inner in (stmt.init, stmt.body):
+            if inner is not None:
+                _collect_locals(inner, into)
+    elif isinstance(stmt, c_ast.Switch):
+        for group in stmt.groups:
+            for inner in group.body:
+                _collect_locals(inner, into)
+
+
+def stub_call_names(spec: CheckedSpec, prefix: str = "") -> frozenset[str]:
+    """Every callable the Devil compiler generates (stub-call anchors)."""
+
+    def named(base: str) -> str:
+        return f"{prefix}_{base}" if prefix else base
+
+    names = {named("devil_init"), "dil_eq", "dil_assert"}
+    for variable in spec.variables.values():
+        if variable.writable:
+            names.add(named(f"set_{variable.name}"))
+        if variable.readable and not variable.private:
+            names.add(named(f"get_{variable.name}"))
+        if "write trigger" in variable.decl.attributes:
+            names.add(named(f"trigger_{variable.name}"))
+        if "read trigger" in variable.decl.attributes:
+            names.add(named(f"latch_{variable.name}"))
+    return frozenset(names)
+
+
+def cdevil_api_pools(
+    spec: CheckedSpec, prefix: str = ""
+) -> dict[str, frozenset[str]]:
+    """Generated-interface identifier classes (paper §3.3).
+
+    Set functions form one class, get functions another, and the typed
+    interface *values* (enum constants) a third spanning all enum types —
+    confusing two constants of different types is exactly the inattention
+    error the debug stubs are built to catch.
+    """
+
+    def named(base: str) -> str:
+        return f"{prefix}_{base}" if prefix else base
+
+    setters = set()
+    getters = set()
+    constants = set()
+    for variable in spec.variables.values():
+        if variable.writable:
+            setters.add(named(f"set_{variable.name}"))
+        if variable.readable and not variable.private:
+            getters.add(named(f"get_{variable.name}"))
+        if isinstance(variable.devil_type, EnumType):
+            for member in variable.devil_type.members:
+                constants.add(member.name)
+    classes: dict[str, frozenset[str]] = {}
+    for pool in (frozenset(setters), frozenset(getters), frozenset(constants)):
+        for name in pool:
+            classes[name] = pool
+    return classes
+
+
+# -- driver campaigns -------------------------------------------------------------
+
+
+def run_driver_campaign(
+    driver: str = "c",
+    mode: str = "debug",
+    fraction: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    step_budget: int | None = None,
+    progress: ProgressFn | None = None,
+) -> CampaignResult:
+    """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil")."""
+    regions = None
+    if driver == "c":
+        files, registry = assemble_c_program()
+        driver_filename = files[0].name
+        pools = build_c_pools(files, registry, driver_filename)
+    elif driver == "cdevil":
+        files, registry = assemble_cdevil_program(mode=mode)
+        driver_filename = files[0].name
+        spec = compile_spec(load_spec_source("ide_piix4"))
+        pools = build_c_pools(files, registry, driver_filename, api_spec=spec)
+        # Paper §3.3: CDevil mutations target the stub call sites.
+        regions = api_call_regions(files[0].text, stub_call_names(spec))
+    else:
+        raise ValueError(f"unknown driver {driver!r}")
+
+    source = files[0].text
+    mutants = enumerate_c_mutants(
+        source, driver_filename, pools, include_registry=registry,
+        regions=regions,
+    )
+    tested = sample_mutants(mutants, fraction, seed)
+
+    # Baseline: the unmutated driver must boot cleanly.
+    baseline_program = compile_program(files, registry)
+    baseline = boot(baseline_program, standard_pc())
+    if baseline.outcome is not BootOutcome.BOOT:
+        raise RuntimeError(
+            f"baseline {driver} driver does not boot cleanly: {baseline}"
+        )
+    budget = step_budget or max(1_000_000, baseline.steps * 6 + 200_000)
+
+    campaign = CampaignResult(
+        driver=driver,
+        enumerated=len(mutants),
+        clean_steps=baseline.steps,
+        step_budget=budget,
+    )
+    for index, mutant in enumerate(tested):
+        if progress is not None:
+            progress(index, len(tested))
+        campaign.results.append(
+            _run_one(mutant, source, driver_filename, registry, budget)
+        )
+    return campaign
+
+
+def _run_one(
+    mutant: Mutant,
+    source: str,
+    driver_filename: str,
+    registry: dict[str, str],
+    budget: int,
+) -> MutantResult:
+    mutated = mutant.apply(source)
+    try:
+        program = compile_program(
+            [SourceFile(driver_filename, mutated)], registry
+        )
+    except CompileError as error:
+        return MutantResult(
+            mutant=mutant,
+            outcome=BootOutcome.COMPILE_CHECK,
+            detail=error.diagnostics[0].code if error.diagnostics else "error",
+        )
+    report = boot(program, standard_pc(with_busmouse=False), step_budget=budget)
+    outcome = report.outcome
+    if outcome is BootOutcome.BOOT:
+        site_line = (mutant.site.file, mutant.site.line)
+        if site_line not in report.coverage:
+            outcome = BootOutcome.DEAD_CODE
+    return MutantResult(mutant=mutant, outcome=outcome, detail=report.detail)
+
+
+# -- Devil specification campaigns ----------------------------------------------
+
+
+def run_devil_campaign(
+    spec_name: str,
+    fraction: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    progress: ProgressFn | None = None,
+) -> DevilCampaignResult:
+    """Mutation campaign against a bundled Devil spec (one Table 2 row)."""
+    source = load_spec_source(spec_name)
+    device = parse_spec(source, spec_name)
+    # The unmutated spec must be accepted.
+    compile_spec(source, spec_name)
+
+    mutants = enumerate_devil_mutants(source, device, spec_name)
+    tested = sample_mutants(mutants, fraction, seed)
+    result = DevilCampaignResult(
+        spec_name=spec_name,
+        lines=count_code_lines(source),
+        sites=len({m.site.key for m in mutants}),
+        enumerated=len(mutants),
+    )
+    for index, mutant in enumerate(tested):
+        if progress is not None:
+            progress(index, len(tested))
+        errors = spec_errors(mutant.apply(source), spec_name)
+        outcome = (
+            BootOutcome.COMPILE_CHECK if errors else BootOutcome.BOOT
+        )
+        detail = errors[0].code if errors else "accepted"
+        result.results.append(
+            MutantResult(mutant=mutant, outcome=outcome, detail=detail)
+        )
+    return result
+
+
+def count_code_lines(source: str) -> int:
+    """Non-blank, non-comment-only lines (the paper's spec line counts)."""
+    count = 0
+    for line in source.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("//"):
+            count += 1
+    return count

@@ -1,0 +1,104 @@
+"""Hardware-operating-code region tagging (paper §3.3).
+
+"In a C driver, we are only interested in testing the hardware operating
+code.  Thus, we manually insert tags to mark the corresponding regions."
+Regions are delimited with ``/* HW-BEGIN */`` ... ``/* HW-END */`` (or
+``CDEVIL-BEGIN``/``CDEVIL-END`` in the re-engineered driver); only tokens
+inside a region are mutation sites.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_MARKER = re.compile(r"/\*\s*(HW|CDEVIL)-(BEGIN|END)\s*\*/")
+
+
+@dataclass(frozen=True)
+class Region:
+    start: int  # offset just after the BEGIN marker
+    end: int  # offset of the END marker
+
+    def covers(self, offset: int) -> bool:
+        return self.start <= offset < self.end
+
+
+def tagged_regions(source: str) -> list[Region]:
+    """All tagged regions of a source text, in order."""
+    regions: list[Region] = []
+    open_at: int | None = None
+    for match in _MARKER.finditer(source):
+        if match.group(2) == "BEGIN":
+            if open_at is not None:
+                raise ValueError(f"nested {match.group(0)} at {match.start()}")
+            open_at = match.end()
+        else:
+            if open_at is None:
+                raise ValueError(f"unmatched {match.group(0)} at {match.start()}")
+            regions.append(Region(open_at, match.start()))
+            open_at = None
+    if open_at is not None:
+        raise ValueError("unterminated mutation region")
+    return regions
+
+
+def in_regions(regions: list[Region], offset: int) -> bool:
+    return any(region.covers(offset) for region in regions)
+
+
+def api_call_regions(source: str, api_names: frozenset[str]) -> list[Region]:
+    """Stub-call-expression regions for a CDevil driver.
+
+    Paper §1/§3.3: "For Devil drivers, mutations are applied at the call
+    sites of the generated stubs."  A region spans from the stub's name to
+    its matching close parenthesis — covering the name, the arguments and
+    any nested stub calls, but *not* the surrounding statement.
+    """
+    from repro.minic.lexer import lex_line, strip_comments
+    from repro.minic.tokens import CTokenKind
+
+    regions: list[Region] = []
+    stripped = strip_comments(source)
+    offset = 0
+    for line_number, line in enumerate(stripped.split("\n"), start=1):
+        if not line.lstrip().startswith("#"):
+            tokens = lex_line(line, line_number, "<cdevil>")
+            index = 0
+            while index < len(tokens):
+                token = tokens[index]
+                if (
+                    token.kind is CTokenKind.IDENT
+                    and token.text in api_names
+                    and index + 1 < len(tokens)
+                    and tokens[index + 1].is_punct("(")
+                ):
+                    depth = 0
+                    end = index + 1
+                    while end < len(tokens):
+                        if tokens[end].is_punct("("):
+                            depth += 1
+                        elif tokens[end].is_punct(")"):
+                            depth -= 1
+                            if depth == 0:
+                                break
+                        end += 1
+                    if end < len(tokens):
+                        start_off = offset + token.column - 1
+                        end_off = offset + tokens[end].column  # past ')'
+                        regions.append(Region(start_off, end_off))
+                        index = end + 1
+                        continue
+                index += 1
+        offset += len(line) + 1
+    return _merge(regions)
+
+
+def _merge(regions: list[Region]) -> list[Region]:
+    merged: list[Region] = []
+    for region in sorted(regions, key=lambda r: r.start):
+        if merged and region.start <= merged[-1].end:
+            merged[-1] = Region(merged[-1].start, max(merged[-1].end, region.end))
+        else:
+            merged.append(region)
+    return merged

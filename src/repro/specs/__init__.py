@@ -1,0 +1,46 @@
+"""Bundled Devil device specifications.
+
+Five devices, matching Table 2 of the paper: the Logitech busmouse
+(Figure 3 verbatim), an Intel 82371FB PCI IDE bus master, an Intel PIIX4
+IDE disk controller, an NE2000 (ns8390) Ethernet controller and a 3Dlabs
+Permedia 2 graphics card.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+
+#: Spec registry: name → (resource file, device identifier).
+SPEC_FILES = {
+    "logitech_busmouse": "logitech_busmouse.dil",
+    "pci_82371fb": "pci_82371fb.dil",
+    "ide_piix4": "ide_piix4.dil",
+    "ne2000": "ne2000.dil",
+    "permedia2": "permedia2.dil",
+}
+
+#: Display names used by the Table 2 harness, in the paper's row order.
+PAPER_NAMES = {
+    "logitech_busmouse": "Logitech Busmouse",
+    "pci_82371fb": "PCI Bus Master (Intel 82371FB)",
+    "ide_piix4": "IDE (Intel PIIX4)",
+    "ne2000": "Ethernet NE2000 (ns8390)",
+    "permedia2": "Graphic card (Permedia 2)",
+}
+
+
+def spec_names() -> list[str]:
+    """All bundled spec names, in the paper's Table 2 order."""
+    return list(SPEC_FILES)
+
+
+def load_spec_source(name: str) -> str:
+    """Source text of a bundled spec."""
+    try:
+        filename = SPEC_FILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown spec {name!r}; available: {', '.join(SPEC_FILES)}"
+        ) from None
+    resource = importlib.resources.files(__package__).joinpath(filename)
+    return resource.read_text(encoding="utf-8")

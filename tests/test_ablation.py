@@ -1,0 +1,37 @@
+"""Tests for the debug-vs-production ablation harness."""
+
+import pytest
+
+from repro.experiments import ablation
+from repro.kernel.outcomes import BootOutcome
+
+
+@pytest.fixture(scope="module")
+def report():
+    return ablation.run(fraction=0.12, seed=77)
+
+
+@pytest.mark.slow
+def test_detection_collapses_without_debug_stubs(report):
+    assert report.debug.detected_fraction() > 0.5
+    assert report.production.detected_fraction() < 0.2
+    assert report.detection_drop > 0.3
+
+
+@pytest.mark.slow
+def test_runtime_checks_exist_only_in_debug(report):
+    assert report.debug.count(BootOutcome.RUN_TIME_CHECK) > 0
+    assert report.production.count(BootOutcome.RUN_TIME_CHECK) == 0
+
+
+@pytest.mark.slow
+def test_silent_mutants_surge_in_production(report):
+    assert report.production.fraction(BootOutcome.BOOT) > report.debug.fraction(
+        BootOutcome.BOOT
+    )
+
+
+@pytest.mark.slow
+def test_render_mentions_both_modes(report):
+    text = ablation.render(report)
+    assert "Debug stubs" in text and "Production stubs" in text

@@ -1,0 +1,230 @@
+"""Tests for the inter-layer consistency rules (paper §2.2, second half)."""
+
+from repro.devil.compiler import compile_spec, spec_errors
+
+
+def codes(source: str) -> set[str]:
+    return {d.code for d in spec_errors(source)}
+
+
+def wrap(body: str, ports: str = "p : bit[8] port @ {0..1}") -> str:
+    return f"device d ({ports}) {{ {body} }}"
+
+
+FILLER1 = " register f1 = p @ 1 : bit[8]; variable vf1 = f1 : int(8);"
+
+
+# -- X1: direction consistency ----------------------------------------------------
+
+
+def test_write_to_variable_on_readonly_register():
+    source = wrap(
+        "register r = read p @ 0 : bit[8]; variable v = r : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);"
+        " register ir = write p @ 1 : bit[8];"
+        " private variable idx = ir : int(8);"
+        " register rx = read p @ 1, pre {idx = 1} : bit[8];"
+        " variable vx = rx : int(8);"
+    )
+    assert compile_spec(source)  # sanity: this layout is legal
+
+
+def test_readable_enum_requires_read_mapping():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A => '1', B => '0' };" + FILLER1
+    )
+    assert "devil-dir" in codes(source)
+
+
+def test_write_mapping_on_readonly_variable():
+    source = wrap(
+        "register r = read p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '1', B <=> '0' };"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);" + FILLER1
+    )
+    assert "devil-dir" in codes(source)
+
+
+def test_readable_enum_must_be_exhaustive():
+    source = wrap(
+        "register r = p @ 0, mask '000000..' : bit[8];"
+        " variable v = r[1..0] : { A <=> '00', B <=> '01' };" + FILLER1
+    )
+    assert "devil-enum-exhaustive" in codes(source)
+
+
+def test_write_trigger_requires_writable():
+    source = wrap(
+        "register r = read p @ 0 : bit[8];"
+        " variable v = r, write trigger : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);" + FILLER1
+    )
+    assert "devil-access" in codes(source)
+
+
+def test_read_trigger_requires_readable():
+    source = wrap(
+        "register r = write p @ 0 : bit[8];"
+        " variable v = r, read trigger : int(8);"
+        " register x = read p @ 0 : bit[8]; variable vx = x : int(8);" + FILLER1
+    )
+    assert "devil-access" in codes(source)
+
+
+def test_pre_action_on_readonly_variable_rejected():
+    source = wrap(
+        "register ro = read p @ 1 : bit[8];"
+        " private variable idx = ro : int(8);"
+        " register r = read p @ 0, pre {idx = 1} : bit[8];"
+        " variable v = r : int(8);"
+        " register w0 = write p @ 0 : bit[8]; variable vw0 = w0 : int(8);"
+        " register w1 = write p @ 1 : bit[8]; variable vw1 = w1 : int(8);"
+    )
+    assert "devil-access" in codes(source)
+
+
+def test_pre_action_value_outside_type():
+    source = wrap(
+        "register ir = write p @ 1 : bit[8];"
+        " private variable idx = ir[1..0] : int(2);"
+        " variable rest = ir[7..2] : int(6);"
+        " register r = read p @ 0, pre {idx = 9} : bit[8];"
+        " variable v = r : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);"
+    )
+    assert "devil-pre-range" in codes(source)
+
+
+def test_chained_pre_actions_rejected():
+    source = wrap(
+        "register a = write p @ 0 : bit[8];"
+        " private variable va = a : int(8);"
+        " register b = write p @ 1, pre {va = 1} : bit[8];"
+        " private variable vb = b : int(8);"
+        " register c = read p @ 0, pre {vb = 2} : bit[8];"
+        " variable vc = c : int(8);"
+        " register d1 = read p @ 1 : bit[8]; variable vd = d1 : int(8);"
+    )
+    assert "devil-pre-cycle" in codes(source)
+
+
+# -- X2: no omission -----------------------------------------------------------------
+
+
+def test_unused_param_detected():
+    source = (
+        "device d (p : bit[8] port @ {0..0}, q : bit[8] port @ {0..0})"
+        " { register r = p @ 0 : bit[8]; variable v = r : int(8); }"
+    )
+    assert "devil-unused-param" in codes(source)
+
+
+def test_unused_offset_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : int(8);",
+        ports="p : bit[8] port @ {0..1}",
+    )
+    assert "devil-unused-offset" in codes(source)
+
+
+def test_unused_register_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : int(8);"
+        " register dead = p @ 1 : bit[8];"
+    )
+    assert "devil-unused-register" in codes(source)
+
+
+def test_unused_relevant_bits_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r[3..0] : int(4);" + FILLER1
+    )
+    assert "devil-unused-bits" in codes(source)
+
+
+def test_unused_private_variable_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; private variable v = r : int(8);"
+        + FILLER1
+    )
+    assert "devil-unused-private" in codes(source)
+
+
+# -- X3: no overlap -------------------------------------------------------------------
+
+
+def test_same_port_same_direction_overlap_rejected():
+    source = wrap(
+        "register a = read p @ 0 : bit[8]; variable va = a : int(8);"
+        " register b = read p @ 0 : bit[8]; variable vb = b : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);" + FILLER1
+    )
+    assert "devil-port-overlap" in codes(source)
+
+
+def test_disjoint_masks_allow_same_port():
+    """The busmouse index/interrupt pattern: same write port, disjoint
+    relevant masks (fixed bits may differ — that's how the device
+    discriminates)."""
+    source = wrap(
+        "register a = write p @ 0, mask '1..00000' : bit[8];"
+        " private variable idx = a[6..5] : int(2);"
+        " register b = write p @ 0, mask '000.0000' : bit[8];"
+        " variable vb = b[4] : bool;"
+        " register r = read p @ 0, pre {idx = 1} : bit[8];"
+        " variable vr = r : int(8);" + FILLER1
+    )
+    assert compile_spec(source)
+
+
+def test_disjoint_pre_actions_allow_same_port():
+    source = wrap(
+        "register ir = write p @ 1 : bit[8];"
+        " private variable idx = ir : int(8);"
+        " register x = read p @ 0, pre {idx = 0} : bit[8];"
+        " variable vx = x : int(8);"
+        " register y = read p @ 0, pre {idx = 1} : bit[8];"
+        " variable vy = y : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);"
+        " register r1 = read p @ 1 : bit[8]; variable vr1 = r1 : int(8);"
+    )
+    assert compile_spec(source)
+
+
+def test_same_pre_action_context_overlap_rejected():
+    source = wrap(
+        "register ir = write p @ 1 : bit[8];"
+        " private variable idx = ir : int(8);"
+        " register x = read p @ 0, pre {idx = 0} : bit[8];"
+        " variable vx = x : int(8);"
+        " register y = read p @ 0, pre {idx = 0} : bit[8];"
+        " variable vy = y : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);"
+        " register r1 = read p @ 1 : bit[8]; variable vr1 = r1 : int(8);"
+    )
+    assert "devil-port-overlap" in codes(source)
+
+
+def test_read_and_write_registers_may_share_a_port():
+    source = wrap(
+        "register r = read p @ 0 : bit[8]; variable vr = r : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);" + FILLER1
+    )
+    assert compile_spec(source)
+
+
+def test_bit_overlap_between_variables_rejected():
+    source = wrap(
+        "register r = p @ 0 : bit[8];"
+        " variable a = r[4..0] : int(5);"
+        " variable b = r[7..4] : int(4);" + FILLER1
+    )
+    assert "devil-bit-overlap" in codes(source)
+
+
+def test_all_bundled_specs_pass_both_layers():
+    from repro.specs import load_spec_source, spec_names
+
+    for name in spec_names():
+        assert compile_spec(load_spec_source(name)).name

@@ -1,0 +1,230 @@
+"""Tests for the intra-layer consistency rules (paper §2.2, first half)."""
+
+import pytest
+
+from repro.devil.compiler import compile_spec, spec_errors
+
+
+def codes(source: str) -> set[str]:
+    return {d.code for d in spec_errors(source)}
+
+
+def wrap(body: str, ports: str = "p : bit[8] port @ {0..3}") -> str:
+    return f"device d ({ports}) {{ {body} }}"
+
+
+# A register/variable pair per offset so no-omission stays quiet while we
+# provoke a specific intra-layer error.
+FILLER = (
+    " register f1 = p @ 1 : bit[8]; variable vf1 = f1 : int(8);"
+    " register f2 = p @ 2 : bit[8]; variable vf2 = f2 : int(8);"
+    " register f3 = p @ 3 : bit[8]; variable vf3 = f3 : int(8);"
+)
+
+
+def test_clean_spec_accepted():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : int(8);" + FILLER
+    )
+    assert compile_spec(source).name == "d"
+
+
+# -- I1: use/definition matching -----------------------------------------------
+
+
+def test_undefined_port_detected():
+    source = wrap("register r = q @ 0 : bit[8]; variable v = r : int(8);" + FILLER)
+    assert "devil-undef-port" in codes(source)
+
+
+def test_undefined_register_in_fragment_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = nosuch : int(8);" + FILLER
+    )
+    assert "devil-undef-register" in codes(source)
+
+
+def test_undefined_named_type_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : ghost_t;" + FILLER
+    )
+    assert "devil-undef-type" in codes(source)
+
+
+def test_pre_action_on_undefined_variable_detected():
+    source = wrap(
+        "register r = read p @ 0, pre {ghost = 1} : bit[8];"
+        " variable v = r : int(8);"
+        " register w = write p @ 0 : bit[8]; variable vw = w : int(8);" + FILLER
+    )
+    assert "devil-undef-variable" in codes(source)
+
+
+# -- I3: size checks -----------------------------------------------------------------
+
+
+def test_offset_outside_declared_range():
+    source = wrap(
+        "register r = p @ 9 : bit[8]; variable v = r : int(8);"
+        " register r0 = p @ 0 : bit[8]; variable v0 = r0 : int(8);" + FILLER
+    )
+    assert "devil-offset-range" in codes(source)
+
+
+def test_register_size_must_match_port_size():
+    source = wrap(
+        "register r = p @ 0 : bit[16]; variable v = r : int(16);" + FILLER
+    )
+    assert "devil-port-size" in codes(source)
+
+
+def test_mask_length_must_match_register_size():
+    source = wrap(
+        "register r = p @ 0, mask '....' : bit[8]; variable v = r : int(8);"
+        + FILLER
+    )
+    assert "devil-mask-size" in codes(source)
+
+
+def test_all_irrelevant_mask_rejected():
+    source = wrap(
+        "register r = p @ 0, mask '********' : bit[8];"
+        " variable v = r : int(8);" + FILLER
+    )
+    assert "devil-mask-size" in codes(source)
+
+
+def test_fragment_range_outside_register():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r[9..0] : int(10);" + FILLER
+    )
+    assert "devil-frag-range" in codes(source)
+
+
+def test_reversed_fragment_range_rejected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r[0..7] : int(8);" + FILLER
+    )
+    assert "devil-frag-range" in codes(source)
+
+
+def test_type_width_must_match_fragments():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : int(4);"
+        " variable v2 = r[3..0] : int(4);" + FILLER
+    )
+    assert "devil-type-width" in codes(source)
+
+
+def test_bool_must_be_one_bit():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; variable v = r : bool;" + FILLER
+    )
+    assert "devil-type-width" in codes(source)
+
+
+def test_enum_pattern_width_mismatch():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '10', B <=> '01' };" + FILLER
+    )
+    assert "devil-pattern-width" in codes(source)
+
+
+def test_enum_pattern_dot_rejected():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '.', B <=> '0' };" + FILLER
+    )
+    assert "devil-pattern-char" in codes(source)
+
+
+def test_set_value_must_fit_width():
+    source = wrap(
+        "register r = p @ 0, mask '000000..' : bit[8];"
+        " variable v = r[1..0] : int {0, 4};" + FILLER
+    )
+    assert "devil-set-range" in codes(source)
+
+
+def test_fragment_on_irrelevant_bit_rejected():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[1] : bool;"
+        " variable v0 = r[0] : bool;" + FILLER
+    )
+    assert "devil-irrelevant-bit" in codes(source)
+
+
+# -- I4: uniqueness -----------------------------------------------------------------
+
+
+def test_duplicate_register_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8]; register r = p @ 1 : bit[8];"
+        " variable v = r : int(8);"
+        " register f2 = p @ 2 : bit[8]; variable vf2 = f2 : int(8);"
+        " register f3 = p @ 3 : bit[8]; variable vf3 = f3 : int(8);"
+    )
+    assert "devil-dup-register" in codes(source)
+
+
+def test_duplicate_variable_detected():
+    source = wrap(
+        "register r = p @ 0 : bit[8];"
+        " variable v = r[7..4] : int(4); variable v = r[3..0] : int(4);" + FILLER
+    )
+    assert "devil-dup-variable" in codes(source)
+
+
+def test_duplicate_param_detected():
+    source = (
+        "device d (p : bit[8] port @ {0..0}, p : bit[8] port @ {0..0})"
+        " { register r = p @ 0 : bit[8]; variable v = r : int(8); }"
+    )
+    assert "devil-dup-param" in codes(source)
+
+
+def test_duplicate_type_detected():
+    source = wrap(
+        "type t_t = { A <=> '1', B <=> '0' };"
+        " type t_t = { C <=> '1', D <=> '0' };"
+        " register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : t_t;" + FILLER
+    )
+    assert "devil-dup-type" in codes(source)
+
+
+def test_duplicate_enum_member_detected():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '1', A <=> '0' };" + FILLER
+    )
+    assert "devil-dup-member" in codes(source)
+
+
+def test_duplicate_enum_pattern_detected():
+    source = wrap(
+        "register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '1', B <=> '1' };" + FILLER
+    )
+    assert "devil-dup-pattern" in codes(source)
+
+
+def test_overlapping_wildcard_patterns_detected():
+    source = wrap(
+        "register r = p @ 0, mask '000000..' : bit[8];"
+        " variable v = r[1..0] : { A <=> '1*', B <=> '10' };" + FILLER
+    )
+    assert "devil-dup-pattern" in codes(source)
+
+
+def test_mutated_figure3_offset_is_caught():
+    """The busmouse spec with sig_reg moved onto the data port collides
+    with the pre-action windows — a real §3.2 mutant."""
+    from repro.specs import load_spec_source
+
+    source = load_spec_source("logitech_busmouse").replace(
+        "base @ 1 : bit[8];", "base @ 0 : bit[8];"
+    )
+    assert codes(source)  # must be rejected (overlap and unused offset)

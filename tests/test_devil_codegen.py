@@ -1,0 +1,190 @@
+"""Tests for the C stub generators (paper §2.3 / Figure 4)."""
+
+import pytest
+
+from repro.devil.codegen import CodegenOptions, generate_header
+from repro.devil.compiler import compile_spec
+from repro.specs import load_spec_source
+
+
+@pytest.fixture(scope="module")
+def busmouse():
+    return compile_spec(load_spec_source("logitech_busmouse"))
+
+
+@pytest.fixture(scope="module")
+def ide():
+    return compile_spec(load_spec_source("ide_piix4"))
+
+
+@pytest.fixture(scope="module")
+def ide_debug(ide):
+    return generate_header(ide, CodegenOptions(mode="debug"))
+
+
+@pytest.fixture(scope="module")
+def ide_production(ide):
+    return generate_header(ide, CodegenOptions(mode="production"))
+
+
+# -- Figure 4 shape ------------------------------------------------------------
+
+
+def test_figure4_struct_type(ide_debug):
+    assert (
+        "struct Drive_t_ { const char *filename; int type; u32 val; };"
+        in ide_debug
+    )
+    assert "typedef struct Drive_t_ Drive_t;" in ide_debug
+
+
+def test_figure4_constants_carry_file_and_tag(ide_debug):
+    assert "static const Drive_t MASTER = { __FILE__," in ide_debug
+    assert "static const Drive_t SLAVE = { __FILE__," in ide_debug
+    # MASTER encodes '0', SLAVE '1' (paper §2.3).
+    master_line = next(l for l in ide_debug.splitlines() if "MASTER =" in l)
+    slave_line = next(l for l in ide_debug.splitlines() if "SLAVE =" in l)
+    assert master_line.rstrip().endswith("0x0u };")
+    assert slave_line.rstrip().endswith("0x1u };")
+
+
+def test_figure4_write_stub_composes_from_cache(ide_debug):
+    assert "static inline void set_Drive (Drive_t v)" in ide_debug
+    set_drive = ide_debug[ide_debug.index("set_Drive") :]
+    assert "cache.cache_select_reg" in set_drive.split("}")[0]
+    assert "reg_set_select_reg(tmp_0);" in set_drive
+
+
+def test_figure4_read_stub_tags_value(ide_debug):
+    start = ide_debug.index("static inline Drive_t get_Drive")
+    body = ide_debug[start : ide_debug.index("}", start)]
+    assert "v.filename = __FILE__;" in body
+    assert "v.val = (u32)tmp_v;" in body
+
+
+def test_dil_eq_checks_type_tag_at_runtime(ide_debug):
+    assert "#define dil_eq(x, y)" in ide_debug
+    assert "(x).type == (y).type" in ide_debug
+    assert "strcmp" in ide_debug
+
+
+def test_debug_register_read_checks_fixed_bits(ide_debug):
+    start = ide_debug.index("static inline u8 reg_get_select_reg")
+    body = ide_debug[start : ide_debug.index("return v;", start)]
+    assert "dil_assert((v & 0xa0u) == 0xa0u);" in body
+
+
+def test_debug_write_applies_mask_forcing(ide_debug):
+    start = ide_debug.index("static inline void reg_set_select_reg")
+    body = ide_debug[start : ide_debug.index("}", start)]
+    assert "| 0xa0u" in body
+
+
+def test_int_set_stub_asserts_membership(ide_debug):
+    start = ide_debug.index("static inline void set_feature")
+    body = ide_debug[start : ide_debug.index("}", start)]
+    assert "dil_assert((v == 0x0u) || (v == 0x1u) || (v == 0x3u));" in body
+
+
+def test_bool_stub_asserts_domain(ide_debug):
+    start = ide_debug.index("static inline void set_soft_reset")
+    body = ide_debug[start : ide_debug.index("}", start)]
+    assert "dil_assert(v <= 1u);" in body
+
+
+def test_narrow_int_write_asserts_range(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    start = header.index("static inline void set_index")
+    body = header[start : header.index("}", start)]
+    assert "dil_assert(v <= 0x3u);" in body
+
+
+# -- production mode -------------------------------------------------------------
+
+
+def test_production_has_no_structs_or_asserts(ide_production):
+    assert "struct Drive_t_" not in ide_production
+    assert "#define MASTER 0x0u" in ide_production
+    assert "#define dil_assert(expr) 0" in ide_production
+    assert "#define dil_eq(x, y) ((x) == (y))" in ide_production
+    assert "dil_panic" not in ide_production.replace(
+        "/* Requires from the kernel environment: u8/u16/u32/s8/s16/s32, "
+        "inb/outb/inw/outw/inl/outl, strcmp, dil_panic. */",
+        "",
+    )
+
+
+def test_production_still_masks_writes(ide_production):
+    start = ide_production.index("static inline void reg_set_select_reg")
+    body = ide_production[start : ide_production.index("}", start)]
+    assert "| 0xa0u" in body
+
+
+# -- structure & options -------------------------------------------------------------
+
+
+def test_prefix_applied_everywhere(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug", prefix="bm"))
+    assert "bm_devil_init" in header
+    assert "static inline s8 bm_get_dx (void)" in header
+    assert "bm_reg_get_x_low" in header
+    assert "bm_cache" in header
+
+
+def test_bases_baked_into_header(busmouse):
+    header = generate_header(
+        busmouse, CodegenOptions(mode="debug", bases=(("base", 0x23C),))
+    )
+    assert "static u32 base = 0x23cu;" in header
+    assert "devil_init (void)" in header
+
+
+def test_unbaked_header_takes_init_args(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    assert "devil_init (u32 base_arg)" in header
+
+
+def test_pre_actions_emitted_before_access(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    start = header.index("static inline u8 reg_get_x_high")
+    body = header[start : header.index("return v;", start)]
+    assert body.index("set_index(1u);") < body.index("inb(")
+
+
+def test_write_trigger_stub_reissues_cache(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    start = header.index("static inline void trigger_signature")
+    body = header[start : header.index("}", start)]
+    assert "reg_set_sig_reg(cache.cache_sig_reg);" in body
+
+
+def test_signed_read_stub_casts(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    start = header.index("static inline s8 get_dx")
+    body = header[start : header.index("}", start)]
+    assert "return (s8)tmp_v;" in body
+
+
+def test_concatenation_reads_both_registers(busmouse):
+    header = generate_header(busmouse, CodegenOptions(mode="debug"))
+    start = header.index("static inline s8 get_dx")
+    body = header[start : header.index("}", start)]
+    assert "reg_get_x_high()" in body and "reg_get_x_low()" in body
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError):
+        CodegenOptions(mode="fast")
+
+
+def test_generated_headers_compile_under_minic(busmouse, ide):
+    from repro.minic import SourceFile, compile_program
+
+    for spec, prefix in ((busmouse, "bm"), (ide, "")):
+        for mode in ("debug", "production"):
+            header = generate_header(spec, CodegenOptions(mode=mode, prefix=prefix))
+            # A translation unit of just the header must be clean C.
+            program = compile_program(
+                [SourceFile("stubs.h", header)], include_registry={}
+            )
+            assert not [w for w in program.warnings if w.code != "c-noeffect"]

@@ -1,0 +1,122 @@
+"""Tests for the bit-layout engine."""
+
+import pytest
+
+from repro.devil.compiler import compile_spec
+from repro.devil.layout import MaskInfo, ResolvedFragment
+from repro.specs import load_spec_source
+
+
+# -- MaskInfo --------------------------------------------------------------------
+
+
+def test_mask_all_relevant():
+    mask = MaskInfo.from_string("........")
+    assert mask.relevant == 0xFF
+    assert mask.force_one == 0 and mask.fixed == 0
+
+
+def test_mask_figure3_index_register():
+    mask = MaskInfo.from_string("1..00000")
+    assert mask.relevant == 0b0110_0000
+    assert mask.force_one == 0b1000_0000
+    assert mask.fixed == 0b1001_1111
+    assert mask.fixed_value == 0b1000_0000
+
+
+def test_mask_ide_select():
+    mask = MaskInfo.from_string("1.1.....")
+    assert mask.relevant == 0b0101_1111
+    assert mask.force_one == 0b1010_0000
+
+
+def test_mask_star_bits_fully_ignored():
+    mask = MaskInfo.from_string("****....")
+    assert mask.relevant == 0x0F
+    assert mask.fixed == 0
+
+
+def test_compose_write_forces_and_filters():
+    mask = MaskInfo.from_string("1..00000")
+    assert mask.compose_write(0xFF) == 0b1110_0000
+    assert mask.compose_write(0b0100_0000) == 0b1100_0000
+
+
+def test_conforms_on_read():
+    mask = MaskInfo.from_string("1.1.....")
+    assert mask.conforms_on_read(0b1010_0000)
+    assert mask.conforms_on_read(0b1111_1111)
+    assert not mask.conforms_on_read(0b0010_0000)
+
+
+def test_mask_rejects_bad_char():
+    with pytest.raises(ValueError):
+        MaskInfo.from_string("10x.")
+
+
+# -- ResolvedFragment ----------------------------------------------------------------
+
+
+def test_fragment_extract_insert_roundtrip():
+    fragment = ResolvedFragment("r", 6, 5)
+    assert fragment.width == 2
+    assert fragment.mask == 0b0110_0000
+    assert fragment.extract(0b0100_0000) == 0b10
+    assert fragment.insert(0, 0b11) == 0b0110_0000
+    assert fragment.insert(0xFF, 0b00) == 0b1001_1111
+
+
+def test_fragment_single_bit():
+    fragment = ResolvedFragment("r", 4, 4)
+    assert fragment.extract(0b0001_0000) == 1
+    assert fragment.insert(0, 1) == 0b0001_0000
+
+
+# -- CheckedVariable bit plumbing -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def busmouse():
+    return compile_spec(load_spec_source("logitech_busmouse"))
+
+
+def test_dx_width_and_fragments(busmouse):
+    dx = busmouse.variable("dx")
+    assert dx.width == 8
+    assert [str(f) for f in dx.fragments] == ["x_high[3..0]", "x_low[3..0]"]
+
+
+def test_split_bits_msb_first(busmouse):
+    dx = busmouse.variable("dx")
+    parts = dx.split_bits(0xA5)
+    assert [bits for _, bits in parts] == [0xA, 0x5]
+
+
+def test_join_bits_inverse_of_split(busmouse):
+    dx = busmouse.variable("dx")
+    for value in (0x00, 0x5A, 0xFF):
+        parts = [bits for _, bits in dx.split_bits(value)]
+        assert dx.join_bits(parts) == value
+
+
+def test_join_bits_wrong_arity_rejected(busmouse):
+    with pytest.raises(ValueError):
+        busmouse.variable("dx").join_bits([1])
+
+
+def test_type_tags_are_unique_and_dense(busmouse):
+    tags = [
+        v.type_tag for v in busmouse.variables.values() if v.type_tag
+    ]
+    assert sorted(tags) == list(range(1, len(tags) + 1))
+
+
+def test_ide_lba_spans_four_registers():
+    ide = compile_spec(load_spec_source("ide_piix4"))
+    lba = ide.variable("lba")
+    assert lba.width == 28
+    assert [f.register for f in lba.fragments] == [
+        "select_reg", "hcyl_reg", "lcyl_reg", "sector_reg",
+    ]
+    parts = lba.split_bits(0xABCDEF5)
+    assert [bits for _, bits in parts] == [0xA, 0xBC, 0xDE, 0xF5]

@@ -1,0 +1,129 @@
+"""Tests for the Devil lexer."""
+
+import pytest
+
+from repro.devil.lexer import DevilLexError, tokenize
+from repro.devil.tokens import TokenKind, parse_devil_int
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)][:-1]
+
+
+def test_empty_input_is_just_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].kind is TokenKind.EOF
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("register foo variable bar")
+    assert [t.kind for t in tokens[:4]] == [
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+        TokenKind.KEYWORD,
+        TokenKind.IDENT,
+    ]
+
+
+def test_decimal_and_hex_literals():
+    tokens = tokenize("42 0x1f 0XFF")
+    assert [t.int_value for t in tokens[:3]] == [42, 31, 255]
+
+
+def test_bit_pattern_token():
+    token = tokenize("'1001000.'")[0]
+    assert token.kind is TokenKind.BITPATTERN
+    assert token.pattern_value == "1001000."
+
+
+def test_bit_pattern_star():
+    assert tokenize("'****....'")[0].pattern_value == "****...."
+
+
+def test_multichar_punctuation_greedy():
+    assert texts("<=> <= => .. , @") == ["<=>", "<=", "=>", "..", ",", "@"]
+
+
+def test_range_inside_brackets():
+    assert texts("[6..5]") == ["[", "6", "..", "5", "]"]
+
+
+def test_line_comment_skipped():
+    assert texts("a // comment here\nb") == ["a", "b"]
+
+
+def test_block_comment_skipped():
+    assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+
+def test_token_positions_track_lines():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_token_offsets_are_exact():
+    source = "register x = base @ 1;"
+    for token in tokenize(source)[:-1]:
+        assert source[token.offset : token.end] == token.text
+
+
+def test_unterminated_pattern_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("'101")
+
+
+def test_pattern_with_bad_char_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("'10x'")
+
+
+def test_empty_pattern_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("''")
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("a $ b")
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("12ab")
+
+
+def test_hex_without_digits_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("0x")
+
+
+def test_unterminated_block_comment_rejected():
+    with pytest.raises(DevilLexError):
+        tokenize("/* never closed")
+
+
+def test_parse_devil_int():
+    assert parse_devil_int("0") == 0
+    assert parse_devil_int("0x10") == 16
+    assert parse_devil_int("0X10") == 16
+    assert parse_devil_int("070") == 70  # Devil has no octal
+
+
+@pytest.mark.parametrize("punct", ["{", "}", "(", ")", "[", "]", ";", ":", "#", "="])
+def test_single_punctuation(punct):
+    token = tokenize(punct)[0]
+    assert token.kind is TokenKind.PUNCT and token.text == punct
+
+
+def test_figure3_line_lexes():
+    source = "variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);"
+    assert texts(source) == [
+        "variable", "dx", "=", "x_high", "[", "3", "..", "0", "]", "#",
+        "x_low", "[", "3", "..", "0", "]", ",", "volatile", ":", "signed",
+        "int", "(", "8", ")", ";",
+    ]

@@ -1,0 +1,224 @@
+"""Tests for the Devil parser."""
+
+import pytest
+
+from repro.devil import ast
+from repro.devil.parser import DevilParseError, parse
+
+MINI = """
+device d (base : bit[8] port @ {0..1})
+{
+    register r = base @ 0 : bit[8];
+    variable v = r : int(8);
+    register w = write base @ 1, mask '1.......' : bit[8];
+    variable b = w[6..0] : int(7);
+}
+"""
+
+
+def test_device_name_and_params():
+    device = parse(MINI)
+    assert device.name == "d"
+    assert device.params[0].name == "base"
+    assert device.params[0].data_size == 8
+    assert device.params[0].offset_values() == [0, 1]
+
+
+def test_register_defaults_to_readwrite():
+    register = parse(MINI).register("r")
+    assert register.readable and register.writable
+    assert register.read_port.offset == 0
+
+
+def test_write_only_register_with_mask():
+    register = parse(MINI).register("w")
+    assert not register.readable and register.writable
+    assert register.mask == "1......."
+
+
+def test_whole_register_fragment():
+    variable = parse(MINI).variable("v")
+    assert variable.fragments[0].is_whole
+
+
+def test_bit_range_fragment():
+    variable = parse(MINI).variable("b")
+    fragment = variable.fragments[0]
+    assert (fragment.hi, fragment.lo) == (6, 0)
+
+
+def test_single_bit_fragment():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = p @ 0 : bit[8];"
+        " variable v = r[3] : bool;"
+        " variable rest0 = r[7..4] : int(4);"
+        " variable rest1 = r[2..0] : int(3); }"
+    )
+    fragment = device.variable("v").fragments[0]
+    assert (fragment.hi, fragment.lo) == (3, 3)
+
+
+def test_concatenated_fragments():
+    device = parse(
+        "device d (p : bit[8] port @ {0..1}) {"
+        " register hi = p @ 0 : bit[8];"
+        " register lo = p @ 1 : bit[8];"
+        " variable v = hi[3..0] # lo : int(12); }"
+    )
+    assert [str(f) for f in device.variable("v").fragments] == ["hi[3..0]", "lo"]
+
+
+def test_attributes_and_private():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = p @ 0 : bit[8];"
+        " private variable v = r, volatile, write trigger : int(8); }"
+    )
+    variable = device.variable("v")
+    assert variable.private
+    assert variable.attributes == frozenset({"volatile", "write trigger"})
+
+
+def test_pre_actions():
+    device = parse(
+        "device d (p : bit[8] port @ {0..1}) {"
+        " register ir = write p @ 1, mask '........' : bit[8];"
+        " private variable idx = ir[1..0] : int(2);"
+        " register r = read p @ 0, pre {idx = 2} : bit[8];"
+        " variable v = r : int(8); }"
+    )
+    register = device.register("r")
+    assert register.pre_actions == (
+        ast.PreAction("idx", 2, register.pre_actions[0].location),
+    )
+
+
+def test_multiple_pre_actions_with_separators():
+    device = parse(
+        "device d (p : bit[8] port @ {0..1}) {"
+        " register ir = write p @ 1 : bit[8];"
+        " private variable a = ir[3..0] : int(4);"
+        " private variable b = ir[7..4] : int(4);"
+        " register r = read p @ 0, pre {a = 1; b = 2} : bit[8];"
+        " variable v = r : int(8); }"
+    )
+    actions = device.register("r").pre_actions
+    assert [(x.variable, x.value) for x in actions] == [("a", 1), ("b", 2)]
+
+
+def test_enum_type_directions():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = write p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { ON => '1', OFF => '0' }; }"
+    )
+    members = device.variable("v").type_expr.members
+    assert [m.direction for m in members] == ["=>", "=>"]
+    assert members[0].writable and not members[0].readable
+
+
+def test_enum_bidirectional():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '1', B <=> '0' }; }"
+    )
+    member = device.variable("v").type_expr.members[0]
+    assert member.readable and member.writable
+
+
+def test_int_set_type():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = p @ 0, mask '000000..' : bit[8];"
+        " variable v = r[1..0] : int {0, 2..3}; }"
+    )
+    assert device.variable("v").type_expr.values() == [0, 2, 3]
+
+
+def test_named_type_declaration_and_use():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " type onoff_t = { ON <=> '1', OFF <=> '0' };"
+        " register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : onoff_t; }"
+    )
+    assert device.type_decl("onoff_t") is not None
+    assert isinstance(device.variable("v").type_expr, ast.NamedTypeExpr)
+
+
+def test_register_size_inferred_from_mask():
+    device = parse(
+        "device d (p : bit[8] port @ {0..0}) {"
+        " register r = p @ 0, mask '1.1.....';"
+        " variable v = r[6] : bool;"
+        " variable w = r[4..0] : int(5); }"
+    )
+    register = device.register("r")
+    assert register.size == 8 and register.size_inferred
+
+
+def test_port_range_as_set():
+    device = parse(
+        "device d (p : bit[8] port @ {0, 2, 8..9}) {"
+        " register a = p @ 0 : bit[8]; variable va = a : int(8);"
+        " register b = p @ 2 : bit[8]; variable vb = b : int(8);"
+        " register c = p @ 8 : bit[8]; variable vc = c : int(8);"
+        " register e = p @ 9 : bit[8]; variable ve = e : int(8); }"
+    )
+    assert device.params[0].offset_values() == [0, 2, 8, 9]
+
+
+def test_separate_read_write_ports():
+    device = parse(
+        "device d (p : bit[8] port @ {0..1}) {"
+        " register r = read p @ 0, write p @ 1 : bit[8];"
+        " variable v = r : int(8); }"
+    )
+    register = device.register("r")
+    assert register.read_port.offset == 0
+    assert register.write_port.offset == 1
+
+
+def test_figure3_parses_fully():
+    from repro.specs import load_spec_source
+
+    device = parse(load_spec_source("logitech_busmouse"))
+    assert device.name == "logitech_busmouse"
+    assert len(device.registers) == 8
+    assert len(device.variables) == 7
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "device {}",  # missing name and params
+        "device d () {}",  # empty params
+        "device d (base : bit[8] port @ {0..3})",  # missing body
+        "device d (base : bit[8] port @ {0..3}) { register ; }",
+        "device d (base : bit[8] port @ {0..3}) { variable v = ; }",
+        "device d (b : bit[8] port @ {0}) { register r = b @ 0 : bit[8] }",
+        "device d (b : bit[8] port @ {0}) { register r = b @ 0 : bit[8]; } x",
+    ],
+)
+def test_syntax_errors_raise(source):
+    with pytest.raises(DevilParseError):
+        parse(source)
+
+
+def test_duplicate_mask_rejected():
+    with pytest.raises(DevilParseError):
+        parse(
+            "device d (p : bit[8] port @ {0}) {"
+            " register r = p @ 0, mask '........', mask '........' : bit[8]; }"
+        )
+
+
+def test_error_carries_location():
+    try:
+        parse("device d (p : bit[8] port @ {0..3}) {\n  junk\n}")
+    except DevilParseError as error:
+        assert error.diagnostics[0].location.line == 2
+    else:
+        pytest.fail("expected a parse error")

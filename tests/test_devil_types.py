@@ -1,0 +1,199 @@
+"""Tests for resolved Devil types."""
+
+import pytest
+
+from repro.devil.types import (
+    BoolType,
+    DevilTypeError,
+    EnumType,
+    EnumValue,
+    IntSetType,
+    IntType,
+    parse_enum_pattern,
+)
+
+
+# -- IntType ------------------------------------------------------------------
+
+
+def test_unsigned_int_bounds():
+    t = IntType(width=4)
+    assert (t.min_value, t.max_value) == (0, 15)
+    assert t.contains(0) and t.contains(15)
+    assert not t.contains(16) and not t.contains(-1)
+
+
+def test_signed_int_bounds():
+    t = IntType(width=4, signed=True)
+    assert (t.min_value, t.max_value) == (-8, 7)
+    assert t.contains(-8) and not t.contains(8)
+
+
+def test_int_encode_decode_roundtrip_signed():
+    t = IntType(width=8, signed=True)
+    for value in (-128, -1, 0, 127):
+        assert t.decode(t.encode(value)) == value
+
+
+def test_int_encode_out_of_domain_raises():
+    with pytest.raises(DevilTypeError):
+        IntType(width=4).encode(16)
+
+
+def test_int_decode_masks_to_width():
+    assert IntType(width=4).decode(0xFF) == 0xF
+
+
+def test_int_describe():
+    assert IntType(width=8, signed=True).describe() == "signed int(8)"
+    assert IntType(width=3).describe() == "int(3)"
+
+
+# -- BoolType -------------------------------------------------------------------
+
+
+def test_bool_accepts_bools_and_bits():
+    t = BoolType()
+    assert t.encode(True) == 1 and t.encode(0) == 0
+    assert t.decode(1) is True and t.decode(0) is False
+
+
+def test_bool_rejects_other_values():
+    with pytest.raises(DevilTypeError):
+        BoolType().encode(2)
+
+
+# -- pattern parsing -----------------------------------------------------------
+
+
+def test_parse_enum_pattern_fixed():
+    assert parse_enum_pattern("10") == (0b10, 0b11)
+
+
+def test_parse_enum_pattern_wildcard():
+    bits, care = parse_enum_pattern("1*0")
+    assert bits == 0b100 and care == 0b101
+
+
+def test_parse_enum_pattern_rejects_dot():
+    with pytest.raises(DevilTypeError):
+        parse_enum_pattern("1.0")
+
+
+# -- EnumType --------------------------------------------------------------------
+
+
+def _drive_type():
+    return EnumType(
+        width=1,
+        members=(
+            EnumValue("SLAVE", 1, 1, True, True),
+            EnumValue("MASTER", 0, 1, True, True),
+        ),
+        type_name="Drive",
+    )
+
+
+def test_enum_encode_by_name_and_value():
+    t = _drive_type()
+    assert t.encode("SLAVE") == 1
+    assert t.encode(t.member("MASTER")) == 0
+
+
+def test_enum_decode_matches_member():
+    t = _drive_type()
+    assert t.decode(1).name == "SLAVE"
+    assert t.decode(0).name == "MASTER"
+
+
+def test_enum_encode_unknown_rejected():
+    with pytest.raises(DevilTypeError):
+        _drive_type().encode("TERTIARY")
+
+
+def test_enum_write_only_member_cannot_be_read():
+    t = EnumType(
+        width=1,
+        members=(
+            EnumValue("ON", 1, 1, False, True),
+            EnumValue("OFF", 0, 1, False, True),
+        ),
+        type_name="x",
+    )
+    with pytest.raises(DevilTypeError):
+        t.decode(1)
+
+
+def test_enum_read_only_member_cannot_be_written():
+    t = EnumType(
+        width=1,
+        members=(EnumValue("SENSED", 1, 1, True, False),),
+        type_name="x",
+    )
+    with pytest.raises(DevilTypeError):
+        t.encode("SENSED")
+
+
+def test_enum_wildcard_matching():
+    t = EnumType(
+        width=2,
+        members=(
+            EnumValue("ANY_HIGH", 0b10, 0b10, True, False),  # pattern '1*'
+            EnumValue("LOW", 0b00, 0b10, True, False),  # pattern '0*'
+        ),
+        type_name="x",
+    )
+    assert t.decode(0b11).name == "ANY_HIGH"
+    assert t.decode(0b01).name == "LOW"
+
+
+def test_enum_overlap_detection():
+    a = EnumValue("A", 0b10, 0b10, True, False)  # '1*'
+    b = EnumValue("B", 0b10, 0b11, True, False)  # '10'
+    c = EnumValue("C", 0b00, 0b10, True, False)  # '0*'
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+
+
+def test_enum_coverage_counts():
+    wild = EnumValue("W", 0b00, 0b00, True, False)  # '**'
+    assert wild.coverage(2) == 4
+    fixed = EnumValue("F", 0b01, 0b11, True, False)
+    assert fixed.coverage(2) == 1
+
+
+def test_enum_read_exhaustive():
+    assert _drive_type().read_exhaustive()
+    partial = EnumType(
+        width=2,
+        members=(EnumValue("ONLY", 0, 3, True, False),),
+        type_name="x",
+    )
+    assert not partial.read_exhaustive()
+
+
+def test_enum_struct_encoded_flag():
+    assert _drive_type().struct_encoded
+    assert not IntType(width=8).struct_encoded
+    assert not IntSetType(width=2, values=(0, 2, 3)).struct_encoded
+
+
+# -- IntSetType --------------------------------------------------------------------
+
+
+def test_int_set_membership():
+    t = IntSetType(width=2, values=(0, 2, 3))
+    assert t.contains(2) and not t.contains(1)
+
+
+def test_int_set_decode_rejects_hole():
+    """The paper's example: int{0,2,3} read back as 1 must assert."""
+    t = IntSetType(width=2, values=(0, 2, 3))
+    with pytest.raises(DevilTypeError):
+        t.decode(1)
+    assert t.decode(3) == 3
+
+
+def test_int_set_encode_rejects_nonmember():
+    with pytest.raises(DevilTypeError):
+        IntSetType(width=2, values=(0, 2)).encode(3)

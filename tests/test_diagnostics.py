@@ -1,0 +1,94 @@
+"""Tests for the shared diagnostics substrate."""
+
+import pytest
+
+from repro.diagnostics import (
+    CompileError,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    SourceLocation,
+)
+
+
+def test_source_location_str():
+    loc = SourceLocation(3, 7, "spec.dil")
+    assert str(loc) == "spec.dil:3:7"
+
+
+def test_source_location_ordering():
+    assert SourceLocation(1, 2) < SourceLocation(1, 3) < SourceLocation(2, 1)
+
+
+def test_diagnostic_str_includes_everything():
+    diag = Diagnostic(
+        Severity.ERROR, "devil-size", "mask too short", SourceLocation(4, 1, "f")
+    )
+    text = str(diag)
+    assert "f:4:1" in text and "error" in text and "devil-size" in text
+
+
+def test_diagnostic_is_error():
+    assert Diagnostic(Severity.ERROR, "x", "m").is_error
+    assert not Diagnostic(Severity.WARNING, "x", "m").is_error
+    assert not Diagnostic(Severity.NOTE, "x", "m").is_error
+
+
+def test_sink_collects_and_sorts():
+    sink = DiagnosticSink()
+    sink.error("b-code", "later", SourceLocation(5, 1))
+    sink.error("a-code", "earlier", SourceLocation(2, 1))
+    codes = [d.code for d in sink.diagnostics]
+    assert codes == ["a-code", "b-code"]
+
+
+def test_sink_has_errors_only_for_errors():
+    sink = DiagnosticSink()
+    sink.warning("w", "just a warning")
+    assert not sink.has_errors()
+    sink.error("e", "an error")
+    assert sink.has_errors()
+
+
+def test_sink_errors_filters_warnings():
+    sink = DiagnosticSink()
+    sink.warning("w", "warn")
+    sink.error("e", "err")
+    assert [d.code for d in sink.errors] == ["e"]
+
+
+def test_raise_if_errors_raises_with_payload():
+    sink = DiagnosticSink()
+    sink.error("e1", "first")
+    sink.error("e2", "second")
+    with pytest.raises(CompileError) as excinfo:
+        sink.raise_if_errors()
+    assert excinfo.value.codes == ["e1", "e2"]
+
+
+def test_raise_if_errors_noop_when_clean():
+    sink = DiagnosticSink()
+    sink.note("n", "informational")
+    sink.raise_if_errors()  # must not raise
+
+
+def test_compile_error_summary_truncates():
+    diags = [
+        Diagnostic(Severity.ERROR, f"c{i}", f"message {i}") for i in range(8)
+    ]
+    error = CompileError(diags)
+    assert "+3 more" in str(error)
+
+
+def test_sink_len_and_iter():
+    sink = DiagnosticSink()
+    sink.error("a", "x")
+    sink.warning("b", "y")
+    assert len(sink) == 2
+    assert {d.code for d in sink} == {"a", "b"}
+
+
+def test_sink_extend():
+    sink = DiagnosticSink()
+    sink.extend([Diagnostic(Severity.ERROR, "z", "zz")])
+    assert sink.has_errors()

@@ -1,0 +1,138 @@
+"""End-to-end integration tests: spec -> stubs -> mini-C -> boot."""
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.drivers import (
+    BUSMOUSE_CDEVIL_SOURCE,
+    BUSMOUSE_HEADER_NAME,
+    assemble_c_program,
+    assemble_cdevil_program,
+    busmouse_stub_header,
+    ide_stub_header,
+)
+from repro.hw import IOBus, LogitechBusmouse, standard_pc
+from repro.kernel import boot
+from repro.kernel.outcomes import BootOutcome
+from repro.minic import Interpreter, SourceFile, compile_program
+
+
+@pytest.fixture(scope="module")
+def c_boot():
+    files, registry = assemble_c_program()
+    program = compile_program(files, include_registry=registry)
+    machine = standard_pc()
+    return boot(program, machine), machine
+
+
+@pytest.fixture(scope="module")
+def cdevil_boot():
+    files, registry = assemble_cdevil_program()
+    program = compile_program(files, include_registry=registry)
+    machine = standard_pc()
+    return boot(program, machine), machine
+
+
+def test_c_driver_clean_boot(c_boot):
+    report, machine = c_boot
+    assert report.outcome is BootOutcome.BOOT
+    assert machine.disk_diff() == [250]  # superblock mount bump only
+
+
+def test_cdevil_driver_clean_boot(cdevil_boot):
+    report, machine = cdevil_boot
+    assert report.outcome is BootOutcome.BOOT
+    assert machine.disk_diff() == [250]
+
+
+def test_cdevil_production_mode_boots():
+    files, registry = assemble_cdevil_program(mode="production")
+    program = compile_program(files, include_registry=registry)
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.BOOT
+
+
+def test_both_drivers_read_identical_data(c_boot, cdevil_boot):
+    (_, c_machine), (_, d_machine) = c_boot, cdevil_boot
+    assert c_machine.disk.fingerprint() == d_machine.disk.fingerprint()
+
+
+def test_generated_ide_headers_are_deterministic():
+    assert ide_stub_header("debug") == ide_stub_header("debug")
+    assert ide_stub_header("debug") != ide_stub_header("production")
+
+
+def test_busmouse_cdevil_driver_runs():
+    program = compile_program(
+        [SourceFile("bm.c", BUSMOUSE_CDEVIL_SOURCE)],
+        include_registry={BUSMOUSE_HEADER_NAME: busmouse_stub_header()},
+    )
+    mouse = LogitechBusmouse(0x23C)
+    bus = IOBus()
+    bus.attach(mouse)
+    interp = Interpreter(program, bus)
+    assert interp.call("bm_probe") == 0
+    mouse.move(dx=3, dy=-2, buttons=0b001)
+    packed = interp.call("bm_get_state")
+    assert packed & 0xFF == 3
+    assert (packed >> 16) & 0x7 == 0b001
+
+
+def test_cross_type_constant_rejected_at_compile():
+    """The §2.3 mechanism end to end on the IDE driver."""
+    files, registry = assemble_cdevil_program()
+    bad = files[0].text.replace("set_Drive(MASTER);", "set_Drive(LBA);", 1)
+    with pytest.raises(CompileError) as excinfo:
+        compile_program([SourceFile(files[0].name, bad)], include_registry=registry)
+    assert "c-arg-type" in excinfo.value.codes
+
+
+def test_same_type_constant_swap_compiles_and_misbehaves():
+    files, registry = assemble_cdevil_program()
+    bad = files[0].text.replace("set_Drive(MASTER);", "set_Drive(SLAVE);", 1)
+    program = compile_program(
+        [SourceFile(files[0].name, bad)], include_registry=registry
+    )
+    report = boot(program, standard_pc())
+    # Selecting the absent slave: probe times out, dil_eq readback fails,
+    # or the boot halts — but it cannot be a clean boot.
+    assert report.outcome is not BootOutcome.BOOT
+
+
+def test_dil_eq_cross_type_dies_at_run_time():
+    files, registry = assemble_cdevil_program()
+    bad = files[0].text.replace(
+        "dil_eq(get_Drive(), MASTER)", "dil_eq(get_Drive(), LBA)", 1
+    )
+    program = compile_program(
+        [SourceFile(files[0].name, bad)], include_registry=registry
+    )
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.RUN_TIME_CHECK
+
+
+def test_debug_and_production_boot_same_coverage_shape():
+    debug_files, debug_reg = assemble_cdevil_program(mode="debug")
+    prod_files, prod_reg = assemble_cdevil_program(mode="production")
+    debug_report = boot(
+        compile_program(debug_files, include_registry=debug_reg), standard_pc()
+    )
+    prod_report = boot(
+        compile_program(prod_files, include_registry=prod_reg), standard_pc()
+    )
+    debug_lines = {l for f, l in debug_report.coverage if f == "ide_cdevil.c"}
+    prod_lines = {l for f, l in prod_report.coverage if f == "ide_cdevil.c"}
+    assert debug_lines == prod_lines
+
+
+def test_kernel_sees_wrong_data_when_select_typo():
+    """A typo the paper motivates: reading with the wrong drive selected."""
+    files, registry = assemble_c_program()
+    bad = files[0].text.replace(
+        "hd_out(0, 1, lba, WIN_READ);", "hd_out(1, 1, lba, WIN_READ);", 1
+    )
+    program = compile_program(
+        [SourceFile(files[0].name, bad)], include_registry=registry
+    )
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.HALT  # absent slave -> read error

@@ -1,0 +1,114 @@
+"""Tests for the experiment harnesses (tables, figure, report)."""
+
+from repro.experiments import figure4, report, table2, table3, table4
+from repro.experiments.tables import pct, render_table
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import (
+    CampaignResult,
+    DevilCampaignResult,
+    MutantResult,
+)
+from repro.mutation.model import Mutant, MutationSite
+
+
+def _result(outcome, line=1):
+    site = MutationSite("f.c", line, 1, 0, 1, "x", "literal")
+    return MutantResult(Mutant(site, "y"), outcome)
+
+
+def test_render_table_alignment():
+    text = render_table(["Name", "N"], [["alpha", "10"], ["b", "2"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[3].startswith("alpha") and lines[4].endswith(" 2")
+
+
+def test_pct_formatting():
+    assert pct(0.954) == "95.4 %"
+    assert pct(0.0) == "0.0 %"
+
+
+def test_campaign_result_accounting():
+    campaign = CampaignResult(driver="c", enumerated=10)
+    campaign.results = [
+        _result(BootOutcome.COMPILE_CHECK, 1),
+        _result(BootOutcome.COMPILE_CHECK, 1),
+        _result(BootOutcome.BOOT, 2),
+        _result(BootOutcome.RUN_TIME_CHECK, 3),
+    ]
+    assert campaign.tested == 4
+    assert campaign.count(BootOutcome.COMPILE_CHECK) == 2
+    assert campaign.sites(BootOutcome.COMPILE_CHECK) == 1
+    assert campaign.detected_fraction() == 0.75
+    assert campaign.fraction(BootOutcome.BOOT) == 0.25
+
+
+def test_devil_campaign_result_accounting():
+    result = DevilCampaignResult("s", lines=10, sites=5, enumerated=20)
+    result.results = [
+        _result(BootOutcome.COMPILE_CHECK),
+        _result(BootOutcome.BOOT),
+    ]
+    assert result.detected == 1 and result.detected_fraction == 0.5
+
+
+def test_table3_render_contains_paper_columns():
+    campaign = CampaignResult(driver="c", enumerated=1)
+    campaign.results = [_result(BootOutcome.HALT)]
+    text = table3.render(campaign)
+    assert "Table 3" in text and "21.5 %" in text and "Halt" in text
+
+
+def test_table4_render_contains_dead_code_row():
+    campaign = CampaignResult(driver="cdevil", enumerated=1)
+    campaign.results = [_result(BootOutcome.DEAD_CODE)]
+    text = table4.render(campaign)
+    assert "Dead code" in text and "9.4 %" in text
+
+
+def test_table2_paper_reference_values():
+    assert table2.PAPER_TABLE2["logitech_busmouse"] == (22, 87, 1678, 95.4)
+    assert set(table2.PAPER_TABLE2) == {
+        "logitech_busmouse", "pci_82371fb", "ide_piix4", "ne2000", "permedia2",
+    }
+
+
+def test_headline_report_ratios():
+    c_campaign = CampaignResult(driver="c", enumerated=4)
+    c_campaign.results = [
+        _result(BootOutcome.COMPILE_CHECK),
+        _result(BootOutcome.BOOT, 2),
+        _result(BootOutcome.BOOT, 3),
+        _result(BootOutcome.HALT, 4),
+    ]
+    d_campaign = CampaignResult(driver="cdevil", enumerated=4)
+    d_campaign.results = [
+        _result(BootOutcome.COMPILE_CHECK),
+        _result(BootOutcome.COMPILE_CHECK, 2),
+        _result(BootOutcome.RUN_TIME_CHECK, 3),
+        _result(BootOutcome.BOOT, 4),
+    ]
+    headline = report.HeadlineReport(c_result=c_campaign, cdevil_result=d_campaign)
+    assert headline.c_detected == 0.25
+    assert headline.cdevil_detected == 0.75
+    assert headline.detection_ratio == 3.0
+    assert headline.silent_ratio == 2.0
+    assert "3.0x" in report.render(headline)
+
+
+def test_figure4_reproduces_listing_shape():
+    result = figure4.run()
+    assert result.struct_definition.startswith("struct Drive_t_")
+    assert len(result.constants) == 2
+    assert any("MASTER" in c for c in result.constants)
+    assert len(result.register_stubs) == 2
+    assert len(result.variable_stubs) == 2
+    set_drive = result.variable_stubs[0]
+    assert "set_Drive (Drive_t v)" in set_drive
+    assert "cache" in set_drive
+
+
+def test_figure4_production_variant_differs():
+    debug = figure4.run("debug")
+    production = figure4.run("production")
+    assert debug.struct_definition and not production.struct_definition

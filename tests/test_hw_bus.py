@@ -1,0 +1,102 @@
+"""Tests for the I/O bus and the fragile legacy board."""
+
+import pytest
+
+from repro.hw.bus import BusFault, IOBus
+from repro.hw.device import Device
+from repro.hw.legacy import FRAGILE_RANGES, LegacyBoard
+from repro.minic.errors import MachineFault
+
+
+class Probe(Device):
+    name = "probe"
+
+    def __init__(self, base=0x100, length=4):
+        self.base, self.length = base, length
+        self.last_write = None
+
+    def port_ranges(self):
+        return [(self.base, self.length)]
+
+    def io_read(self, address, size):
+        return address - self.base
+
+    def io_write(self, address, value, size):
+        self.last_write = (address, value, size)
+
+
+def test_dispatch_to_claimed_device():
+    bus = IOBus()
+    probe = Probe()
+    bus.attach(probe)
+    assert bus.read_port(0x102, 8) == 2
+    bus.write_port(0x101, 0xAB, 8)
+    assert probe.last_write == (0x101, 0xAB, 8)
+
+
+def test_unclaimed_read_floats_high():
+    bus = IOBus()
+    assert bus.read_port(0x9999, 8) == 0xFF
+    assert bus.read_port(0x9999, 16) == 0xFFFF
+
+
+def test_unclaimed_write_is_inert():
+    IOBus().write_port(0x9999, 0x12, 8)  # must not raise
+
+
+def test_strict_bus_faults_on_unclaimed():
+    bus = IOBus(strict=True)
+    with pytest.raises(BusFault):
+        bus.read_port(0x9999, 8)
+    with pytest.raises(BusFault):
+        bus.write_port(0x9999, 1, 8)
+
+
+def test_overlapping_claims_rejected():
+    bus = IOBus()
+    bus.attach(Probe(0x100, 4))
+    with pytest.raises(ValueError):
+        bus.attach(Probe(0x102, 4))
+
+
+def test_value_masked_to_size():
+    bus = IOBus()
+
+    class Wide(Probe):
+        def io_read(self, address, size):
+            return 0x12345
+
+    bus.attach(Wide())
+    assert bus.read_port(0x100, 8) == 0x45
+
+
+def test_trace_records_accesses():
+    bus = IOBus(trace_limit=2)
+    bus.attach(Probe())
+    bus.read_port(0x100, 8)
+    bus.write_port(0x100, 1, 8)
+    bus.read_port(0x101, 8)
+    assert len(bus.trace) == 2  # bounded
+    assert bus.trace[-1].kind == "read"
+
+
+def test_legacy_board_write_wedges_machine():
+    board = LegacyBoard()
+    bus = IOBus()
+    bus.attach(board)
+    with pytest.raises(MachineFault, match="interrupt controller"):
+        bus.write_port(0x20, 0xFF, 8)
+    with pytest.raises(MachineFault, match="CMOS"):
+        bus.write_port(0x70, 0x01, 8)
+
+
+def test_legacy_board_reads_float():
+    bus = IOBus()
+    bus.attach(LegacyBoard())
+    assert bus.read_port(0x20, 8) == 0xFF
+
+
+def test_legacy_board_avoids_ide_control_port():
+    for start, length, _ in FRAGILE_RANGES:
+        assert not (start <= 0x3F6 < start + length)
+        assert not (start <= 0x1F0 < start + length)

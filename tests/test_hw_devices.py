@@ -1,0 +1,179 @@
+"""Tests for the busmouse, NE2000, PCI bus master and Permedia 2 models."""
+
+from repro.hw.busmouse import LogitechBusmouse
+from repro.hw.ne2000 import CR_RD_READ, CR_STA, DEFAULT_MAC, Ne2000
+from repro.hw.pci import BMICOM_START, BMISTA_IRQ, BusMaster82371FB
+from repro.hw.permedia2 import CHIP_ID, FIFO_DEPTH, Permedia2
+
+
+# -- busmouse ------------------------------------------------------------------
+
+
+def test_busmouse_signature_roundtrip():
+    mouse = LogitechBusmouse(0x23C)
+    mouse.io_write(0x23D, 0xA5, 8)
+    assert mouse.io_read(0x23D, 8) == 0xA5
+
+
+def test_busmouse_index_selects_nibble():
+    mouse = LogitechBusmouse(0x23C)
+    mouse.move(dx=0x75, dy=0x3A)
+    mouse.io_write(0x23E, 0x80 | (0 << 5), 8)
+    low = mouse.io_read(0x23C, 8)
+    mouse.io_write(0x23E, 0x80 | (1 << 5), 8)
+    high = mouse.io_read(0x23C, 8)
+    assert (high << 4) | low == 0x75
+
+
+def test_busmouse_buttons_in_y_high():
+    mouse = LogitechBusmouse(0x23C)
+    mouse.move(0, 0, buttons=0b101)
+    mouse.io_write(0x23E, 0x80 | (3 << 5), 8)
+    assert mouse.io_read(0x23C, 8) >> 5 == 0b101
+
+
+def test_busmouse_interrupt_control():
+    mouse = LogitechBusmouse(0x23C)
+    mouse.io_write(0x23E, 0x00, 8)  # bit7=0, bit4=0 -> enable
+    assert not mouse.interrupt_disabled
+    mouse.io_write(0x23E, 0x10, 8)
+    assert mouse.interrupt_disabled
+
+
+def test_busmouse_motion_clamps():
+    mouse = LogitechBusmouse(0x23C)
+    mouse.move(dx=1000, dy=-1000)
+    assert mouse.dx == 127 and mouse.dy == -128
+
+
+# -- NE2000 ---------------------------------------------------------------------
+
+
+def test_ne2000_prom_contains_doubled_mac():
+    card = Ne2000(0x300)
+    # Program a remote read of the first 12 PROM bytes.
+    card.io_write(0x300 + 8, 0, 8)   # rsar0
+    card.io_write(0x300 + 9, 0, 8)   # rsar1
+    card.io_write(0x300 + 10, 12, 8)  # rbcr0
+    card.io_write(0x300 + 11, 0, 8)  # rbcr1
+    card.io_write(0x300, CR_STA | CR_RD_READ, 8)
+    data = [card.io_read(0x300 + 0x10, 8) for _ in range(12)]
+    assert data[0::2] == list(DEFAULT_MAC)
+    assert data[1::2] == list(DEFAULT_MAC)
+
+
+def test_ne2000_remote_write_then_read_buffer():
+    card = Ne2000(0x300)
+    # Write 4 bytes at buffer address 0x100.
+    card.io_write(0x300 + 8, 0x00, 8)
+    card.io_write(0x300 + 9, 0x01, 8)
+    card.io_write(0x300 + 10, 4, 8)
+    card.io_write(0x300 + 11, 0, 8)
+    card.io_write(0x300, 0x12, 8)  # STA | remote write
+    for value in (1, 2, 3, 4):
+        card.io_write(0x300 + 0x10, value, 8)
+    assert card.buffer[0x100:0x104] == bytearray((1, 2, 3, 4))
+
+
+def test_ne2000_page_switch_exposes_par():
+    card = Ne2000(0x300)
+    card.io_write(0x300, 0x40 | CR_STA, 8)  # page 1
+    assert card.io_read(0x300 + 1, 8) == DEFAULT_MAC[0]
+    card.io_write(0x300 + 1, 0xAB, 8)
+    assert card.page1["par"][0] == 0xAB
+
+
+def test_ne2000_isr_write_one_to_clear():
+    card = Ne2000(0x300)
+    card.page0["isr"] = 0xC0
+    card.io_write(0x300 + 7, 0x80, 8)
+    assert card.page0["isr"] == 0x40
+
+
+def test_ne2000_reset_port():
+    card = Ne2000(0x300)
+    card.io_write(0x300 + 1, 0x55, 8)  # pstart
+    card.io_write(0x300 + 0x1F, 0, 8)
+    assert card.page0["pstart"] == 0
+
+
+# -- PCI bus master ----------------------------------------------------------------
+
+
+def test_bus_master_prd_pointer_byte_access():
+    bm = BusMaster82371FB(0xF000)
+    bm.io_write(0xF004, 0x12345678, 32)
+    assert bm.prd[0] == 0x12345678 & 0xFFFFFFFC
+    bm.io_write(0xF005, 0xAA, 8)
+    assert (bm.prd[0] >> 8) & 0xFF == 0xAA
+
+
+def test_bus_master_start_completes_transfer():
+    bm = BusMaster82371FB(0xF000)
+    bm.io_write(0xF004, 0x1000, 32)
+    bm.io_write(0xF000, BMICOM_START | 0x08, 8)
+    assert bm.transfers == [(0, 0x1000, 1)]
+    assert bm.io_read(0xF002, 8) & BMISTA_IRQ
+
+
+def test_bus_master_status_write_one_to_clear():
+    bm = BusMaster82371FB(0xF000)
+    bm.io_write(0xF000, BMICOM_START, 8)
+    assert bm.io_read(0xF002, 8) & BMISTA_IRQ
+    bm.io_write(0xF002, BMISTA_IRQ, 8)
+    assert not bm.io_read(0xF002, 8) & BMISTA_IRQ
+
+
+def test_bus_master_second_channel_independent():
+    bm = BusMaster82371FB(0xF000)
+    bm.io_write(0xF008 + 4, 0x2000, 32)
+    bm.io_write(0xF008, BMICOM_START, 8)
+    assert bm.transfers == [(1, 0x2000, 0)]
+    assert bm.prd[0] == 0
+
+
+# -- Permedia 2 ----------------------------------------------------------------------
+
+
+def test_permedia_indexed_register_access():
+    card = Permedia2(0x3C0)
+    card.io_write(0x3C0, 0x11, 8)  # screen base index
+    card.io_write(0x3C1, 0x42, 8)
+    assert card.io_read(0x3C1, 8) == 0x42
+
+
+def test_permedia_chip_id():
+    card = Permedia2(0x3C0)
+    card.io_write(0x3C0, 0x02, 8)
+    assert card.io_read(0x3C1, 8) == CHIP_ID
+    assert card.io_read(0x3C8, 8) == CHIP_ID
+
+
+def test_permedia_fifo_space_decreases():
+    card = Permedia2(0x3C0)
+    card.io_write(0x3C0, 0x03, 8)
+    before = card.io_read(0x3C1, 8)
+    card.io_write(0x3C0, 0x11, 8)
+    card.io_write(0x3C1, 1, 8)
+    card.io_write(0x3C0, 0x03, 8)
+    assert card.io_read(0x3C1, 8) == before - 1
+    assert before == FIFO_DEPTH
+
+
+def test_permedia_palette_autoincrement():
+    card = Permedia2(0x3C0)
+    card.io_write(0x3C4, 0, 8)  # palette index 0
+    for value in (10, 20, 30, 40, 50, 60):
+        card.io_write(0x3C5, value, 8)
+    assert card.palette[0] == (10, 20, 30)
+    assert card.palette[1] == (40, 50, 60)
+
+
+def test_permedia_reset_clears_state():
+    card = Permedia2(0x3C0)
+    card.io_write(0x3C0, 0x11, 8)
+    card.io_write(0x3C1, 0x99, 8)
+    card.io_write(0x3C0, 0x00, 8)  # reset/status index
+    card.io_write(0x3C1, 0x80, 8)  # reset strobe
+    card.io_write(0x3C0, 0x11, 8)
+    assert card.io_read(0x3C1, 8) == 0

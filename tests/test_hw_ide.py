@@ -1,0 +1,190 @@
+"""Tests for the IDE controller and disk image."""
+
+import pytest
+
+from repro.hw.diskimage import (
+    DiskImage,
+    SECTOR_SIZE,
+    bytes_to_words,
+    words_to_bytes,
+)
+from repro.hw.ide import (
+    CMD_IDENTIFY,
+    CMD_READ,
+    CMD_WRITE,
+    IdeController,
+    STAT_BSY,
+    STAT_DRDY,
+    STAT_DRQ,
+    STAT_ERR,
+)
+
+CMD = 0x1F0
+CTL = 0x3F6
+
+
+@pytest.fixture()
+def ide():
+    return IdeController(master=DiskImage.bootable(), command_base=CMD, control_base=CTL)
+
+
+def drain_busy(ide):
+    while ide.io_read(CMD + 7, 8) & STAT_BSY:
+        pass
+
+
+def select_lba(ide, drive=0, lba=0):
+    ide.io_write(CMD + 6, 0xE0 | (drive << 4) | ((lba >> 24) & 0xF), 8)
+    ide.io_write(CMD + 2, 1, 8)
+    ide.io_write(CMD + 3, lba & 0xFF, 8)
+    ide.io_write(CMD + 4, (lba >> 8) & 0xFF, 8)
+    ide.io_write(CMD + 5, (lba >> 16) & 0xFF, 8)
+
+
+def read_words(ide, count=256):
+    return [ide.io_read(CMD, 16) for _ in range(count)]
+
+
+def test_srst_posts_signature(ide):
+    ide.io_write(CTL, 0x04, 8)
+    assert ide.io_read(CMD + 7, 8) & STAT_BSY
+    ide.io_write(CTL, 0x00, 8)
+    drain_busy(ide)
+    assert ide.io_read(CMD + 1, 8) == 0x01  # diagnostic pass
+    assert ide.io_read(CMD + 2, 8) == 0x01
+    assert ide.io_read(CMD + 3, 8) == 0x01
+    assert not ide.io_read(CMD + 7, 8) & STAT_ERR
+
+
+def test_busy_window_after_command(ide):
+    select_lba(ide, lba=0)
+    ide.io_write(CMD + 7, CMD_IDENTIFY, 8)
+    assert ide.io_read(CMD + 7, 8) & STAT_BSY
+    drain_busy(ide)
+    assert ide.io_read(CMD + 7, 8) & STAT_DRQ
+
+
+def test_identify_block(ide):
+    select_lba(ide)
+    ide.io_write(CMD + 7, CMD_IDENTIFY, 8)
+    drain_busy(ide)
+    words = read_words(ide)
+    assert words[0] == 0x0040
+    total = words[60] | (words[61] << 16)
+    assert total == ide.drives[0].disk.sector_count
+    model = "".join(chr(w >> 8) + chr(w & 0xFF) for w in words[27:47])
+    assert "REPRO IDE DISK" in model
+    # Buffer exhausted -> DRQ drops.
+    assert not ide.io_read(CMD + 7, 8) & STAT_DRQ
+
+
+def test_read_sector_matches_disk(ide):
+    select_lba(ide, lba=0)
+    ide.io_write(CMD + 7, CMD_READ, 8)
+    drain_busy(ide)
+    data = words_to_bytes(read_words(ide))
+    assert data == ide.drives[0].disk.read_sector(0)
+    assert data[510] == 0x55 and data[511] == 0xAA
+
+
+def test_multi_sector_read(ide):
+    ide.io_write(CMD + 6, 0xE0, 8)
+    ide.io_write(CMD + 2, 2, 8)  # two sectors
+    ide.io_write(CMD + 3, 0, 8)
+    ide.io_write(CMD + 4, 0, 8)
+    ide.io_write(CMD + 5, 0, 8)
+    ide.io_write(CMD + 7, CMD_READ, 8)
+    drain_busy(ide)
+    words = read_words(ide, 512)
+    expected = bytes_to_words(
+        ide.drives[0].disk.read_sector(0) + ide.drives[0].disk.read_sector(1)
+    )
+    assert words == expected
+
+
+def test_write_sector_commits_and_tracks(ide):
+    disk = ide.drives[0].disk
+    select_lba(ide, lba=5)
+    ide.io_write(CMD + 7, CMD_WRITE, 8)
+    payload = bytes(range(256)) * 2
+    for word in bytes_to_words(payload):
+        ide.io_write(CMD, word, 16)
+    assert disk.read_sector(5) == payload
+    assert disk.writes == [5]
+
+
+def test_out_of_range_lba_errors(ide):
+    select_lba(ide, lba=10_000_000)
+    ide.io_write(CMD + 7, CMD_READ, 8)
+    drain_busy(ide)
+    status = ide.io_read(CMD + 7, 8)
+    assert status & STAT_ERR and not status & STAT_DRQ
+
+
+def test_unknown_command_aborts(ide):
+    select_lba(ide)
+    ide.io_write(CMD + 7, 0x77, 8)
+    drain_busy(ide)
+    assert ide.io_read(CMD + 7, 8) & STAT_ERR
+    assert ide.io_read(CMD + 1, 8) == 0x04  # ABRT
+
+
+def test_absent_slave_reports_nothing(ide):
+    ide.io_write(CMD + 6, 0xE0 | 0x10, 8)  # select slave
+    assert ide.io_read(CMD + 7, 8) == 0x00
+
+
+def test_chs_addressing(ide):
+    # CHS: cylinder 1, head 0, sector 1 -> LBA 64 (4 heads x 16 spt).
+    ide.io_write(CMD + 6, 0xA0, 8)  # CHS mode
+    ide.io_write(CMD + 2, 1, 8)
+    ide.io_write(CMD + 3, 1, 8)  # sector 1
+    ide.io_write(CMD + 4, 1, 8)  # cylinder low
+    ide.io_write(CMD + 5, 0, 8)
+    ide.io_write(CMD + 7, CMD_READ, 8)
+    drain_busy(ide)
+    data = words_to_bytes(read_words(ide))
+    assert data == ide.drives[0].disk.read_sector(64)
+
+
+def test_floating_data_port_when_idle(ide):
+    assert ide.io_read(CMD, 16) == 0xFFFF
+
+
+# -- DiskImage --------------------------------------------------------------------
+
+
+def test_bootable_image_layout():
+    disk = DiskImage.bootable()
+    mbr = disk.read_sector(0)
+    assert mbr[510] == 0x55 and mbr[511] == 0xAA
+    start = int.from_bytes(mbr[446 + 8 : 446 + 12], "little")
+    superblock = disk.read_sector(start)
+    assert superblock[0:4] == b"RFS1"
+
+
+def test_disk_fingerprint_changes_on_write():
+    disk = DiskImage.bootable()
+    before = disk.fingerprint()
+    disk.write_sector(3, bytes([0xAB]) * SECTOR_SIZE)
+    assert disk.fingerprint() != before
+
+
+def test_disk_diff():
+    disk = DiskImage.bootable()
+    copy = disk.copy()
+    disk.write_sector(7, bytes([0xCD]) * SECTOR_SIZE)
+    assert disk.differs_from(copy) == [7]
+
+
+def test_words_bytes_roundtrip():
+    data = bytes(range(256)) * 2
+    assert words_to_bytes(bytes_to_words(data)) == data
+
+
+def test_write_validates_arguments():
+    disk = DiskImage.blank(4)
+    with pytest.raises(IndexError):
+        disk.write_sector(9, bytes(SECTOR_SIZE))
+    with pytest.raises(ValueError):
+        disk.write_sector(0, b"short")

@@ -1,0 +1,173 @@
+"""Tests for the boot harness and outcome classification."""
+
+import pytest
+
+from repro.drivers import assemble_c_program, assemble_cdevil_program
+from repro.hw import standard_pc
+from repro.hw.diskimage import DiskImage, SECTOR_SIZE
+from repro.kernel import boot, fsck
+from repro.kernel.fsck import read_mount_count
+from repro.kernel.outcomes import BootOutcome
+from repro.minic import SourceFile, compile_program
+
+
+@pytest.fixture(scope="module")
+def c_program():
+    files, registry = assemble_c_program()
+    return compile_program(files, include_registry=registry)
+
+
+def mutate_c(old, new):
+    files, registry = assemble_c_program()
+    return compile_program(
+        [SourceFile(files[0].name, files[0].text.replace(old, new, 1))],
+        include_registry=registry,
+    )
+
+
+def test_clean_boot(c_program):
+    machine = standard_pc()
+    report = boot(c_program, machine)
+    assert report.outcome is BootOutcome.BOOT
+    assert report.detail == "clean boot"
+    assert report.steps > 0
+    assert any("sectors" in line for line in report.log)
+
+
+def test_boot_updates_mount_count(c_program):
+    machine = standard_pc()
+    assert read_mount_count(machine.pristine_disk) == 0
+    boot(c_program, machine)
+    assert read_mount_count(machine.disk) == 1
+
+
+def test_boot_coverage_names_driver_file(c_program):
+    report = boot(c_program, standard_pc())
+    assert any(f == "ide_c.c" for f, _ in report.coverage)
+
+
+def test_missing_drive_halts(c_program):
+    machine = standard_pc(disk=None)
+    machine.ide.drives[0].disk = None  # unplug after assembly
+    machine.disk = None
+    machine.pristine_disk = None
+    report = boot(c_program, machine)
+    assert report.outcome is BootOutcome.HALT
+
+
+def test_unbootable_disk_halts(c_program):
+    report = boot(c_program, standard_pc(disk=DiskImage.blank()))
+    assert report.outcome is BootOutcome.HALT
+    assert "partition" in report.detail
+
+
+def test_corrupt_superblock_halts(c_program):
+    disk = DiskImage.bootable()
+    start = 250
+    sector = bytearray(disk.read_sector(start))
+    sector[0:4] = b"XXXX"
+    disk.sectors[start] = bytes(sector)
+    report = boot(c_program, standard_pc(disk=disk))
+    assert report.outcome is BootOutcome.HALT
+    assert "superblock" in report.detail
+
+
+def test_corrupt_file_checksum_halts(c_program):
+    disk = DiskImage.bootable()
+    disk.sectors[252] = bytes([0xEE]) * SECTOR_SIZE
+    disk.writes.clear()
+    report = boot(c_program, standard_pc(disk=disk))
+    assert report.outcome is BootOutcome.HALT
+    assert "checksum" in report.detail
+
+
+def test_infinite_loop_outcome():
+    # The post-write drain spin waiting on READY (which is always set once
+    # the write finished) never terminates — the classic BUSY/READY typo.
+    program = mutate_c(
+        "/* Drain spin: wait out the media write. */\n"
+        "    while (inb(HD_STATUS) & STAT_BUSY) { ; }",
+        "/* Drain spin: wait out the media write. */\n"
+        "    while (inb(HD_STATUS) & STAT_READY) { ; }",
+    )
+    report = boot(program, standard_pc(), step_budget=300_000)
+    assert report.outcome is BootOutcome.INFINITE_LOOP
+
+
+def test_crash_outcome_via_fragile_port():
+    # HD_CMD 0x3f6 -> 0x70 lands the reset strobe on the CMOS/RTC.
+    program = mutate_c("#define HD_CMD      0x3f6", "#define HD_CMD      0x70")
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.CRASH
+    assert "CMOS" in report.detail
+
+
+def test_damaged_boot_outcome():
+    program = mutate_c(
+        "hd_out(0, 1, lba, WIN_WRITE);", "hd_out(0, 1, 3, WIN_WRITE);"
+    )
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.DAMAGED_BOOT
+    assert 3 in report.disk_diff
+
+
+def test_run_time_check_outcome():
+    files, registry = assemble_cdevil_program()
+    program = compile_program(
+        [
+            SourceFile(
+                files[0].name,
+                files[0].text.replace("set_soft_reset(1u);", "set_soft_reset(9u);", 1),
+            )
+        ],
+        include_registry=registry,
+    )
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.RUN_TIME_CHECK
+    assert "Devil assertion failed" in report.detail
+
+
+def test_driver_missing_abi_halts():
+    program = compile_program([SourceFile("empty.c", "int unrelated(void) { return 0; }")])
+    report = boot(program, standard_pc())
+    assert report.outcome is BootOutcome.HALT
+    assert "driver lacks" in report.detail
+
+
+# -- fsck ---------------------------------------------------------------------------
+
+
+def test_fsck_clean_after_mount(c_program):
+    machine = standard_pc()
+    boot(c_program, machine)
+    assert not fsck(machine, mounted=True).damaged
+
+
+def test_fsck_detects_foreign_write(c_program):
+    machine = standard_pc()
+    boot(c_program, machine)
+    machine.disk.write_sector(40, bytes([1]) * SECTOR_SIZE)
+    result = fsck(machine, mounted=True)
+    assert result.damaged and 40 in result.dirty_lbas
+
+
+def test_fsck_missing_mount_bump_is_silent():
+    machine = standard_pc()
+    assert not fsck(machine, mounted=True).damaged
+
+
+def test_fsck_detects_wrong_superblock_edit():
+    machine = standard_pc()
+    start = 250
+    sector = bytearray(machine.disk.read_sector(start))
+    sector[30] ^= 0xFF  # not the mount-count field
+    machine.disk.sectors[start] = bytes(sector)
+    result = fsck(machine, mounted=True)
+    assert result.damaged
+
+
+def test_fsck_unmounted_requires_identity():
+    machine = standard_pc()
+    assert not fsck(machine, mounted=False).damaged
+    machine.disk.write_sector(0, bytes(SECTOR_SIZE))
+    assert fsck(machine, mounted=False).damaged

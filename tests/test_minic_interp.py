@@ -1,0 +1,341 @@
+"""Tests for the mini-C interpreter."""
+
+import pytest
+
+from repro.minic import Interpreter, SourceFile, compile_program
+from repro.minic.errors import (
+    DevilAssertion,
+    KernelPanic,
+    MachineFault,
+    StepBudgetExceeded,
+)
+from repro.minic.values import CArray, CPointer
+from repro.minic.ctypes import U16
+
+
+def build(source, bus=None, budget=2_000_000):
+    program = compile_program([SourceFile("t.c", source)])
+    return Interpreter(program, bus, step_budget=budget)
+
+
+def run(source, func, *args, **kwargs):
+    return build(source, **kwargs).call(func, *args)
+
+
+# -- integer semantics -----------------------------------------------------------
+
+
+def test_unsigned_wraparound():
+    assert run("u8 f(void) { u8 x; x = 250u; x = (u8)(x + 10u); return x; }", "f") == 4
+
+
+def test_signed_narrowing_cast():
+    assert run("s8 f(void) { return (s8)0xf0u; }", "f") == -16
+
+
+def test_sign_extension_through_int():
+    assert run("int f(void) { s8 x; x = (s8)0xffu; return x; }", "f") == -1
+
+
+def test_division_truncates_toward_zero():
+    assert run("int f(void) { return -7 / 2; }", "f") == -3
+    assert run("int f(void) { return -7 % 2; }", "f") == -1
+
+
+def test_division_by_zero_faults():
+    with pytest.raises(MachineFault):
+        run("int f(int n) { return 1 / n; }", "f", 0)
+
+
+def test_shift_semantics():
+    assert run("u32 f(void) { return 1u << 31; }", "f") == 0x80000000
+    assert run("int f(void) { return -8 >> 1; }", "f") == -4  # arithmetic
+    assert run("u32 f(void) { return 0x80000000u >> 4; }", "f") == 0x08000000
+
+
+def test_unsigned_comparison_conversion():
+    # (-1 < 1u) is false in C: -1 converts to 0xffffffff.
+    assert run("int f(void) { return -1 < 1u; }", "f") == 0
+    assert run("int f(void) { return -1 < 1; }", "f") == 1
+
+
+def test_bitwise_operators():
+    assert run("u8 f(void) { return (u8)((0xf0u | 0x0au) & ~0x02u); }", "f") == 0xF8
+
+
+def test_logical_short_circuit():
+    source = """
+    static int calls;
+    int bump(void) { calls++; return 1; }
+    int f(void) { calls = 0; if (0 && bump()) { return -1; }
+                  if (1 || bump()) { return calls; } return -2; }
+    """
+    assert run(source, "f") == 0
+
+
+def test_ternary_and_comma():
+    assert run("int f(int n) { return (n > 2) ? (n, 10) : 20; }", "f", 5) == 10
+    assert run("int f(int n) { return (n > 2) ? 10 : 20; }", "f", 1) == 20
+
+
+def test_increment_decrement():
+    source = """
+    int f(void) { int i; int total; i = 5; total = i++; total += ++i;
+                  total += i--; total += --i; return total * 10 + i; }
+    """
+    # i: 5 -> 6 -> 7 -> 6 -> 5; total = 5 + 7 + 7 + 5 = 24
+    assert run(source, "f") == 245
+
+
+# -- control flow -----------------------------------------------------------------
+
+
+def test_for_loop_and_break_continue():
+    source = """
+    int f(void) { int total; int i; total = 0;
+        for (i = 0; i < 10; i++) {
+            if (i == 3) { continue; }
+            if (i == 7) { break; }
+            total += i;
+        }
+        return total; }
+    """
+    assert run(source, "f") == 0 + 1 + 2 + 4 + 5 + 6
+
+
+def test_do_while_runs_once():
+    assert run("int f(void) { int n; n = 0; do { n++; } while (0); return n; }", "f") == 1
+
+
+def test_switch_dispatch_and_fallthrough():
+    source = """
+    int f(int n) {
+        int r; r = 0;
+        switch (n) {
+        case 1:
+            r += 1;
+        case 2:
+            r += 2;
+            break;
+        case 3:
+            r += 100;
+            break;
+        default:
+            r = -1;
+        }
+        return r; }
+    """
+    assert run(source, "f", 1) == 3  # falls through into case 2
+    assert run(source, "f", 2) == 2
+    assert run(source, "f", 3) == 100
+    assert run(source, "f", 9) == -1
+
+
+def test_switch_no_match_no_default():
+    assert run("int f(int n) { switch (n) { case 1: return 1; } return 7; }", "f", 5) == 7
+
+
+def test_nested_function_calls_and_recursion_guard():
+    source = "int f(int n) { return f(n + 1); }"
+    with pytest.raises(MachineFault, match="stack overflow"):
+        run(source, "f", 0)
+
+
+def test_step_budget_exhaustion():
+    with pytest.raises(StepBudgetExceeded):
+        run("void f(void) { while (1) { ; } }", "f", budget=10_000)
+
+
+# -- structs and arrays ---------------------------------------------------------------
+
+
+def test_struct_value_semantics():
+    source = """
+    struct p_t_ { u32 a; u32 b; };
+    typedef struct p_t_ p_t;
+    u32 f(void) { p_t x; p_t y; x.a = 1u; y = x; y.a = 2u; return x.a; }
+    """
+    assert run(source, "f") == 1
+
+
+def test_struct_passed_by_value():
+    source = """
+    struct p_t_ { u32 a; };
+    typedef struct p_t_ p_t;
+    void mutate(p_t v) { v.a = 99u; }
+    u32 f(void) { p_t x; x.a = 5u; mutate(x); return x.a; }
+    """
+    assert run(source, "f") == 5
+
+
+def test_global_struct_initializer():
+    source = """
+    struct p_t_ { const char *n; int t; u32 v; };
+    static const struct p_t_ P = { "name", 4, 0x10u };
+    u32 f(void) { return P.v + (u32)P.t; }
+    """
+    assert run(source, "f") == 0x14
+
+
+def test_array_store_load():
+    source = """
+    u16 f(void) { u16 buf[4]; int i;
+        for (i = 0; i < 4; i++) { buf[i] = (u16)(i * 3); }
+        return buf[2]; }
+    """
+    assert run(source, "f") == 6
+
+
+def test_array_out_of_bounds_faults():
+    with pytest.raises(MachineFault):
+        run("void f(void) { u16 b[2]; b[5] = 1u; }", "f")
+
+
+def test_array_passed_by_reference():
+    source = """
+    void fill(u16 buf[], u32 n) { u32 i; for (i = 0u; i < n; i++) { buf[i] = (u16)i; } }
+    u16 f(void) { u16 b[8]; fill(b, 8u); return b[7]; }
+    """
+    assert run(source, "f") == 7
+
+
+def test_external_array_argument():
+    source = "void fill(u16 buf[], u32 n) { buf[0] = 0xabcu; }"
+    interp = build(source)
+    array = CArray.zeroed(U16, 4)
+    interp.call("fill", CPointer(array, 0), 4)
+    assert array.values[0] == 0xABC
+
+
+def test_pointer_arithmetic_within_array():
+    source = """
+    u16 second(u16 *p) { return p[1]; }
+    u16 f(u16 buf[]) { return second(buf + 2); }
+    """
+    interp = build(source)
+    array = CArray(U16, [10, 20, 30, 40, 50])
+    assert interp.call("f", CPointer(array, 0)) == 40
+
+
+def test_wild_pointer_faults_on_use():
+    source = "u16 f(u16 *p) { return p[0]; }"
+    interp = build(source)
+    with pytest.raises(MachineFault):
+        interp.call("f", 0xDEAD)
+
+
+# -- builtins and the machine ----------------------------------------------------------
+
+
+class ScriptedBus:
+    def __init__(self):
+        self.writes = []
+        self.reads = {}
+
+    def read_port(self, address, size):
+        return self.reads.get(address, 0)
+
+    def write_port(self, address, value, size):
+        self.writes.append((address, value, size))
+
+
+def test_port_io_builtins():
+    bus = ScriptedBus()
+    bus.reads[0x1F7] = 0x50
+    source = "u8 f(void) { outb(0xa0u, 0x1f6u); return inb(0x1f7u); }"
+    assert run_with_bus(source, "f", bus) == 0x50
+    assert bus.writes == [(0x1F6, 0xA0, 8)]
+
+
+def run_with_bus(source, func, bus):
+    return build(source, bus=bus).call(func)
+
+
+def test_insw_outsw():
+    bus = ScriptedBus()
+    bus.reads[0x1F0] = 0x1234
+    source = """
+    u16 f(void) { u16 b[4]; insw(0x1f0u, b, 4u); outsw(0x1f0u, b, 2u);
+                  return b[3]; }
+    """
+    assert run_with_bus(source, "f", bus) == 0x1234
+    assert len(bus.writes) == 2
+
+
+def test_panic_raises_kernel_panic():
+    with pytest.raises(KernelPanic, match="ide: dead drive 3"):
+        run('void f(void) { panic("ide: dead drive %d", 3); }', "f")
+
+
+def test_dil_panic_raises_devil_assertion():
+    with pytest.raises(DevilAssertion, match="line 7"):
+        run('void f(void) { dil_panic("Devil assertion failed in file %s line %d", "x.h", 7); }', "f")
+
+
+def test_printk_accumulates_log():
+    interp = build('void f(void) { printk("hd: %u sectors\\n", 512u); }')
+    interp.call("f")
+    assert interp.log == ["hd: 512 sectors\n"]
+
+
+def test_strcmp_builtin():
+    assert run('int f(void) { return strcmp("a", "a"); }', "f") == 0
+    assert run('int f(void) { return strcmp("a", "b"); }', "f") == -1
+
+
+def test_udelay_advances_time():
+    interp = build("void f(void) { udelay(100u); mdelay(2u); }")
+    interp.call("f")
+    assert interp.time_us == 100 + 2000
+
+
+def test_coverage_records_executed_lines_only():
+    source = (
+        "int f(int n) {\n"        # 1
+        "    if (n > 0) {\n"      # 2
+        "        return 1;\n"     # 3
+        "    }\n"                 # 4
+        "    return 0;\n"         # 5
+        "}\n"
+    )
+    interp = build(source)
+    interp.call("f", 5)
+    lines = {line for f, line in interp.coverage if f == "t.c"}
+    assert 3 in lines and 5 not in lines
+
+    interp2 = build(source)
+    interp2.call("f", -5)
+    lines2 = {line for f, line in interp2.coverage if f == "t.c"}
+    assert 5 in lines2 and 3 not in lines2
+
+
+def test_coverage_includes_macro_definition_lines():
+    source = (
+        "#define PORT 0x80u\n"     # 1
+        "void f(void) {\n"
+        "    outb(1u, PORT);\n"
+        "}\n"
+    )
+    bus = ScriptedBus()
+    interp = build(source, bus=bus)
+    interp.call("f")
+    assert ("t.c", 1) in interp.coverage
+
+
+def test_globals_initialised_in_order():
+    source = """
+    static u32 a = 5u;
+    static u32 b = 10u;
+    u32 f(void) { return a + b; }
+    """
+    assert run(source, "f") == 15
+
+
+def test_function_value_gets_synthetic_address():
+    source = """
+    int h(void) { return 1; }
+    u32 f(void) { u32 x; x = h; return x; }
+    """
+    value = run(source, "f")
+    assert value != 0  # deterministic non-null "address"
+    assert run(source, "f") == value  # stable across runs

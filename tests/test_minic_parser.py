@@ -1,0 +1,199 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.parser import CParseError, Parser
+from repro.minic.preprocessor import Preprocessor
+from repro.minic.tokens import CToken, CTokenKind
+
+
+def parse(source, includes=None):
+    tokens = Preprocessor(includes).process(source, "t.c")
+    tokens.append(CToken(CTokenKind.EOF, "", 99, 1, "t.c"))
+    return Parser(tokens).parse_translation_unit()
+
+
+def first_func(unit, name=None):
+    for decl in unit.decls:
+        if isinstance(decl, ast.FuncDecl) and decl.body is not None:
+            if name is None or decl.name == name:
+                return decl
+    raise AssertionError("no function found")
+
+
+def test_global_and_function():
+    unit = parse("static u32 counter;\nint get(void) { return (int)counter; }")
+    kinds = [type(d).__name__ for d in unit.decls]
+    assert kinds == ["GlobalDecl", "FuncDecl"]
+
+
+def test_struct_definition_and_typedef():
+    unit = parse(
+        "struct pair_t_ { const char *name; u32 val; };\n"
+        "typedef struct pair_t_ pair_t;\n"
+        "pair_t make(void) { pair_t p; p.val = 1u; return p; }"
+    )
+    func = first_func(unit, "make")
+    assert func.return_type.name == "pair_t_"
+
+
+def test_struct_initializer_list():
+    unit = parse(
+        "struct s_t_ { const char *f; int t; u32 v; };\n"
+        'static const struct s_t_ X = { "file", 4, 0x10u };'
+    )
+    decl = unit.decls[-1]
+    assert isinstance(decl.init, ast.InitList) and len(decl.init.items) == 3
+    assert decl.const
+
+
+def test_array_declaration_and_index():
+    unit = parse("void f(void) { u16 buf[8]; buf[3] = 1u; }")
+    decl = first_func(unit).body.statements[0]
+    assert decl.var_type.length == 8
+
+
+def test_array_param_decays_to_pointer():
+    unit = parse("void f(u16 buf[]) { buf[0] = 1u; }")
+    from repro.minic.ctypes import PointerType
+
+    assert isinstance(first_func(unit).params[0].ctype, PointerType)
+
+
+def test_for_while_do_switch():
+    unit = parse(
+        "int f(int n) {"
+        " int total = 0; int i;"
+        " for (i = 0; i < n; i++) { total += i; }"
+        " while (total > 100) { total -= 10; }"
+        " do { total++; } while (total < 0);"
+        " switch (total) { case 0: return 1; default: break; }"
+        " return total; }"
+    )
+    body = first_func(unit).body.statements
+    assert [type(s).__name__ for s in body[2:6]] == [
+        "For", "While", "DoWhile", "Switch",
+    ]
+
+
+def test_switch_case_groups_and_fallthrough_shape():
+    unit = parse(
+        "int f(int n) { switch (n) { case 1: case 2: n = 0; case 3: break; } return n; }"
+    )
+    switch = first_func(unit).body.statements[0]
+    assert [g.values for g in switch.groups] == [[1, 2], [3]]
+
+
+def test_case_constant_expressions_folded():
+    unit = parse("int f(int n) { switch (n) { case (1 << 4) | 1: return 1; } return 0; }")
+    switch = first_func(unit).body.statements[0]
+    assert switch.groups[0].values == [17]
+
+
+def test_ternary_comma_cast_parse():
+    unit = parse(
+        "int f(u8 v) { return (v > 1u) ? ((int)v, 2) : 3; }"
+    )
+    ret = first_func(unit).body.statements[0]
+    assert isinstance(ret.value, ast.Ternary)
+    assert isinstance(ret.value.then, ast.Comma)
+
+
+def test_assignment_in_condition_parses():
+    unit = parse("void f(void) { u8 x; x = 0; if (x = 5u) { x = 1u; } }")
+    cond = first_func(unit).body.statements[2].cond
+    assert isinstance(cond, ast.Assign)
+
+
+def test_compound_assignment_ops():
+    unit = parse("void f(void) { u32 x; x = 0u; x |= 1u; x <<= 2; x &= 0xfu; }")
+    ops = [
+        s.expr.op
+        for s in first_func(unit).body.statements[1:]
+    ]
+    assert ops == ["=", "|=", "<<=", "&="]
+
+
+def test_member_and_arrow():
+    unit = parse(
+        "struct s_t_ { int v; };\n"
+        "void f(struct s_t_ *p) { struct s_t_ q; q.v = p->v; }"
+    )
+    assign = first_func(unit).body.statements[1].expr
+    assert not assign.target.arrow and assign.value.arrow
+
+
+def test_string_concatenation():
+    unit = parse('void f(void) { printk("a" "b"); }')
+    call = first_func(unit).body.statements[0].expr
+    assert call.args[0].value == "ab"
+
+
+def test_adjacent_declarators():
+    unit = parse("void f(void) { int a, b, c; a = b = c = 1; }")
+    stmts = first_func(unit).body.statements
+    assert [s.name for s in stmts[:3]] == ["a", "b", "c"]
+
+
+def test_origins_cover_statement_lines():
+    unit = parse("void f(void) {\n    u8 x;\n    x = 1u;\n}")
+    assign = first_func(unit).body.statements[1]
+    assert ("t.c", 3) in assign.origins
+
+
+def test_if_origins_exclude_arms():
+    unit = parse(
+        "void f(int n) {\n"
+        "    if (n > 0) {\n"
+        "        n = 1;\n"
+        "    }\n"
+        "}"
+    )
+    if_stmt = first_func(unit).body.statements[0]
+    assert ("t.c", 2) in if_stmt.origins
+    assert ("t.c", 3) not in if_stmt.origins  # the arm marks itself
+
+
+def test_switch_group_origins_are_label_lines():
+    unit = parse(
+        "int f(int n) {\n"
+        "    switch (n) {\n"
+        "    case 1:\n"
+        "        return 1;\n"
+        "    }\n"
+        "    return 0;\n"
+        "}"
+    )
+    switch = first_func(unit).body.statements[0]
+    assert ("t.c", 3) in switch.groups[0].origins
+    assert ("t.c", 4) not in switch.groups[0].origins
+
+
+def test_macro_origin_reaches_statement():
+    unit = parse("#define P 0x1f0\nvoid f(void) { outb(1u, P); }")
+    stmt = first_func(unit).body.statements[0]
+    assert ("t.c", 1) in stmt.origins  # the #define line
+    assert ("t.c", 2) in stmt.origins
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "void f(void) { goto out; }",
+        "void f(void) { sizeof(int); }",
+        "int;; broken",
+        "void f(void) { int x = ; }",
+        "void f(void) { if (x) }",
+        "void f(void) { switch (x) { int y; } }",
+        "typedef int (*fn_t)(void);",
+    ],
+)
+def test_unsupported_or_malformed_rejected(source):
+    with pytest.raises(CParseError):
+        parse(source)
+
+
+def test_prototype_without_body():
+    unit = parse("int helper(u8 v);")
+    assert unit.decls[0].body is None

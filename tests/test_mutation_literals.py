@@ -1,0 +1,104 @@
+"""Tests for the literal mutation rules (paper §3.1)."""
+
+from repro.devil.tokens import parse_devil_int
+from repro.minic.tokens import parse_c_int
+from repro.mutation.literals import (
+    BIT_PATTERN_CHARS,
+    BIT_STRING_CHARS,
+    char_edits,
+    mutate_integer_literal,
+    mutate_pattern_literal,
+)
+
+
+def test_paper_example_two_digit_decimal_yields_50_mutants():
+    """§3.1: 'given a 2-digit base-10 number, 50 mutants can be generated:
+    2 for removing a digit, 30 for inserting a new digit, and 18 for
+    replacing a digit.'  The paper counts edit *operations*; two pairs of
+    insertions collide textually ('550' and '500' each arise twice), so 48
+    distinct mutant programs remain."""
+    mutants = mutate_integer_literal("50", parse_c_int)
+    assert len(mutants) == 48
+    assert "550" in mutants and "500" in mutants
+
+
+def test_devil_leading_zero_insertion_is_value_equal():
+    """In Devil '050' still means 50, so that insertion is filtered; C's
+    octal semantics keep it."""
+    devil = mutate_integer_literal("50", parse_devil_int)
+    c = mutate_integer_literal("50", parse_c_int)
+    assert "050" not in devil
+    assert "050" in c
+    assert len(devil) == len(c) - 1
+
+
+def test_single_digit_not_removed_to_empty():
+    mutants = mutate_integer_literal("5", parse_c_int)
+    assert "" not in mutants
+    # 1 digit: 0 removals + 20 insertions + 9 replacements, minus
+    # value-equal results ('05' == 5 in decimal-but-octal-form? 05 is
+    # octal 5 == 5 -> filtered).
+    assert "05" not in mutants
+
+
+def test_hex_literal_stays_hex():
+    mutants = mutate_integer_literal("0x3f6", parse_c_int)
+    assert mutants
+    assert all(m.startswith("0x") for m in mutants)
+    assert "0x3g6" not in mutants
+
+
+def test_hex_counts():
+    # 3 hex digits: 3 removals + 4*16 insertions + 3*15 replacements = 112
+    # operations; minus 3 textual collisions (doubling an existing digit
+    # arises from two insertion points) and the value-equal leading zero.
+    mutants = mutate_integer_literal("0x3f6", parse_c_int)
+    assert len(mutants) == 108
+
+
+def test_suffix_preserved():
+    mutants = mutate_integer_literal("42u", parse_c_int)
+    assert mutants and all(m.endswith("u") for m in mutants)
+
+
+def test_no_duplicates_and_never_original():
+    mutants = mutate_integer_literal("0xff", parse_c_int)
+    assert len(mutants) == len(set(mutants))
+    assert "0xff" not in mutants
+
+
+def test_values_always_differ():
+    for text, value_of in (("120", parse_c_int), ("0x80", parse_devil_int)):
+        original = value_of(text)
+        for mutant in mutate_integer_literal(text, value_of):
+            assert value_of(mutant) != original
+
+
+def test_char_edits_structure():
+    edits = char_edits("ab", "abc")
+    # removals: 2; insertions: 3 positions x 3 chars = 9; replacements:
+    # 2 positions x 2 other chars = 4.
+    assert len(edits) == 2 + 9 + 4
+
+
+def test_pattern_mutants_use_class_alphabet():
+    mask_mutants = mutate_pattern_literal("1.0", BIT_PATTERN_CHARS)
+    assert any("." in m for m in mask_mutants)
+    value_mutants = mutate_pattern_literal("10", BIT_STRING_CHARS)
+    assert all("." not in m for m in value_mutants)
+
+
+def test_pattern_mutants_include_length_changes():
+    mutants = mutate_pattern_literal("10", BIT_STRING_CHARS)
+    lengths = {len(m) for m in mutants}
+    assert 1 in lengths and 3 in lengths  # removals and insertions
+
+
+def test_pattern_never_empty_or_original():
+    mutants = mutate_pattern_literal("1", BIT_STRING_CHARS)
+    assert "" not in mutants and "1" not in mutants
+
+
+def test_oversized_candidates_dropped():
+    mutants = mutate_integer_literal("123456789012", parse_c_int, max_length=12)
+    assert all(len(m) <= 12 for m in mutants)

@@ -1,0 +1,267 @@
+"""Tests for the C and Devil mutation operators and region tagging."""
+
+import pytest
+
+from repro.devil.parser import parse as devil_parse
+from repro.mutation.c_ops import (
+    IdentifierPools,
+    OPERATOR_CLASSES,
+    operator_mutants,
+    scan_c_sites,
+)
+from repro.mutation.devil_ops import scan_devil_sites
+from repro.mutation.generator import enumerate_c_mutants, enumerate_devil_mutants
+from repro.mutation.model import Mutant, MutationSite
+from repro.mutation.tagging import Region, api_call_regions, tagged_regions
+
+
+# -- Table 1 (operator classes) -------------------------------------------------
+
+
+def test_operator_classes_are_symmetric():
+    for cls in OPERATOR_CLASSES:
+        for op in cls:
+            for other in cls - {op}:
+                assert other in operator_mutants(op)
+                assert op in operator_mutants(other)
+
+
+@pytest.mark.parametrize(
+    "op,expected",
+    [
+        ("&", {"&&", "|", "^"}),
+        ("==", {"=", "!=", "<", "<=", ">", ">="}),
+        ("=", {"=="}),
+        ("<<", {">>", "<"}),
+        ("~", {"!"}),
+        ("+", {"-"}),
+    ],
+)
+def test_specific_operator_mutants(op, expected):
+    assert set(operator_mutants(op)) == expected
+
+
+def test_unclassified_operators_have_no_mutants():
+    assert operator_mutants("(") == []
+    assert operator_mutants("+=") == []
+
+
+# -- tagging ----------------------------------------------------------------------
+
+
+def test_tagged_regions_extraction():
+    source = "a\n/* HW-BEGIN */\nb\n/* HW-END */\nc\n/* HW-BEGIN */d/* HW-END */"
+    regions = tagged_regions(source)
+    assert len(regions) == 2
+    assert source[regions[0].start : regions[0].end].strip() == "b"
+
+
+def test_unbalanced_tags_rejected():
+    with pytest.raises(ValueError):
+        tagged_regions("/* HW-BEGIN */ x")
+    with pytest.raises(ValueError):
+        tagged_regions("x /* HW-END */")
+    with pytest.raises(ValueError):
+        tagged_regions("/* HW-BEGIN */ /* HW-BEGIN */ /* HW-END */")
+
+
+def test_api_call_regions_cover_call_expressions_only():
+    source = "void f(void) {\n    x = set_Drive(MASTER) + 1;\n}\n"
+    regions = api_call_regions(source, frozenset({"set_Drive"}))
+    assert len(regions) == 1
+    covered = source[regions[0].start : regions[0].end]
+    assert covered == "set_Drive(MASTER)"
+
+
+def test_api_call_regions_include_nested_calls():
+    source = "int f(void) { return dil_eq(get_Drive(), MASTER); }\n"
+    regions = api_call_regions(source, frozenset({"dil_eq", "get_Drive"}))
+    assert len(regions) == 1  # merged
+    covered = source[regions[0].start : regions[0].end]
+    assert covered == "dil_eq(get_Drive(), MASTER)"
+
+
+def test_api_name_without_call_ignored():
+    source = "int f(void) { return set_Drive; }\n"
+    assert api_call_regions(source, frozenset({"set_Drive"})) == []
+
+
+# -- C site scanning ------------------------------------------------------------------
+
+
+def region_all(source):
+    return [Region(0, len(source))]
+
+
+def test_c_literal_sites_found():
+    source = "#define P 0x1f0\nvoid f(void) { outb(1u, P); }\n"
+    pools = IdentifierPools(macros={"P"}, functions={"f", "outb"})
+    sites = scan_c_sites(source, "t.c", region_all(source), pools)
+    originals = {site.original for site, _ in sites if site.kind == "literal"}
+    assert originals == {"0x1f0", "1u"}
+
+
+def test_unused_macro_body_not_a_site():
+    source = "#define DEAD 0x99\n#define LIVE 1\nint f(void) { return LIVE; }\n"
+    pools = IdentifierPools(macros={"DEAD", "LIVE"}, functions={"f"})
+    sites = scan_c_sites(source, "t.c", region_all(source), pools)
+    assert all(site.original != "0x99" for site, _ in sites)
+
+
+def test_declaration_names_skipped():
+    source = "void f(void) { u8 drive; drive = 1u; }\n"
+    pools = IdentifierPools(variables={"drive"}, functions={"f"})
+    sites = scan_c_sites(source, "t.c", region_all(source), pools)
+    ident_sites = [site for site, _ in sites if site.kind == "identifier"]
+    assert len(ident_sites) == 1  # only the use, not the declaration
+
+
+def test_union_pool_for_plain_c():
+    pools = IdentifierPools(
+        functions={"f"}, variables={"x"}, macros={"M"}
+    )
+    assert pools.replacements_for("x") == ["M", "f"]
+
+
+def test_api_class_pools_stay_within_class():
+    pools = IdentifierPools(
+        functions={"f"},
+        api_classes={
+            "set_a": frozenset({"set_a", "set_b"}),
+            "set_b": frozenset({"set_a", "set_b"}),
+        },
+    )
+    assert pools.replacements_for("set_a") == ["set_b"]
+
+
+def test_sites_only_inside_regions():
+    source = "int a = 5;\n/* HW-BEGIN */\nint b = 6;\n/* HW-END */\n"
+    pools = IdentifierPools()
+    sites = scan_c_sites(source, "t.c", tagged_regions(source), pools)
+    # The untagged '5' and its '=' are not sites; the tagged line's '6'
+    # and '=' are (the '=' mutant dies later in parse validation).
+    assert {site.original for site, _ in sites} == {"6", "="}
+    assert all(site.line == 3 for site, _ in sites)
+
+
+# -- Devil site scanning ------------------------------------------------------------
+
+
+BUSMOUSE_LIKE = """
+device d (base : bit[8] port @ {0..1})
+{
+    register ir = write base @ 1, mask '1..00000' : bit[8];
+    private variable idx = ir[6..5] : int(2);
+    register r = read base @ 0, pre {idx = 0}, mask '****....' : bit[8];
+    variable v = r[3..0] : int(4);
+    register w = write base @ 0 : bit[8];
+    variable vw = w : int {0, 2, 3};
+}
+"""
+
+
+def scan(source):
+    return scan_devil_sites(source, devil_parse(source))
+
+
+def test_devil_literal_sites_include_offsets_and_widths():
+    originals = {s.original for s, _ in scan(BUSMOUSE_LIKE) if s.kind == "literal"}
+    assert {"8", "1", "0", "2", "3", "4", "5", "6"} <= originals
+
+
+def test_devil_pattern_sites_found():
+    patterns = [
+        s.original for s, _ in scan(BUSMOUSE_LIKE) if s.detail == "pattern"
+    ]
+    assert "'1..00000'" in patterns and "'****....'" in patterns
+
+
+def test_devil_identifier_pools_by_kind():
+    sites = scan(BUSMOUSE_LIKE)
+    register_site = next(
+        (s, r) for s, r in sites if s.original == "r" and s.kind == "identifier"
+    )
+    assert set(register_site[1]) == {"ir", "w"}  # same class: registers
+    port_uses = [r for s, r in sites if s.original == "base"]
+    assert port_uses == []  # single port parameter: no replacements
+
+
+def test_devil_declaration_sites_skipped():
+    sites = scan(BUSMOUSE_LIKE)
+    # 'idx' appears as declaration (skipped) and inside pre {} (a use).
+    idx_sites = [s for s, _ in sites if s.original == "idx"]
+    assert len(idx_sites) == 1
+
+
+def test_devil_range_operator_sites():
+    source = (
+        "device d (p : bit[8] port @ {0..2}) {"
+        " register a = p @ 0 : bit[8]; variable va = a : int(8);"
+        " register b = p @ 1 : bit[8]; variable vb = b : int(8);"
+        " register c = p @ 2 : bit[8]; variable vc = c : int(8); }"
+    )
+    sites = scan_devil_sites(source, devil_parse(source))
+    range_ops = [s for s, _ in sites if s.detail == "range"]
+    assert len(range_ops) == 1  # the {0..2}; '..' in [x..y] is not a site
+
+
+def test_devil_semantically_equal_range_edit_skipped():
+    source = (
+        "device d (p : bit[8] port @ {0, 1}) {"
+        " register a = p @ 0 : bit[8]; variable va = a : int(8);"
+        " register b = p @ 1 : bit[8]; variable vb = b : int(8); }"
+    )
+    sites = scan_devil_sites(source, devil_parse(source))
+    # {0, 1} -> {0..1} denotes the same set: not a mutant.
+    assert not [s for s, _ in sites if s.detail == "range"]
+
+
+def test_devil_arrow_sites():
+    source = (
+        "device d (p : bit[8] port @ {0}) {"
+        " register r = p @ 0, mask '0000000.' : bit[8];"
+        " variable v = r[0] : { A <=> '1', B <=> '0' }; }"
+    )
+    sites = scan_devil_sites(source, devil_parse(source))
+    arrows = {s.original: r for s, r in sites if s.detail == "mapping"}
+    assert set(arrows) == {"<=>"}
+    assert set(arrows["<=>"]) == {"<=", "=>"}
+
+
+# -- enumeration + the Mutant model ---------------------------------------------------
+
+
+def test_enumerate_devil_mutants_all_parse():
+    device = devil_parse(BUSMOUSE_LIKE)
+    mutants = enumerate_devil_mutants(BUSMOUSE_LIKE, device)
+    assert len(mutants) > 200
+    sample = mutants[:: max(1, len(mutants) // 40)]
+    for mutant in sample:
+        devil_parse(mutant.apply(BUSMOUSE_LIKE))  # must stay syntactic
+
+
+def test_mutant_apply_splices_exactly():
+    site = MutationSite("t", 1, 5, 4, 2, "ab", "identifier")
+    mutant = Mutant(site, "xyz")
+    assert mutant.apply("0123ab6789") == "0123xyz6789"
+
+
+def test_mutant_apply_detects_drift():
+    site = MutationSite("t", 1, 5, 4, 2, "ab", "identifier")
+    with pytest.raises(ValueError):
+        Mutant(site, "x").apply("0123ZZ6789")
+
+
+def test_enumerate_c_mutants_operator_validation():
+    # '=' in a declaration initialiser cannot become '==' (parse error),
+    # but '=' in an assignment can.
+    source = (
+        "/* HW-BEGIN */\n"
+        "void f(void) { u8 x = 1u; x = 2u; }\n"
+        "/* HW-END */\n"
+    )
+    pools = IdentifierPools(functions={"f"}, variables={"x"})
+    mutants = enumerate_c_mutants(source, "t.c", pools)
+    eq_mutants = [m for m in mutants if m.replacement == "=="]
+    assert len(eq_mutants) == 1
+    assert eq_mutants[0].site.line == 2

@@ -1,0 +1,114 @@
+"""Tests for campaign running and outcome classification."""
+
+import pytest
+
+from repro.devil.compiler import compile_spec
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import (
+    build_c_pools,
+    cdevil_api_pools,
+    count_code_lines,
+    run_devil_campaign,
+    run_driver_campaign,
+    stub_call_names,
+)
+from repro.mutation.sampling import sample_mutants
+from repro.mutation.model import Mutant, MutationSite
+from repro.specs import load_spec_source
+
+
+def _mutants(n):
+    return [
+        Mutant(MutationSite("f", i, 1, i, 1, "x", "literal"), str(i))
+        for i in range(n)
+    ]
+
+
+def test_sampling_is_deterministic():
+    mutants = _mutants(100)
+    first = sample_mutants(mutants, 0.25, seed=7)
+    second = sample_mutants(mutants, 0.25, seed=7)
+    assert first == second
+    assert len(first) == 25
+
+
+def test_sampling_differs_by_seed():
+    mutants = _mutants(100)
+    assert sample_mutants(mutants, 0.25, seed=1) != sample_mutants(
+        mutants, 0.25, seed=2
+    )
+
+
+def test_sampling_full_fraction_is_identity():
+    mutants = _mutants(10)
+    assert sample_mutants(mutants, 1.0) == mutants
+
+
+def test_sampling_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        sample_mutants(_mutants(4), 0.0)
+
+
+def test_count_code_lines_skips_comments_and_blanks():
+    source = "// header\n\ndevice d () {\n  // note\n  x\n}\n"
+    assert count_code_lines(source) == 3
+
+
+def test_cdevil_api_pools_classes():
+    spec = compile_spec(load_spec_source("ide_piix4"))
+    pools = cdevil_api_pools(spec)
+    assert pools["set_Drive"] == pools["set_lba"]  # one setter class
+    assert "get_busy" in pools and "set_Drive" not in pools["get_busy"]
+    assert "MASTER" in pools and "IDENTIFY" in pools["MASTER"]  # cross-type
+
+
+def test_stub_call_names_include_support_macros():
+    spec = compile_spec(load_spec_source("ide_piix4"))
+    names = stub_call_names(spec)
+    assert {"devil_init", "dil_eq", "dil_assert", "set_Drive", "get_busy"} <= names
+
+
+def test_build_c_pools_from_driver():
+    from repro.drivers import assemble_c_program
+
+    files, registry = assemble_c_program()
+    pools = build_c_pools(files, registry, files[0].name)
+    assert "hd_out" in pools.functions
+    assert "inb" in pools.functions  # used builtin joins the pool
+    assert "lba" in pools.variables
+    assert "HD_STATUS" in pools.macros
+
+
+def test_devil_campaign_detects_most_mutants():
+    result = run_devil_campaign("logitech_busmouse", fraction=0.05, seed=1)
+    assert result.tested > 50
+    assert result.detected_fraction > 0.80
+    assert result.lines == 18
+
+
+def test_devil_campaign_undetected_are_reported():
+    result = run_devil_campaign("logitech_busmouse", fraction=0.08, seed=2)
+    accepted = [r for r in result.results if r.outcome is BootOutcome.BOOT]
+    assert all(r.detail == "accepted" for r in accepted)
+
+
+@pytest.mark.slow
+def test_c_campaign_classes_present():
+    result = run_driver_campaign("c", fraction=0.03, seed=11)
+    assert result.count(BootOutcome.COMPILE_CHECK) > 0
+    assert result.count(BootOutcome.HALT) > 0
+    assert result.count(BootOutcome.BOOT) > 0
+    assert result.count(BootOutcome.RUN_TIME_CHECK) == 0  # no Devil stubs
+
+
+@pytest.mark.slow
+def test_cdevil_campaign_classes_present():
+    result = run_driver_campaign("cdevil", fraction=0.2, seed=11)
+    assert result.count(BootOutcome.COMPILE_CHECK) > 0
+    assert result.count(BootOutcome.RUN_TIME_CHECK) > 0
+    assert result.detected_fraction() > 0.35
+
+
+def test_unknown_driver_rejected():
+    with pytest.raises(ValueError):
+        run_driver_campaign("rust")

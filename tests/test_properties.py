@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devil.layout import MaskInfo, ResolvedFragment
+from repro.devil.tokens import parse_devil_int
+from repro.devil.types import EnumType, EnumValue, IntSetType, IntType
+from repro.minic.ctypes import IntCType, S32, U32, usual_arithmetic
+from repro.minic.lexer import strip_comments
+from repro.minic.tokens import parse_c_int
+from repro.mutation.literals import mutate_integer_literal
+
+widths = st.integers(min_value=1, max_value=28)
+
+
+@given(width=widths, data=st.data())
+def test_int_type_encode_decode_roundtrip(width, data):
+    signed = data.draw(st.booleans())
+    t = IntType(width=width, signed=signed)
+    value = data.draw(st.integers(min_value=t.min_value, max_value=t.max_value))
+    assert t.decode(t.encode(value)) == value
+
+
+@given(width=st.integers(min_value=1, max_value=12), data=st.data())
+def test_int_set_decode_only_members(width, data):
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    t = IntSetType(width=width, values=tuple(sorted(values)))
+    raw = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    if raw in values:
+        assert t.decode(raw) == raw
+    else:
+        try:
+            t.decode(raw)
+        except Exception:
+            pass
+        else:
+            raise AssertionError("decode accepted a non-member")
+
+
+@st.composite
+def mask_strings(draw):
+    return "".join(draw(st.lists(st.sampled_from(".01*"), min_size=1, max_size=16)))
+
+
+@given(mask=mask_strings(), value=st.integers(min_value=0, max_value=0xFFFF))
+def test_mask_compose_write_idempotent_and_conformant(mask, value):
+    info = MaskInfo.from_string(mask)
+    wire = info.compose_write(value)
+    assert info.compose_write(wire & info.relevant) == wire
+    # A wire value always conforms to its own fixed bits... unless '0' bits
+    # exist, which compose_write clears; conformance must hold regardless:
+    assert (wire & info.force_one) == info.force_one
+    assert wire & ~(info.relevant | info.force_one) == 0
+
+
+@given(
+    hi=st.integers(min_value=0, max_value=15),
+    lo=st.integers(min_value=0, max_value=15),
+    raw=st.integers(min_value=0, max_value=0xFFFF),
+    bits=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_fragment_insert_extract_inverse(hi, lo, raw, bits):
+    if hi < lo:
+        hi, lo = lo, hi
+    fragment = ResolvedFragment("r", hi, lo)
+    bits &= (1 << fragment.width) - 1
+    inserted = fragment.insert(raw, bits)
+    assert fragment.extract(inserted) == bits
+    assert inserted & ~fragment.mask == raw & ~fragment.mask
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_literal_mutants_never_equal_decimal(value):
+    text = str(value)
+    for mutant in mutate_integer_literal(text, parse_c_int)[:50]:
+        assert parse_c_int(mutant) != value
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFF))
+def test_literal_mutants_never_equal_hex(value):
+    text = hex(value)
+    for mutant in mutate_integer_literal(text, parse_devil_int)[:50]:
+        assert parse_devil_int(mutant) != value
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=64))
+def test_wrap_is_idempotent_and_in_range(value, width):
+    t = IntCType("t", width, signed=False)
+    wrapped = t.wrap(value)
+    assert 0 <= wrapped < (1 << width)
+    assert t.wrap(wrapped) == wrapped
+    s = IntCType("s", width, signed=True)
+    swrapped = s.wrap(value)
+    assert -(1 << (width - 1)) <= swrapped < (1 << (width - 1))
+    assert s.wrap(swrapped) == swrapped
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+       st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_usual_arithmetic_matches_c_for_comparison(a, b):
+    """Mixed signed/unsigned comparison follows C conversion rules."""
+    common = usual_arithmetic(S32, U32)
+    assert common is U32
+    # Converting both to u32 and comparing equals C's behaviour.
+    au, bu = a & 0xFFFFFFFF, b & 0xFFFFFFFF
+    assert (common.wrap(a) < common.wrap(b)) == (au < bu)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+               max_size=200))
+@settings(max_examples=50)
+def test_strip_comments_preserves_length_always(text):
+    assert len(strip_comments(text)) == len(text)
+
+
+@st.composite
+def enum_members(draw):
+    width = draw(st.integers(min_value=1, max_value=4))
+    count = draw(st.integers(min_value=1, max_value=min(4, 1 << width)))
+    bits = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << width) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    members = tuple(
+        EnumValue(f"M{i}", b, (1 << width) - 1, True, True)
+        for i, b in enumerate(bits)
+    )
+    return EnumType(width=width, members=members, type_name="t")
+
+
+@given(enum_members())
+def test_enum_decode_of_encode_is_identity(enum_type):
+    for member in enum_type.members:
+        assert enum_type.decode(enum_type.encode(member)) == member
+
+
+@given(st.data())
+@settings(max_examples=40)
+def test_device_handle_set_get_roundtrip_on_ide(data):
+    """Any in-domain write to a readable+writable IDE variable reads back."""
+    from repro.devil.compiler import compile_spec
+    from repro.devil.runtime import DeviceHandle
+    from repro.hw import IOBus, IdeController
+    from repro.hw.diskimage import DiskImage
+    from repro.specs import load_spec_source
+
+    spec = compile_spec(load_spec_source("ide_piix4"))
+    bus = IOBus(strict=True)
+    bus.attach(IdeController(master=DiskImage.bootable()))
+    handle = DeviceHandle(spec, bus, {"cmd": 0x1F0, "data": 0x1F0, "ctl": 0x3F6})
+
+    lba = data.draw(st.integers(min_value=0, max_value=(1 << 28) - 1))
+    handle.set("lba", lba)
+    assert handle.get("lba") == lba
+
+    count = data.draw(st.integers(min_value=0, max_value=255))
+    handle.set("sector_count", count)
+    assert handle.get("sector_count") == count
