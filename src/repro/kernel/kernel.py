@@ -22,6 +22,7 @@ outcome classes via the exception types of `repro.minic.errors`.
 
 from __future__ import annotations
 
+import os
 import zlib
 
 from repro.hw.diskimage import (
@@ -42,6 +43,7 @@ from repro.minic.errors import (
     MachineFault,
     StepBudgetExceeded,
 )
+from repro.minic.compile import interpreter_for
 from repro.minic.interp import Interpreter
 from repro.minic.program import CompiledProgram
 from repro.minic.values import CArray, CPointer
@@ -51,6 +53,11 @@ DRIVER_ABI = ("ide_init", "ide_read", "ide_write")
 
 #: Default watchdog: generous against the ~60k-step clean boot.
 DEFAULT_STEP_BUDGET = 1_500_000
+
+#: Execution backend booted kernels run on.  "closure" is the lowered
+#: fast path; "tree" is the reference walker (`REPRO_MINIC_BACKEND`
+#: overrides, and the equivalence tests assert the two agree).
+DEFAULT_BACKEND = os.environ.get("REPRO_MINIC_BACKEND", "closure")
 
 MAX_FILES = 64
 
@@ -95,11 +102,13 @@ def boot(
     program: CompiledProgram,
     machine: Machine,
     step_budget: int = DEFAULT_STEP_BUDGET,
+    backend: str | None = None,
 ) -> BootReport:
     """Boot a compiled driver program on a machine and classify the run."""
+    interp_class = interpreter_for(backend or DEFAULT_BACKEND)
     mounted = False
     try:
-        interp = Interpreter(program, machine.bus, step_budget=step_budget)
+        interp = interp_class(program, machine.bus, step_budget=step_budget)
         context = _KernelContext(interp)
         _boot_sequence(context, machine)
         mounted = True

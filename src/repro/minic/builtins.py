@@ -92,32 +92,66 @@ def builtin_outl(interp: "Interpreter", args: list) -> None:
     interp.bus_write(int(args[1]), int(args[0]) & 0xFFFFFFFF, 32)
 
 
+def _string_in(interp: "Interpreter", args: list, name: str, size: int) -> None:
+    """Shared fast path of ``insw``/``insl``.
+
+    Loop bodies mirror ``interp.bus_read`` + ``CPointer.store`` +
+    ``consume_steps`` exactly (same step positions relative to each bus
+    access, same fault messages) with the per-word attribute traffic
+    hoisted out of the loop — these transfers move every disk sector of
+    a boot, so they are among the hottest lines of a campaign.
+    """
+    port, buffer, count = int(args[0]), _as_pointer(args[1], name), int(args[2])
+    consume = interp.consume_steps
+    read = interp.bus.read_port
+    values = buffer.array.values
+    length = len(values)
+    base = buffer.offset
+    for index in range(base, base + count):
+        consume(1)
+        value = read(port, size)
+        if not 0 <= index < length:
+            raise MachineFault(
+                f"array index {index} out of bounds (size {length})"
+            )
+        values[index] = value
+        consume(1)
+
+
+def _string_out(interp: "Interpreter", args: list, name: str, size: int) -> None:
+    """Shared fast path of ``outsw``/``outsl`` (see ``_string_in``)."""
+    port, buffer, count = int(args[0]), _as_pointer(args[1], name), int(args[2])
+    mask = (1 << size) - 1
+    consume = interp.consume_steps
+    write = interp.bus.write_port
+    values = buffer.array.values
+    length = len(values)
+    base = buffer.offset
+    for index in range(base, base + count):
+        if not 0 <= index < length:
+            raise MachineFault(
+                f"array index {index} out of bounds (size {length})"
+            )
+        value = int(values[index]) & mask
+        consume(1)
+        write(port, value, size)
+        consume(1)
+
+
 def builtin_insw(interp: "Interpreter", args: list) -> None:
-    port, buffer, count = int(args[0]), _as_pointer(args[1], "insw"), int(args[2])
-    for index in range(count):
-        buffer.store(interp.bus_read(port, 16), index)
-        interp.consume_steps(1)
+    _string_in(interp, args, "insw", 16)
 
 
 def builtin_outsw(interp: "Interpreter", args: list) -> None:
-    port, buffer, count = int(args[0]), _as_pointer(args[1], "outsw"), int(args[2])
-    for index in range(count):
-        interp.bus_write(port, int(buffer.load(index)) & 0xFFFF, 16)
-        interp.consume_steps(1)
+    _string_out(interp, args, "outsw", 16)
 
 
 def builtin_insl(interp: "Interpreter", args: list) -> None:
-    port, buffer, count = int(args[0]), _as_pointer(args[1], "insl"), int(args[2])
-    for index in range(count):
-        buffer.store(interp.bus_read(port, 32), index)
-        interp.consume_steps(1)
+    _string_in(interp, args, "insl", 32)
 
 
 def builtin_outsl(interp: "Interpreter", args: list) -> None:
-    port, buffer, count = int(args[0]), _as_pointer(args[1], "outsl"), int(args[2])
-    for index in range(count):
-        interp.bus_write(port, int(buffer.load(index)) & 0xFFFFFFFF, 32)
-        interp.consume_steps(1)
+    _string_out(interp, args, "outsl", 32)
 
 
 def builtin_panic(interp: "Interpreter", args: list) -> int:

@@ -1,0 +1,375 @@
+"""Incremental compilation for mutation campaigns.
+
+``run_driver_campaign`` compiles thousands of *variants* of one driver
+file, each differing from the baseline by a single token-sized edit.  The
+stock pipeline re-preprocesses, re-parses and re-checks everything per
+variant; this module exploits what campaigns share:
+
+* **line-lex memo** — every physical line except the mutated one lexes to
+  the same tokens, so logical lines are memoised by text across variants;
+* **include memo** — the include registry (e.g. the generated Devil stub
+  header) is identical for every variant, so its whole preprocessed token
+  expansion (plus the macro definitions it contributes) is cached keyed
+  by the macro-table fingerprint at the point of inclusion;
+* **declaration splicing** — the variant's token stream is diffed against
+  the baseline's; only the top-level declarations covering the changed
+  token range are re-parsed, and the untouched declarations' ASTs are
+  reused (their token spans, locations and therefore coverage origins are
+  unchanged — single-token replacements never move line numbers).
+
+Semantic analysis still runs over the full spliced unit (it is cheap and
+its diagnostics order must match a from-scratch compile).  Correctness
+falls back to a full compile whenever splicing cannot be proven safe:
+multi-file programs, re-parsed ranges containing ``typedef``/``struct``
+declarations (their parse mutates shared registries), or a diff that
+reaches outside the recorded declaration spans.
+
+The cache-correctness tests assert byte-identical results (diagnostics,
+AST-derived outcomes, steps and coverage) between this path and
+``compile_program`` over campaign samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+
+from repro.diagnostics import DiagnosticSink
+from repro.minic import ast
+from repro.minic.lexer import strip_comments
+from repro.minic.parser import Parser
+from repro.minic.preprocessor import MacroDef, Preprocessor
+from repro.minic.program import CompiledProgram, SourceFile, compile_program
+from repro.minic.sema import Sema
+from repro.minic.tokens import CToken, CTokenKind
+
+
+class _CampaignPreprocessor(Preprocessor):
+    """Preprocessor sharing lex/include caches across campaign variants."""
+
+    def __init__(
+        self,
+        include_registry: dict[str, str] | None,
+        line_cache: dict[tuple[str, int, str], list[CToken]],
+        include_memo: dict,
+        pre_stripped: tuple[str, str] | None = None,
+    ):
+        super().__init__(include_registry)
+        self._line_cache = line_cache
+        self._include_memo = include_memo
+        #: (raw text, its comment-stripped form) for the top-level file.
+        self._pre_stripped = pre_stripped
+
+    def _strip(self, text: str) -> str:
+        if self._pre_stripped is not None and text == self._pre_stripped[0]:
+            return self._pre_stripped[1]
+        return super()._strip(text)
+
+    def _lex_line(self, line: str, line_number: int, filename: str) -> list[CToken]:
+        key = (line, line_number, filename)
+        cached = self._line_cache.get(key)
+        if cached is None:
+            cached = super()._lex_line(line, line_number, filename)
+            self._line_cache[key] = cached
+        return cached
+
+    def _include(self, target: str, output: list[CToken]) -> None:
+        fingerprint = (target, _macro_fingerprint(self.macros))
+        cached = self._include_memo.get(fingerprint)
+        if cached is None:
+            expansion: list[CToken] = []
+            super()._include(target, expansion)
+            cached = (tuple(expansion), dict(self.macros))
+            self._include_memo[fingerprint] = cached
+        else:
+            self.macros = dict(cached[1])
+        output.extend(cached[0])
+
+
+def _macro_fingerprint(macros: dict[str, MacroDef]) -> tuple:
+    """Hashable identity of a macro table (names, params and bodies)."""
+    return tuple(
+        (name, macro.params, macro.body) for name, macro in sorted(macros.items())
+    )
+
+
+@dataclass
+class _DeclGroup:
+    """Top-level declarations parsed from one contiguous token span."""
+
+    decls: list[ast.TopDecl]
+    start: int  # token index of the first token of the group
+    end: int  # token index one past the group's last token
+    typedef_count: int  # typedef-table size *before* this group
+    struct_count: int  # struct-registry size *before* this group
+    #: True when parsing the group changed shared parser state (typedef
+    #: table or struct registry — including struct bodies defined inline
+    #: in a combined declaration like ``struct X { ... } var;``, which
+    #: leave no StructDef in ``decls``).
+    mutates_type_state: bool = False
+
+    def reparse_safe(self) -> bool:
+        """Whether re-parsing this group cannot disturb shared state."""
+        if self.mutates_type_state:
+            return False
+        return not any(
+            isinstance(decl, (ast.TypedefDecl, ast.StructDef))
+            for decl in self.decls
+        )
+
+
+class CampaignCompiler:
+    """Compile many single-edit variants of one driver file, fast.
+
+    The baseline source is compiled once with full bookkeeping; each call
+    to :meth:`compile_variant` then pays only for the mutated line's lex,
+    the token diff, the re-parse of the touched declaration(s) and a full
+    (cheap) semantic pass.  Results — including raised ``CompileError``
+    diagnostics — are identical to ``compile_program([SourceFile(name,
+    text)], registry)``.
+    """
+
+    def __init__(
+        self,
+        driver_filename: str,
+        baseline_text: str,
+        include_registry: dict[str, str] | None = None,
+    ):
+        self.driver_filename = driver_filename
+        self.include_registry = dict(include_registry or {})
+        self._line_cache: dict[tuple[str, int, str], list[CToken]] = {}
+        self._include_memo: dict = {}
+        self._stripped_baseline = None
+
+        self._baseline_tokens = self._preprocess(baseline_text)
+        self._groups, self._typedefs, self._structs = self._parse_groups(
+            self._baseline_tokens
+        )
+        unit = ast.TranslationUnit(
+            decls=[decl for group in self._groups for decl in group.decls]
+        )
+        if self._baseline_tokens:
+            unit.location = self._baseline_tokens[0].location
+        self.baseline_program = _run_sema(unit)
+        self.baseline_text = baseline_text
+        self._stripped_baseline = strip_comments(baseline_text)
+        #: Cache-effectiveness counters (for benchmarks and tests).
+        self.stats = {"incremental": 0, "full": 0, "identical": 0}
+
+    # -- pipeline pieces ---------------------------------------------------
+
+    #: Characters that may open/close a comment or string, or continue a
+    #: line; an edit containing (or replacing) none of these cannot change
+    #: the comment structure around it, so the baseline's comment-stripped
+    #: text can be spliced instead of re-stripped.
+    _STRIP_SENSITIVE = frozenset("/*\"'\\")
+
+    def _preprocess(self, text: str) -> list[CToken]:
+        preprocessor = _CampaignPreprocessor(
+            self.include_registry,
+            self._line_cache,
+            self._include_memo,
+            pre_stripped=self._spliced_strip(text),
+        )
+        return preprocessor.process(text, self.driver_filename)
+
+    def _spliced_strip(self, text: str) -> tuple[str, str] | None:
+        """(text, stripped) via splicing the baseline's stripped form."""
+        stripped = self._stripped_baseline
+        if stripped is None:
+            return None
+        base = self.baseline_text
+        limit = min(len(base), len(text))
+        prefix = 0
+        chunk = 4096
+        while prefix < limit and base[prefix : prefix + chunk] == text[
+            prefix : prefix + chunk
+        ]:
+            prefix += chunk
+        while prefix < limit and base[prefix] == text[prefix]:
+            prefix += 1
+        prefix = min(prefix, limit)
+        suffix = 0
+        limit -= prefix
+        while (
+            suffix + chunk <= limit
+            and base[len(base) - suffix - chunk : len(base) - suffix]
+            == text[len(text) - suffix - chunk : len(text) - suffix]
+        ):
+            suffix += chunk
+        while (
+            suffix < limit
+            and base[len(base) - 1 - suffix] == text[len(text) - 1 - suffix]
+        ):
+            suffix += 1
+        new_segment = text[prefix : len(text) - suffix]
+        old_segment = base[prefix : len(base) - suffix]
+        if self._STRIP_SENSITIVE.intersection(new_segment) or (
+            self._STRIP_SENSITIVE.intersection(old_segment)
+        ):
+            return None
+        if stripped[prefix : len(base) - suffix] != old_segment:
+            # The edited span is not plain code in the baseline (it sits
+            # inside a comment): strip from scratch.
+            return None
+        return (
+            text,
+            stripped[:prefix] + new_segment + stripped[len(base) - suffix :],
+        )
+
+    def _parse_groups(
+        self, tokens: list[CToken]
+    ) -> tuple[list[_DeclGroup], dict, dict]:
+        stream = list(tokens)
+        last_file = self.driver_filename
+        last_line = stream[-1].line if stream else 1
+        stream.append(CToken(CTokenKind.EOF, "", last_line, 1, last_file))
+        parser = Parser(stream)
+        groups: list[_DeclGroup] = []
+        while parser.current.kind is not CTokenKind.EOF:
+            typedef_count = len(parser.typedefs)
+            struct_count = len(parser.structs)
+            defined_before = {
+                name
+                for name, struct in parser.structs.items()
+                if struct.defined
+            }
+            start = parser.index
+            decls = parser._parse_top_decl()
+            defined_after = {
+                name
+                for name, struct in parser.structs.items()
+                if struct.defined
+            }
+            groups.append(
+                _DeclGroup(
+                    decls=list(decls),
+                    start=start,
+                    end=parser.index,
+                    typedef_count=typedef_count,
+                    struct_count=struct_count,
+                    mutates_type_state=(
+                        len(parser.typedefs) != typedef_count
+                        or len(parser.structs) != struct_count
+                        or defined_after != defined_before
+                    ),
+                )
+            )
+        return groups, dict(parser.typedefs), dict(parser.structs)
+
+    # -- variant compilation -----------------------------------------------
+
+    def compile_variant(self, text: str) -> CompiledProgram:
+        """Compile a variant of the baseline driver text.
+
+        Raises ``CompileError`` exactly as ``compile_program`` would.
+        """
+        if text == self.baseline_text:
+            self.stats["identical"] += 1
+            return self.baseline_program
+
+        tokens = self._preprocess(text)
+        base = self._baseline_tokens
+
+        if tokens == base:
+            # The edit vanished in preprocessing (e.g. an unused macro
+            # body): the program is the baseline program.
+            self.stats["identical"] += 1
+            return self.baseline_program
+
+        prefix = _common_prefix(base, tokens)
+        suffix = _common_suffix(base, tokens, prefix)
+        changed_start = prefix
+        changed_end = len(base) - suffix  # exclusive, in baseline indices
+
+        first = last = None
+        for index, group in enumerate(self._groups):
+            if group.end > changed_start and group.start < changed_end:
+                if first is None:
+                    first = index
+                last = index
+
+        if first is None or last is None:
+            # Change outside every recorded declaration span (e.g. at the
+            # very edge of the stream) — take the safe path.
+            self.stats["full"] += 1
+            return self._full_compile(text)
+
+        affected = self._groups[first : last + 1]
+        if not all(group.reparse_safe() for group in affected):
+            self.stats["full"] += 1
+            return self._full_compile(text)
+
+        slice_start = affected[0].start
+        slice_end = len(tokens) - (len(base) - affected[-1].end)
+        if slice_start > prefix or slice_end < 0 or slice_start > slice_end:
+            self.stats["full"] += 1
+            return self._full_compile(text)
+
+        new_decls = self._parse_slice(
+            tokens[slice_start:slice_end], affected[0]
+        )
+        decls: list[ast.TopDecl] = []
+        for group in self._groups[:first]:
+            decls.extend(group.decls)
+        decls.extend(new_decls)
+        for group in self._groups[last + 1 :]:
+            decls.extend(group.decls)
+        unit = ast.TranslationUnit(
+            decls=decls, location=self.baseline_program.unit.location
+        )
+        self.stats["incremental"] += 1
+        return _run_sema(unit)
+
+    def _parse_slice(
+        self, tokens: list[CToken], first_group: _DeclGroup
+    ) -> list[ast.TopDecl]:
+        stream = list(tokens)
+        last_line = stream[-1].line if stream else 1
+        stream.append(
+            CToken(CTokenKind.EOF, "", last_line, 1, self.driver_filename)
+        )
+        parser = Parser(stream)
+        # Rewind the shared type environment to its state just before the
+        # first re-parsed declaration (both tables only ever grow).
+        parser.typedefs = dict(
+            islice(self._typedefs.items(), first_group.typedef_count)
+        )
+        parser.structs = dict(
+            islice(self._structs.items(), first_group.struct_count)
+        )
+        decls: list[ast.TopDecl] = []
+        while parser.current.kind is not CTokenKind.EOF:
+            decls.extend(parser._parse_top_decl())
+        return decls
+
+    def _full_compile(self, text: str) -> CompiledProgram:
+        return compile_program(
+            [SourceFile(self.driver_filename, text)], self.include_registry
+        )
+
+
+def _run_sema(unit: ast.TranslationUnit) -> CompiledProgram:
+    sink = DiagnosticSink()
+    Sema(unit, sink).run()
+    sink.raise_if_errors()
+    return CompiledProgram(
+        unit=unit,
+        warnings=[d for d in sink.diagnostics if not d.is_error],
+    )
+
+
+def _common_prefix(left: list[CToken], right: list[CToken]) -> int:
+    limit = min(len(left), len(right))
+    index = 0
+    while index < limit and left[index] == right[index]:
+        index += 1
+    return index
+
+
+def _common_suffix(left: list[CToken], right: list[CToken], prefix: int) -> int:
+    limit = min(len(left), len(right)) - prefix
+    count = 0
+    while count < limit and left[len(left) - 1 - count] == right[len(right) - 1 - count]:
+        count += 1
+    return count

@@ -73,7 +73,7 @@ class Preprocessor:
             )
         self._include_stack.append(filename)
         try:
-            lines = strip_comments(text).split("\n")
+            lines = self._strip(text).split("\n")
             buffer: list[CToken] = []
             condition_stack: list[bool] = []
             index = 0
@@ -101,7 +101,7 @@ class Preprocessor:
                     continue
                 if not active:
                     continue
-                buffer.extend(lex_line(line, line_number, filename))
+                buffer.extend(self._lex_line(line, line_number, filename))
             self._flush(buffer, output)
             if condition_stack:
                 raise _error(
@@ -109,6 +109,18 @@ class Preprocessor:
                 )
         finally:
             self._include_stack.pop()
+
+    def _lex_line(self, line: str, line_number: int, filename: str) -> list[CToken]:
+        """Lex one logical line; subclass hook for campaign-level caching."""
+        return lex_line(line, line_number, filename)
+
+    def _strip(self, text: str) -> str:
+        """Comment removal; subclass hook for campaign-level reuse."""
+        return strip_comments(text)
+
+    def _include(self, target: str, output: list[CToken]) -> None:
+        """Process one resolved include; subclass hook for memoisation."""
+        self._process_file(self.includes[target], target, output)
 
     def _flush(self, buffer: list[CToken], output: list[CToken]) -> None:
         if buffer:
@@ -162,7 +174,7 @@ class Preprocessor:
             target = rest.strip().strip('"<>')
             if target not in self.includes:
                 raise _error(f"cannot find include file {target!r}", location)
-            self._process_file(self.includes[target], target, output)
+            self._include(target, output)
             return
         if name in ("pragma", "error", "warning"):
             return
@@ -170,7 +182,7 @@ class Preprocessor:
 
     def _define(self, rest: str, line: int, filename: str) -> None:
         location = SourceLocation(line, 1, filename)
-        tokens = lex_line(rest, line, filename)
+        tokens = self._lex_line(rest, line, filename)
         if not tokens or tokens[0].kind is not CTokenKind.IDENT:
             raise _error("#define needs a macro name", location)
         name_token = tokens[0]

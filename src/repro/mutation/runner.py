@@ -2,11 +2,24 @@
 
 ``run_driver_campaign`` reproduces the paper's §4.2 experiment for either
 driver; ``run_devil_campaign`` reproduces §4.1 for a specification.  Both
-are deterministic under a seed.
+are deterministic under a seed — including under parallel execution:
+``workers=N`` fans mutant evaluation out over a process pool and merges
+``MutantResult``s back by mutant index, so any worker count produces the
+same `CampaignResult` as the serial fallback (``workers=1``).
+
+Per-mutant cost is kept low by two campaign-scoped optimisations, both
+individually defeatable for reference runs:
+
+* ``compile_cache=True`` routes compilation through
+  :class:`repro.minic.incremental.CampaignCompiler`, which re-lexes and
+  re-parses only the mutated declaration(s) of the driver file;
+* ``backend`` selects the mini-C execution backend (default: the
+  closure-compiled fast path; ``"tree"`` is the reference walker).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,6 +36,7 @@ from repro.hw.machine import standard_pc
 from repro.kernel.kernel import boot
 from repro.kernel.outcomes import BootOutcome
 from repro.minic import ast as c_ast
+from repro.minic.incremental import CampaignCompiler
 from repro.minic.program import SourceFile, compile_program
 from repro.minic.sema import BUILTIN_SIGNATURES
 from repro.mutation.c_ops import IdentifierPools
@@ -227,6 +241,42 @@ def cdevil_api_pools(
 # -- driver campaigns -------------------------------------------------------------
 
 
+@dataclass
+class _EvalContext:
+    """Everything one process needs to evaluate campaign mutants."""
+
+    source: str
+    driver_filename: str
+    registry: dict[str, str]
+    budget: int
+    backend: str | None
+    compiler: CampaignCompiler | None
+
+    @classmethod
+    def build(
+        cls,
+        source: str,
+        driver_filename: str,
+        registry: dict[str, str],
+        budget: int,
+        backend: str | None,
+        compile_cache: bool,
+    ) -> "_EvalContext":
+        compiler = (
+            CampaignCompiler(driver_filename, source, registry)
+            if compile_cache
+            else None
+        )
+        return cls(
+            source=source,
+            driver_filename=driver_filename,
+            registry=registry,
+            budget=budget,
+            backend=backend,
+            compiler=compiler,
+        )
+
+
 def run_driver_campaign(
     driver: str = "c",
     mode: str = "debug",
@@ -234,8 +284,17 @@ def run_driver_campaign(
     seed: int = DEFAULT_SEED,
     step_budget: int | None = None,
     progress: ProgressFn | None = None,
+    workers: int = 1,
+    backend: str | None = None,
+    compile_cache: bool = True,
 ) -> CampaignResult:
-    """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil")."""
+    """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
+
+    ``workers`` > 1 evaluates mutants on a process pool; results are
+    merged by mutant index, so the outcome is identical to a serial run.
+    ``backend``/``compile_cache`` select the execution backend and the
+    incremental compiler (defaults: fast paths).
+    """
     regions = None
     if driver == "c":
         files, registry = assemble_c_program()
@@ -260,7 +319,7 @@ def run_driver_campaign(
 
     # Baseline: the unmutated driver must boot cleanly.
     baseline_program = compile_program(files, registry)
-    baseline = boot(baseline_program, standard_pc())
+    baseline = boot(baseline_program, standard_pc(), backend=backend)
     if baseline.outcome is not BootOutcome.BOOT:
         raise RuntimeError(
             f"baseline {driver} driver does not boot cleanly: {baseline}"
@@ -273,40 +332,131 @@ def run_driver_campaign(
         clean_steps=baseline.steps,
         step_budget=budget,
     )
+    if workers > 1 and len(tested) > 1:
+        campaign.results = _evaluate_parallel(
+            tested,
+            source,
+            driver_filename,
+            registry,
+            budget,
+            backend,
+            compile_cache,
+            workers,
+            progress,
+        )
+        return campaign
+
+    context = _EvalContext.build(
+        source, driver_filename, registry, budget, backend, compile_cache
+    )
     for index, mutant in enumerate(tested):
         if progress is not None:
             progress(index, len(tested))
-        campaign.results.append(
-            _run_one(mutant, source, driver_filename, registry, budget)
-        )
+        campaign.results.append(_run_one(mutant, context))
     return campaign
 
 
-def _run_one(
-    mutant: Mutant,
-    source: str,
-    driver_filename: str,
-    registry: dict[str, str],
-    budget: int,
-) -> MutantResult:
-    mutated = mutant.apply(source)
+def _run_one(mutant: Mutant, context: _EvalContext) -> MutantResult:
+    mutated = mutant.apply(context.source)
     try:
-        program = compile_program(
-            [SourceFile(driver_filename, mutated)], registry
-        )
+        if context.compiler is not None:
+            program = context.compiler.compile_variant(mutated)
+        else:
+            program = compile_program(
+                [SourceFile(context.driver_filename, mutated)], context.registry
+            )
     except CompileError as error:
         return MutantResult(
             mutant=mutant,
             outcome=BootOutcome.COMPILE_CHECK,
             detail=error.diagnostics[0].code if error.diagnostics else "error",
         )
-    report = boot(program, standard_pc(with_busmouse=False), step_budget=budget)
+    report = boot(
+        program,
+        standard_pc(with_busmouse=False),
+        step_budget=context.budget,
+        backend=context.backend,
+    )
     outcome = report.outcome
     if outcome is BootOutcome.BOOT:
         site_line = (mutant.site.file, mutant.site.line)
         if site_line not in report.coverage:
             outcome = BootOutcome.DEAD_CODE
     return MutantResult(mutant=mutant, outcome=outcome, detail=report.detail)
+
+
+# -- parallel evaluation -------------------------------------------------------
+
+#: Per-process evaluation context, built once by the pool initialiser.
+_WORKER_CONTEXT: _EvalContext | None = None
+
+
+def _worker_init(
+    source: str,
+    driver_filename: str,
+    registry: dict[str, str],
+    budget: int,
+    backend: str | None,
+    compile_cache: bool,
+) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = _EvalContext.build(
+        source, driver_filename, registry, budget, backend, compile_cache
+    )
+
+
+def _worker_eval(item: tuple[int, Mutant]) -> tuple[int, MutantResult]:
+    index, mutant = item
+    assert _WORKER_CONTEXT is not None
+    return index, _run_one(mutant, _WORKER_CONTEXT)
+
+
+def _evaluate_parallel(
+    tested: list[Mutant],
+    source: str,
+    driver_filename: str,
+    registry: dict[str, str],
+    budget: int,
+    backend: str | None,
+    compile_cache: bool,
+    workers: int,
+    progress: ProgressFn | None,
+) -> list[MutantResult]:
+    """Evaluate mutants on a process pool, merging by mutant index.
+
+    Each mutant evaluation is independent and deterministic, so the merge
+    is seed-stable: ``workers=N`` equals ``workers=1`` result-for-result.
+    ``progress`` is invoked in completion order (indices may interleave).
+    """
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context("spawn")
+    worker_count = min(workers, len(tested))
+    chunksize = max(1, len(tested) // (worker_count * 8))
+    results: list[MutantResult | None] = [None] * len(tested)
+    with context.Pool(
+        worker_count,
+        initializer=_worker_init,
+        initargs=(
+            source,
+            driver_filename,
+            registry,
+            budget,
+            backend,
+            compile_cache,
+        ),
+    ) as pool:
+        completed = 0
+        for index, result in pool.imap_unordered(
+            _worker_eval, list(enumerate(tested)), chunksize=chunksize
+        ):
+            results[index] = result
+            if progress is not None:
+                progress(completed, len(tested))
+            completed += 1
+    assert all(result is not None for result in results)
+    return results  # type: ignore[return-value]
 
 
 # -- Devil specification campaigns ----------------------------------------------

@@ -1,0 +1,127 @@
+"""Cache correctness for the incremental campaign compiler.
+
+`repro.minic.incremental.CampaignCompiler` must never serve a stale or
+differently-diagnosed artifact: its results — successful programs and
+raised ``CompileError`` diagnostics alike — are asserted byte-identical
+to a from-scratch ``compile_program`` across seeded mutant samples and
+hand-picked edge cases.
+"""
+
+import pytest
+
+from repro.diagnostics import CompileError
+from repro.drivers import assemble_c_program, assemble_cdevil_program
+from repro.hw import standard_pc
+from repro.kernel.kernel import boot
+from repro.minic.incremental import CampaignCompiler
+from repro.minic.program import SourceFile, compile_program
+from repro.mutation.generator import enumerate_c_mutants
+from repro.mutation.runner import build_c_pools
+from repro.mutation.sampling import sample_mutants
+
+
+def _diagnostic_view(error: CompileError):
+    return [
+        (d.code, d.location.line, d.location.column) for d in error.diagnostics
+    ]
+
+
+def _compare(compiler, driver, registry, text):
+    """Compile ``text`` both ways and assert identical results."""
+    try:
+        full = compile_program([SourceFile(driver, text)], registry)
+        full_error = None
+    except CompileError as error:
+        full, full_error = None, _diagnostic_view(error)
+    try:
+        fast = compiler.compile_variant(text)
+        fast_error = None
+    except CompileError as error:
+        fast, fast_error = None, _diagnostic_view(error)
+
+    assert full_error == fast_error
+    if full is None:
+        return
+    reference = boot(full, standard_pc(with_busmouse=False), step_budget=300_000)
+    cached = boot(fast, standard_pc(with_busmouse=False), step_budget=300_000)
+    assert cached.outcome is reference.outcome
+    assert cached.steps == reference.steps
+    assert cached.coverage == reference.coverage
+    assert cached.detail == reference.detail
+
+
+@pytest.fixture(scope="module")
+def c_setup():
+    files, registry = assemble_c_program()
+    driver = files[0].name
+    source = files[0].text
+    return source, driver, registry, CampaignCompiler(driver, source, registry)
+
+
+def test_mutant_sample_never_served_stale(c_setup):
+    source, driver, registry, compiler = c_setup
+    pools = build_c_pools(*assemble_c_program(), driver)
+    mutants = sample_mutants(
+        enumerate_c_mutants(source, driver, pools, include_registry=registry),
+        0.02,
+        seed=17,
+    )
+    assert mutants
+    for mutant in mutants:
+        _compare(compiler, driver, registry, mutant.apply(source))
+    # The point of the cache: the incremental path must actually be used.
+    assert compiler.stats["incremental"] > 0
+
+
+def test_baseline_text_returns_baseline_program(c_setup):
+    source, _, _, compiler = c_setup
+    assert compiler.compile_variant(source) is compiler.baseline_program
+
+
+def test_interleaved_variants_do_not_cross_contaminate(c_setup):
+    """Alternating edits at the same site must each see their own text."""
+    source, driver, registry, compiler = c_setup
+    first = source.replace("#define HD_TIMEOUT   5000", "#define HD_TIMEOUT   6000")
+    second = source.replace("#define HD_TIMEOUT   5000", "#define HD_TIMEOUT   5001")
+    for _ in range(2):
+        _compare(compiler, driver, registry, first)
+        _compare(compiler, driver, registry, second)
+
+
+def test_macro_body_edit_reaches_all_use_sites(c_setup):
+    """A #define edit invalidates every function expanding the macro."""
+    source, driver, registry, compiler = c_setup
+    variant = source.replace("#define STAT_BUSY   0x80", "#define STAT_BUSY   0x40")
+    _compare(compiler, driver, registry, variant)
+
+
+def test_parse_error_variant_diagnosed_identically(c_setup):
+    source, driver, registry, compiler = c_setup
+    variant = source.replace("if (wait_ready() != 0)", "if (wait_ready() ! 0)", 1)
+    _compare(compiler, driver, registry, variant)
+
+
+def test_sema_error_variant_diagnosed_identically(c_setup):
+    source, driver, registry, compiler = c_setup
+    variant = source.replace("hd_out(0, 1, lba, WIN_READ);", "hd_out(0, 1, lba);", 1)
+    _compare(compiler, driver, registry, variant)
+
+
+def test_comment_aware_edit_falls_back_safely(c_setup):
+    """An edit introducing comment characters cannot confuse the splice."""
+    source, driver, registry, compiler = c_setup
+    variant = source.replace("insw(HD_DATA, id, HD_WORDS);",
+                             "insw(HD_DATA /* words */, id, HD_WORDS);", 1)
+    _compare(compiler, driver, registry, variant)
+
+
+def test_cdevil_header_include_is_memoised():
+    files, registry = assemble_cdevil_program()
+    driver = files[0].name
+    source = files[0].text
+    compiler = CampaignCompiler(driver, source, registry)
+    variant = source.replace("set_feature(3u);", "set_feature(1u);")
+    _compare(compiler, driver, registry, variant)
+    assert compiler.stats["incremental"] == 1
+    # One include expansion cached from the baseline compile, reused since.
+    assert len(compiler._include_memo) == 1

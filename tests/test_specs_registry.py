@@ -1,0 +1,34 @@
+"""Tests for the bundled-spec registry (`repro.specs`)."""
+
+import pytest
+
+from repro.specs import PAPER_NAMES, SPEC_FILES, load_spec_source, spec_names
+
+
+def test_spec_names_match_paper_table2_row_order():
+    assert spec_names() == [
+        "logitech_busmouse",
+        "pci_82371fb",
+        "ide_piix4",
+        "ne2000",
+        "permedia2",
+    ]
+
+
+def test_registry_tables_agree():
+    assert set(PAPER_NAMES) == set(SPEC_FILES)
+
+
+def test_every_bundled_spec_loads():
+    for name in spec_names():
+        source = load_spec_source(name)
+        assert f"device {name}" in source
+
+
+def test_unknown_name_raises_keyerror_listing_known_specs():
+    with pytest.raises(KeyError) as excinfo:
+        load_spec_source("ide_piix5")
+    message = str(excinfo.value)
+    assert "ide_piix5" in message
+    for name in spec_names():
+        assert name in message
