@@ -66,9 +66,14 @@ class IOBus:
     #: access claim scan — the hottest line of a mutation campaign — into
     #: one dict lookup.
     _decode: dict[int, object] = field(default_factory=dict)
+    #: address -> bound read callable for ports whose device publishes a
+    #: dedicated handler (``port_read_handler``): polling loops then skip
+    #: the device's io_read offset decode entirely.
+    _read_handlers: dict[int, object] = field(default_factory=dict)
 
     def attach(self, device) -> None:
         """Attach a device, claiming the ranges it reports."""
+        handler_factory = getattr(device, "port_read_handler", None)
         for start, length in device.port_ranges():
             for claim in self._claims:
                 overlap = not (
@@ -83,6 +88,10 @@ class IOBus:
             self._claims.append(_Claim(start, length, device))
             for address in range(start, start + length):
                 self._decode[address] = device
+                if handler_factory is not None:
+                    handler = handler_factory(address)
+                    if handler is not None:
+                        self._read_handlers[address] = handler
 
     def device_at(self, address: int):
         return self._decode.get(address)
@@ -94,6 +103,12 @@ class IOBus:
             self.trace.append(BusAccess(kind, address, size, value))
 
     def read_port(self, address: int, size: int) -> int:
+        handler = self._read_handlers.get(address)
+        if handler is not None:
+            value = handler(size) & ((1 << size) - 1)
+            if self.trace_limit:
+                self._record("read", address, size, value)
+            return value
         device = self._decode.get(address)
         if device is None:
             if self.strict:
@@ -106,6 +121,47 @@ class IOBus:
         if self.trace_limit:
             self._record("read", address, size, value)
         return value
+
+    def bulk_read_port(self, address: int, size: int, count: int):
+        """``count`` consecutive reads of one port, or None if unsupported.
+
+        Semantically identical to ``count`` calls of :meth:`read_port`
+        (device side effects included, in order); the per-access decode,
+        tracing and masking overhead is paid once.  Returns ``None``
+        whenever the exact per-word path must run instead — unclaimed
+        port, tracing enabled, or a device without a bulk hook — and the
+        caller falls back.
+        """
+        if self.trace_limit:
+            return None
+        device = self._decode.get(address)
+        if device is None:
+            if self.strict:
+                return None  # the per-word path raises with exact state
+            return [(1 << size) - 1] * count
+        bulk = getattr(device, "bulk_read_words", None)
+        if bulk is None:
+            return None
+        mask = (1 << size) - 1
+        return [value & mask for value in bulk(address, size, count)]
+
+    def bulk_write_port(self, address: int, values, size: int) -> bool:
+        """Write consecutive values to one port; False if unsupported.
+
+        Mirrors ``len(values)`` calls of :meth:`write_port` exactly; the
+        caller falls back to the per-word path on ``False``.
+        """
+        if self.trace_limit:
+            return False
+        device = self._decode.get(address)
+        if device is None:
+            return not self.strict  # writes to a floating bus vanish
+        bulk = getattr(device, "bulk_write_words", None)
+        if bulk is None:
+            return False
+        mask = (1 << size) - 1
+        bulk(address, [value & mask for value in values], size)
+        return True
 
     def write_port(self, address: int, value: int, size: int) -> None:
         device = self._decode.get(address)

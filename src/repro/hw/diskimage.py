@@ -17,6 +17,7 @@ any divergence is the paper's "Damaged boot" outcome.
 from __future__ import annotations
 
 import hashlib
+import struct
 import zlib
 from dataclasses import dataclass, field
 
@@ -143,15 +144,14 @@ class DiskImage:
 
 def words_to_bytes(words: list[int]) -> bytes:
     """Little-endian byte view of 16-bit words (IDE data-port order)."""
-    out = bytearray()
-    for word in words:
-        out.append(word & 0xFF)
-        out.append((word >> 8) & 0xFF)
-    return bytes(out)
+    return struct.pack(f"<{len(words)}H", *[word & 0xFFFF for word in words])
 
 
 def bytes_to_words(data: bytes) -> list[int]:
     """Inverse of :func:`words_to_bytes`."""
-    return [
-        data[index] | (data[index + 1] << 8) for index in range(0, len(data), 2)
-    ]
+    if len(data) % 2:
+        return [
+            data[index] | (data[index + 1] << 8)
+            for index in range(0, len(data), 2)
+        ]
+    return list(struct.unpack(f"<{len(data) // 2}H", data))

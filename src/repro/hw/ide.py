@@ -142,7 +142,7 @@ class IdeController(Device):
         )
 
     def _status(self) -> int:
-        drive = self._drive
+        drive = self.drives[(self.select >> 4) & 1]  # inline _drive (hot)
         if not drive.present:
             return 0x00
         if self.in_srst:
@@ -165,6 +165,8 @@ class IdeController(Device):
         if address == self.control_base:
             return self._status()  # altstatus
         offset = address - self.command_base
+        if offset == 7:  # status — the polling loops' port, checked first
+            return self._status()
         if offset == 0:
             return self._data_read(size)
         if offset == 1:
@@ -179,9 +181,58 @@ class IdeController(Device):
             return self.hcyl
         if offset == 6:
             return self.select
-        if offset == 7:
-            return self._status()
         return 0xFF
+
+    def port_read_handler(self, address: int):
+        """Bound read callable for the hot ports (status and data).
+
+        `repro.hw.bus.IOBus` dispatches reads of these ports straight to
+        the bound method — identical values and side effects, minus the
+        per-access offset decode that dominates polling loops.
+        """
+        if address == self.control_base:
+            return lambda size: self._status()
+        offset = address - self.command_base
+        if offset == 7:
+            return lambda size: self._status()
+        if offset == 0:
+            return self._data_read
+        return None
+
+    def bulk_read_words(self, address: int, size: int, count: int) -> list:
+        """``count`` consecutive ``io_read``s, device side effects intact.
+
+        The data port pops buffered sector words in slices (refilling
+        exactly where the per-word path would); every other register is
+        read in a plain loop.  `repro.hw.bus.IOBus.bulk_read_port` uses
+        this to collapse ``insw`` sector transfers into one call.
+        """
+        offset = address - self.command_base
+        if address == self.control_base or offset != 0:
+            return [self.io_read(address, size) for _ in range(count)]
+        drive = self._drive
+        floating = (1 << size) - 1
+        out: list[int] = []
+        while len(out) < count:
+            if drive.mode != "read" or drive.buffer_index >= len(drive.buffer):
+                # _data_read returns a floating value without touching
+                # state here, so every remaining read floats too.
+                out.extend([floating] * (count - len(out)))
+                break
+            take = min(len(drive.buffer) - drive.buffer_index, count - len(out))
+            chunk = drive.buffer[
+                drive.buffer_index : drive.buffer_index + take
+            ]
+            out.extend(word & floating for word in chunk)
+            drive.buffer_index += take
+            if drive.buffer_index >= len(drive.buffer):
+                self._refill_read_buffer(drive)
+        return out
+
+    def bulk_write_words(self, address: int, values: list, size: int) -> None:
+        """Consecutive ``io_write``s (the data path is stateful per word)."""
+        for value in values:
+            self.io_write(address, value, size)
 
     def io_write(self, address: int, value: int, size: int) -> None:
         if address == self.control_base:

@@ -55,8 +55,9 @@ DRIVER_ABI = ("ide_init", "ide_read", "ide_write")
 DEFAULT_STEP_BUDGET = 1_500_000
 
 #: Execution backend booted kernels run on.  "closure" is the lowered
-#: fast path; "tree" is the reference walker (`REPRO_MINIC_BACKEND`
-#: overrides, and the equivalence tests assert the two agree).
+#: fast path, "source" the Python-source-emitting codegen backend, and
+#: "tree" the reference walker (`REPRO_MINIC_BACKEND` overrides, and
+#: the equivalence + differential tests assert all three agree).
 DEFAULT_BACKEND = os.environ.get("REPRO_MINIC_BACKEND", "closure")
 
 MAX_FILES = 64
@@ -88,7 +89,9 @@ class _KernelContext:
         status = self._call_checked("ide_read", lba, CPointer(array, 0), 256)
         if status != 0:
             raise KernelPanic(f"ide: read error {status} at sector {lba}")
-        return words_to_bytes([int(word) for word in array.values[:256]])
+        # words_to_bytes masks each word (raising on non-ints exactly as
+        # int() would), so no separate conversion pass is needed.
+        return words_to_bytes(array.values[:256])
 
     def write_sector(self, lba: int, data: bytes) -> None:
         words = bytes_to_words(data) + [0] * self.BUFFER_SLACK

@@ -100,13 +100,31 @@ def _string_in(interp: "Interpreter", args: list, name: str, size: int) -> None:
     access, same fault messages) with the per-word attribute traffic
     hoisted out of the loop — these transfers move every disk sector of
     a boot, so they are among the hottest lines of a campaign.
+
+    When the whole transfer provably behaves like the loop — every index
+    in bounds (no fault), enough budget for all ``2 * count`` steps (no
+    mid-transfer watchdog), and the bus offering a bulk read with
+    identical device side effects — one bulk call replaces the loop.
     """
     port, buffer, count = int(args[0]), _as_pointer(args[1], name), int(args[2])
-    consume = interp.consume_steps
-    read = interp.bus.read_port
     values = buffer.array.values
     length = len(values)
     base = buffer.offset
+    if (
+        count > 0
+        and 0 <= base
+        and base + count <= length
+        and interp.steps + 2 * count <= interp.step_budget
+    ):
+        bulk = getattr(interp.bus, "bulk_read_port", None)
+        if bulk is not None:
+            data = bulk(port, size, count)
+            if data is not None:
+                values[base : base + count] = data
+                interp.steps += 2 * count
+                return
+    consume = interp.consume_steps
+    read = interp.bus.read_port
     for index in range(base, base + count):
         consume(1)
         value = read(port, size)
@@ -122,11 +140,24 @@ def _string_out(interp: "Interpreter", args: list, name: str, size: int) -> None
     """Shared fast path of ``outsw``/``outsl`` (see ``_string_in``)."""
     port, buffer, count = int(args[0]), _as_pointer(args[1], name), int(args[2])
     mask = (1 << size) - 1
-    consume = interp.consume_steps
-    write = interp.bus.write_port
     values = buffer.array.values
     length = len(values)
     base = buffer.offset
+    if (
+        count > 0
+        and 0 <= base
+        and base + count <= length
+        and interp.steps + 2 * count <= interp.step_budget
+    ):
+        bulk = getattr(interp.bus, "bulk_write_port", None)
+        # The bus masks each value (raising on non-ints exactly as the
+        # loop's int() would), so a plain slice suffices — and is all
+        # that is wasted when the bus declines.
+        if bulk is not None and bulk(port, values[base : base + count], size):
+            interp.steps += 2 * count
+            return
+    consume = interp.consume_steps
+    write = interp.bus.write_port
     for index in range(base, base + count):
         if not 0 <= index < length:
             raise MachineFault(

@@ -40,6 +40,7 @@ to the reference logic).
 
 from __future__ import annotations
 
+import importlib
 from typing import Callable
 
 from repro.minic import ast
@@ -1987,13 +1988,21 @@ BACKENDS = {
     "closure": ClosureInterpreter,
 }
 
+#: Backends registered on first use — importing the module adds the
+#: class to ``BACKENDS`` (keeps this module import-light).
+_LAZY_BACKENDS = {"source": "repro.minic.codegen"}
+
 
 def interpreter_for(backend: str):
     """The interpreter class implementing ``backend``."""
-    try:
-        return BACKENDS[backend]
-    except KeyError:
+    cls = BACKENDS.get(backend)
+    if cls is None and backend in _LAZY_BACKENDS:
+        importlib.import_module(_LAZY_BACKENDS[backend])
+        cls = BACKENDS.get(backend)
+    if cls is None:
+        available = sorted(set(BACKENDS) | set(_LAZY_BACKENDS))
         raise ValueError(
             f"unknown mini-C backend {backend!r}; "
-            f"available: {', '.join(sorted(BACKENDS))}"
-        ) from None
+            f"available: {', '.join(available)}"
+        )
+    return cls

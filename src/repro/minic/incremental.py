@@ -182,26 +182,23 @@ class CampaignCompiler:
         limit = min(len(base), len(text))
         prefix = 0
         chunk = 4096
-        while prefix < limit and base[prefix : prefix + chunk] == text[
-            prefix : prefix + chunk
-        ]:
-            prefix += chunk
-        while prefix < limit and base[prefix] == text[prefix]:
-            prefix += 1
-        prefix = min(prefix, limit)
+        while chunk:
+            while prefix + chunk <= limit and base[
+                prefix : prefix + chunk
+            ] == text[prefix : prefix + chunk]:
+                prefix += chunk
+            chunk //= 2
         suffix = 0
         limit -= prefix
-        while (
-            suffix + chunk <= limit
-            and base[len(base) - suffix - chunk : len(base) - suffix]
-            == text[len(text) - suffix - chunk : len(text) - suffix]
-        ):
-            suffix += chunk
-        while (
-            suffix < limit
-            and base[len(base) - 1 - suffix] == text[len(text) - 1 - suffix]
-        ):
-            suffix += 1
+        chunk = 4096
+        while chunk:
+            while (
+                suffix + chunk <= limit
+                and base[len(base) - suffix - chunk : len(base) - suffix]
+                == text[len(text) - suffix - chunk : len(text) - suffix]
+            ):
+                suffix += chunk
+            chunk //= 2
         new_segment = text[prefix : len(text) - suffix]
         old_segment = base[prefix : len(base) - suffix]
         if self._STRIP_SENSITIVE.intersection(new_segment) or (

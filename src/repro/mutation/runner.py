@@ -14,7 +14,8 @@ individually defeatable for reference runs:
   :class:`repro.minic.incremental.CampaignCompiler`, which re-lexes and
   re-parses only the mutated declaration(s) of the driver file;
 * ``backend`` selects the mini-C execution backend (default: the
-  closure-compiled fast path; ``"tree"`` is the reference walker).
+  closure-compiled fast path; ``"source"`` is the still-faster
+  source-emitting codegen backend, ``"tree"`` the reference walker).
 """
 
 from __future__ import annotations

@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite.
+
+``assert_boot_equivalent`` is the single definition of backend
+equivalence: every observable of a whole driver boot — outcome, step
+count, coverage set, detail string, printk log and disk diff — must be
+byte-identical across mini-C execution backends.  The backend test
+modules parametrise over :data:`ALL_BACKENDS` instead of hand-rolling
+tree/closure pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import standard_pc
+from repro.kernel.kernel import boot
+
+#: Every registered mini-C execution backend; "tree" is the reference.
+ALL_BACKENDS = ("tree", "closure", "source")
+
+#: The compiled backends, each asserted against the tree walker.
+FAST_BACKENDS = ("closure", "source")
+
+
+def boot_report_view(report):
+    """The comparable observables of a boot report."""
+    return {
+        "outcome": report.outcome,
+        "steps": report.steps,
+        "coverage": report.coverage,
+        "detail": report.detail,
+        "log": report.log,
+        "disk_diff": report.disk_diff,
+    }
+
+
+def assert_boot_equivalent(
+    program,
+    backends=ALL_BACKENDS,
+    machine_factory=standard_pc,
+    step_budget=None,
+    reference="tree",
+):
+    """Boot ``program`` on every backend and assert identical reports.
+
+    A fresh machine comes from ``machine_factory`` per backend, so disk
+    effects are compared too.  Returns the reference report.
+    """
+    kwargs = {} if step_budget is None else {"step_budget": step_budget}
+    reports = {
+        backend: boot(program, machine_factory(), backend=backend, **kwargs)
+        for backend in dict.fromkeys((reference, *backends))
+    }
+    expected = boot_report_view(reports[reference])
+    for backend, report in reports.items():
+        assert boot_report_view(report) == expected, (
+            f"backend {backend!r} diverged from {reference!r}"
+        )
+    return reports[reference]
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    """Parametrises a test over every mini-C execution backend."""
+    return request.param

@@ -1,57 +1,47 @@
-"""Backend equivalence: closure-compiled mini-C vs the reference walker.
+"""Backend equivalence: compiled mini-C backends vs the reference walker.
 
-The closure backend (`repro.minic.compile`) must be observably identical
-to the tree-walking interpreter — same outcomes, same step counts, same
+The closure backend (`repro.minic.compile`) and the source-emitting
+backend (`repro.minic.codegen`) must be observably identical to the
+tree-walking interpreter — same outcomes, same step counts, same
 coverage sets, same fault details — or campaign classifications would
 silently drift.  These tests assert that equivalence on whole driver
-boots and on a seeded sample of real campaign mutants.
+boots and on a seeded sample of real campaign mutants, for every
+registered backend (see ``conftest.assert_boot_equivalent``).
 """
 
 import pytest
 
+from conftest import ALL_BACKENDS, FAST_BACKENDS, assert_boot_equivalent
 from repro.diagnostics import CompileError
 from repro.drivers import assemble_c_program, assemble_cdevil_program
 from repro.hw import standard_pc
 from repro.kernel.kernel import boot
 from repro.minic import Interpreter, SourceFile, compile_program
+from repro.minic.codegen import SourceInterpreter
 from repro.minic.compile import ClosureInterpreter, interpreter_for
 from repro.mutation.generator import enumerate_c_mutants
 from repro.mutation.runner import build_c_pools
 from repro.mutation.sampling import sample_mutants
 
 
-def _boot_both(program):
-    tree = boot(program, standard_pc(), backend="tree")
-    closure = boot(program, standard_pc(), backend="closure")
-    return tree, closure
-
-
-def _assert_identical(tree, closure):
-    assert closure.outcome is tree.outcome
-    assert closure.steps == tree.steps
-    assert closure.coverage == tree.coverage
-    assert closure.detail == tree.detail
-    assert closure.log == tree.log
-    assert closure.disk_diff == tree.disk_diff
-
-
 @pytest.mark.parametrize("assemble", [assemble_c_program, assemble_cdevil_program])
-def test_clean_boot_identical(assemble):
+def test_clean_boot_identical_across_all_backends(assemble):
     files, registry = assemble()
     program = compile_program(files, registry)
-    tree, closure = _boot_both(program)
-    _assert_identical(tree, closure)
-    assert tree.outcome.value == "boot"
+    reference = assert_boot_equivalent(program, backends=ALL_BACKENDS)
+    assert reference.outcome.value == "boot"
 
 
 def test_interpreter_for_selects_backends():
     assert interpreter_for("tree") is Interpreter
     assert interpreter_for("closure") is ClosureInterpreter
+    assert interpreter_for("source") is SourceInterpreter
     with pytest.raises(ValueError):
         interpreter_for("jit")
 
 
-def test_direct_call_results_and_steps_match():
+@pytest.mark.parametrize("fast", FAST_BACKENDS)
+def test_direct_call_results_and_steps_match(fast):
     program = compile_program(
         [
             SourceFile(
@@ -71,24 +61,25 @@ def test_direct_call_results_and_steps_match():
         ]
     )
     tree = Interpreter(program)
-    closure = ClosureInterpreter(program)
-    assert closure.call("mix", 500) == tree.call("mix", 500)
-    assert closure.steps == tree.steps
+    other = interpreter_for(fast)(program)
+    assert other.call("mix", 500) == tree.call("mix", 500)
+    assert other.steps == tree.steps
 
 
-def test_step_budget_exhaustion_is_identical():
+@pytest.mark.parametrize("fast", FAST_BACKENDS)
+def test_step_budget_exhaustion_is_identical(fast):
     program = compile_program(
         [SourceFile("t.c", "int f(void) { while (1) { ; } return 0; }")]
     )
     from repro.minic.errors import StepBudgetExceeded
 
     tree = Interpreter(program, step_budget=997)
-    closure = ClosureInterpreter(program, step_budget=997)
+    other = interpreter_for(fast)(program, step_budget=997)
     with pytest.raises(StepBudgetExceeded):
         tree.call("f")
     with pytest.raises(StepBudgetExceeded):
-        closure.call("f")
-    assert closure.steps == tree.steps == 998
+        other.call("f")
+    assert other.steps == tree.steps == 998
 
 
 def _mutant_sample(fraction, seed):
@@ -102,34 +93,28 @@ def _mutant_sample(fraction, seed):
     return source, driver, registry, sample_mutants(mutants, fraction, seed)
 
 
-def _evaluate(source, driver, registry, mutant, backend):
-    mutated = mutant.apply(source)
-    try:
-        program = compile_program([SourceFile(driver, mutated)], registry)
-    except CompileError as error:
-        return ("compile", [d.code for d in error.diagnostics])
-    report = boot(
-        program,
-        standard_pc(with_busmouse=False),
-        step_budget=300_000,
-        backend=backend,
-    )
-    return (report.outcome, report.steps, report.detail, report.coverage)
+def _assert_sample_identical(source, driver, registry, mutants):
+    assert mutants
+    for mutant in mutants:
+        mutated = mutant.apply(source)
+        try:
+            program = compile_program([SourceFile(driver, mutated)], registry)
+        except CompileError:
+            continue  # the compile gate does not involve a backend
+        assert_boot_equivalent(
+            program,
+            backends=ALL_BACKENDS,
+            machine_factory=lambda: standard_pc(with_busmouse=False),
+            step_budget=300_000,
+        )
 
 
 def test_campaign_mutant_sample_identical_across_backends():
     source, driver, registry, mutants = _mutant_sample(0.01, seed=13)
-    assert mutants
-    for mutant in mutants:
-        tree = _evaluate(source, driver, registry, mutant, "tree")
-        closure = _evaluate(source, driver, registry, mutant, "closure")
-        assert tree == closure, f"backend divergence at {mutant.site}"
+    _assert_sample_identical(source, driver, registry, mutants)
 
 
 @pytest.mark.slow
 def test_campaign_mutant_sample_identical_across_backends_large():
     source, driver, registry, mutants = _mutant_sample(0.05, seed=29)
-    for mutant in mutants:
-        tree = _evaluate(source, driver, registry, mutant, "tree")
-        closure = _evaluate(source, driver, registry, mutant, "closure")
-        assert tree == closure, f"backend divergence at {mutant.site}"
+    _assert_sample_identical(source, driver, registry, mutants)

@@ -4,7 +4,10 @@
 differently-diagnosed artifact: its results — successful programs and
 raised ``CompileError`` diagnostics alike — are asserted byte-identical
 to a from-scratch ``compile_program`` across seeded mutant samples and
-hand-picked edge cases.
+hand-picked edge cases.  The hand-picked cases run on every execution
+backend (the ``backend`` fixture), since a spliced program must boot
+identically to a fresh one on each; the broad sample keeps to the
+default backend for time.
 """
 
 import pytest
@@ -26,7 +29,7 @@ def _diagnostic_view(error: CompileError):
     ]
 
 
-def _compare(compiler, driver, registry, text):
+def _compare(compiler, driver, registry, text, backend=None):
     """Compile ``text`` both ways and assert identical results."""
     try:
         full = compile_program([SourceFile(driver, text)], registry)
@@ -42,8 +45,13 @@ def _compare(compiler, driver, registry, text):
     assert full_error == fast_error
     if full is None:
         return
-    reference = boot(full, standard_pc(with_busmouse=False), step_budget=300_000)
-    cached = boot(fast, standard_pc(with_busmouse=False), step_budget=300_000)
+    kwargs = {} if backend is None else {"backend": backend}
+    reference = boot(
+        full, standard_pc(with_busmouse=False), step_budget=300_000, **kwargs
+    )
+    cached = boot(
+        fast, standard_pc(with_busmouse=False), step_budget=300_000, **kwargs
+    )
     assert cached.outcome is reference.outcome
     assert cached.steps == reference.steps
     assert cached.coverage == reference.coverage
@@ -78,21 +86,21 @@ def test_baseline_text_returns_baseline_program(c_setup):
     assert compiler.compile_variant(source) is compiler.baseline_program
 
 
-def test_interleaved_variants_do_not_cross_contaminate(c_setup):
+def test_interleaved_variants_do_not_cross_contaminate(c_setup, backend):
     """Alternating edits at the same site must each see their own text."""
     source, driver, registry, compiler = c_setup
     first = source.replace("#define HD_TIMEOUT   5000", "#define HD_TIMEOUT   6000")
     second = source.replace("#define HD_TIMEOUT   5000", "#define HD_TIMEOUT   5001")
     for _ in range(2):
-        _compare(compiler, driver, registry, first)
-        _compare(compiler, driver, registry, second)
+        _compare(compiler, driver, registry, first, backend)
+        _compare(compiler, driver, registry, second, backend)
 
 
-def test_macro_body_edit_reaches_all_use_sites(c_setup):
+def test_macro_body_edit_reaches_all_use_sites(c_setup, backend):
     """A #define edit invalidates every function expanding the macro."""
     source, driver, registry, compiler = c_setup
     variant = source.replace("#define STAT_BUSY   0x80", "#define STAT_BUSY   0x40")
-    _compare(compiler, driver, registry, variant)
+    _compare(compiler, driver, registry, variant, backend)
 
 
 def test_parse_error_variant_diagnosed_identically(c_setup):
@@ -107,21 +115,21 @@ def test_sema_error_variant_diagnosed_identically(c_setup):
     _compare(compiler, driver, registry, variant)
 
 
-def test_comment_aware_edit_falls_back_safely(c_setup):
+def test_comment_aware_edit_falls_back_safely(c_setup, backend):
     """An edit introducing comment characters cannot confuse the splice."""
     source, driver, registry, compiler = c_setup
     variant = source.replace("insw(HD_DATA, id, HD_WORDS);",
                              "insw(HD_DATA /* words */, id, HD_WORDS);", 1)
-    _compare(compiler, driver, registry, variant)
+    _compare(compiler, driver, registry, variant, backend)
 
 
-def test_cdevil_header_include_is_memoised():
+def test_cdevil_header_include_is_memoised(backend):
     files, registry = assemble_cdevil_program()
     driver = files[0].name
     source = files[0].text
     compiler = CampaignCompiler(driver, source, registry)
     variant = source.replace("set_feature(3u);", "set_feature(1u);")
-    _compare(compiler, driver, registry, variant)
+    _compare(compiler, driver, registry, variant, backend)
     assert compiler.stats["incremental"] == 1
     # One include expansion cached from the baseline compile, reused since.
     assert len(compiler._include_memo) == 1

@@ -1,0 +1,116 @@
+"""Golden regression tests for the experiment pipelines.
+
+Small fixed-seed sampled runs of Table 2 (Devil checker coverage) and
+Table 3 (C driver mutation campaign) are checked in under
+``tests/goldens/`` as JSON, down to the per-mutant outcome and detail
+string.  Table 3 is asserted for **every** execution backend — a backend
+or cache change that shifts a single classification fails here with the
+exact mutant named.  Table 2 exercises only the Devil compiler (mutants
+are accepted/rejected at compile time, nothing boots), so it has no
+backend axis; it pins the checker, sampler and spec registry instead.
+
+Regenerate after an intentional behaviour change with::
+
+    PYTHONPATH=src python tests/test_goldens.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+TABLE2_FRACTION, TABLE2_SEED = 0.02, 4136
+TABLE3_FRACTION, TABLE3_SEED = 0.01, 4136
+
+
+def table2_view() -> dict:
+    from repro.mutation.runner import run_devil_campaign
+    from repro.specs import spec_names
+
+    rows = []
+    for name in spec_names():
+        row = run_devil_campaign(
+            name, fraction=TABLE2_FRACTION, seed=TABLE2_SEED
+        )
+        rows.append(
+            {
+                "spec": row.spec_name,
+                "lines": row.lines,
+                "sites": row.sites,
+                "enumerated": row.enumerated,
+                "tested": row.tested,
+                "detected": row.detected,
+                "results": [
+                    [r.mutant.mutant_id, r.outcome.value, r.detail]
+                    for r in row.results
+                ],
+            }
+        )
+    return {"fraction": TABLE2_FRACTION, "seed": TABLE2_SEED, "rows": rows}
+
+
+def table3_view(backend: str | None = None) -> dict:
+    from repro.mutation.runner import run_driver_campaign
+
+    campaign = run_driver_campaign(
+        "c", fraction=TABLE3_FRACTION, seed=TABLE3_SEED, backend=backend
+    )
+    return {
+        "fraction": TABLE3_FRACTION,
+        "seed": TABLE3_SEED,
+        "driver": campaign.driver,
+        "enumerated": campaign.enumerated,
+        "tested": campaign.tested,
+        "clean_steps": campaign.clean_steps,
+        "step_budget": campaign.step_budget,
+        "results": [
+            [r.mutant.mutant_id, r.outcome.value, r.detail]
+            for r in campaign.results
+        ],
+    }
+
+
+def _golden_path(name: str) -> Path:
+    return GOLDEN_DIR / name
+
+
+def _load(name: str) -> dict:
+    with open(_golden_path(name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+TABLE2_GOLDEN = "table2_fraction02_seed4136.json"
+TABLE3_GOLDEN = "table3_fraction01_seed4136.json"
+
+
+def test_table2_sample_matches_golden():
+    assert table2_view() == _load(TABLE2_GOLDEN)
+
+
+def test_table3_sample_matches_golden_on_every_backend(backend):
+    assert table3_view(backend) == _load(TABLE3_GOLDEN), (
+        f"backend {backend!r} no longer reproduces the Table 3 golden"
+    )
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, view in (
+        (TABLE2_GOLDEN, table2_view()),
+        (TABLE3_GOLDEN, table3_view()),
+    ):
+        with open(_golden_path(name), "w", encoding="utf-8") as handle:
+            json.dump(view, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {_golden_path(name)}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)
