@@ -10,7 +10,16 @@ fixed-seed sampled C-driver campaign under several configurations:
 * **source configuration** — the source-emitting codegen backend
   (``backend="source"``, `repro.minic.codegen`) with the incremental
   cache, measured single-core so the ``speedup_source_vs_closure`` ratio
-  isolates the backend itself.
+  isolates the backend itself;
+* **checkpoint configuration** — the source configuration plus
+  cross-mutant boot checkpointing (``boot_checkpoint=True``,
+  `repro.kernel.checkpoint`): one instrumented clean boot per campaign,
+  every mutant resumed from the deepest checkpoint provably before its
+  first divergent step (cold boots reuse a machine snapshot, mutated
+  declarations run on the ``hybrid`` backend).  The row reports
+  ``checkpoint_resumed`` / ``checkpoint_cold`` decisions and
+  ``checkpoint_prefix_steps_skipped``, the clean-prefix steps the
+  campaign never re-executed.
 
 A separate **budget-bound** measurement re-boots the campaign's
 infinite-loop mutants (the ones that burn the whole step budget and
@@ -121,32 +130,50 @@ def run_configurations(
         backend="tree",
         compile_cache=False,
         workers=1,
+        boot_checkpoint=False,
     )
     legacy_seconds = time.perf_counter() - start
 
-    # Backends are pinned explicitly so a REPRO_MINIC_BACKEND override
-    # cannot mislabel the configurations being compared.
+    # Backends and checkpointing are pinned explicitly so environment
+    # overrides (REPRO_MINIC_BACKEND, REPRO_BOOT_CHECKPOINT) cannot
+    # mislabel the configurations being compared.
     start = time.perf_counter()
     fast_serial = run_driver_campaign(
-        driver, fraction=fraction, seed=seed, backend="closure"
+        driver, fraction=fraction, seed=seed, backend="closure",
+        boot_checkpoint=False,
     )
     fast_serial_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
     source_serial = run_driver_campaign(
-        driver, fraction=fraction, seed=seed, backend="source"
+        driver, fraction=fraction, seed=seed, backend="source",
+        boot_checkpoint=False,
     )
     source_serial_seconds = time.perf_counter() - start
     assert _outcomes(source_serial) == _outcomes(fast_serial), (
         "source backend changed campaign outcomes"
     )
 
+    start = time.perf_counter()
+    checkpoint_serial = run_driver_campaign(
+        driver,
+        fraction=fraction,
+        seed=seed,
+        backend="source",
+        boot_checkpoint=True,
+    )
+    checkpoint_serial_seconds = time.perf_counter() - start
+    assert _outcomes(checkpoint_serial) == _outcomes(source_serial), (
+        "checkpointed campaign changed outcomes"
+    )
+    checkpoint_stats = checkpoint_serial.checkpoint_stats or {}
+
     fast_seconds = fast_serial_seconds
     if workers > 1:
         start = time.perf_counter()
         fast_parallel = run_driver_campaign(
             driver, fraction=fraction, seed=seed, workers=workers,
-            backend="closure",
+            backend="closure", boot_checkpoint=False,
         )
         fast_seconds = time.perf_counter() - start
         assert _outcomes(fast_parallel) == _outcomes(fast_serial), (
@@ -170,9 +197,22 @@ def run_configurations(
         "fast_serial_seconds": round(fast_serial_seconds, 3),
         "source_serial_seconds": round(source_serial_seconds, 3),
         "fast_seconds": round(fast_seconds, 3),
+        "checkpoint_serial_seconds": round(checkpoint_serial_seconds, 3),
         "legacy_mutants_per_sec": round(tested / legacy_seconds, 2),
         "fast_mutants_per_sec": round(tested / fast_seconds, 2),
         "source_mutants_per_sec": round(tested / source_serial_seconds, 2),
+        "checkpoint_mutants_per_sec": round(
+            tested / checkpoint_serial_seconds, 2
+        ),
+        "checkpoint_resumed": checkpoint_stats.get("resumed"),
+        "checkpoint_cold": checkpoint_stats.get("cold"),
+        "checkpoint_prefix_steps_skipped": checkpoint_stats.get(
+            "steps_skipped"
+        ),
+        "clean_steps": checkpoint_serial.clean_steps,
+        "speedup_checkpoint_vs_source": round(
+            source_serial_seconds / checkpoint_serial_seconds, 2
+        ),
         "speedup_serial": round(legacy_seconds / fast_serial_seconds, 2),
         "speedup_source_serial": round(legacy_seconds / source_serial_seconds, 2),
         "speedup_source_vs_closure": round(
@@ -253,12 +293,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--json", dest="json_path", default=None)
     args = parser.parse_args(argv)
 
+    # The previous trajectory point's source row (if any) anchors the
+    # cross-revision speedup claim before the file is overwritten.
+    prior_source = None
+    if args.json_path and os.path.exists(args.json_path):
+        try:
+            with open(args.json_path, encoding="utf-8") as handle:
+                prior_source = json.load(handle).get("source_serial_seconds")
+        except (OSError, ValueError):
+            prior_source = None
+
     report = run_configurations(
         fraction=args.fraction,
         seed=args.seed,
         driver=args.driver,
         workers=args.workers,
     )
+
+    if prior_source:
+        report["prior_source_serial_seconds"] = prior_source
+        report["speedup_checkpoint_vs_prior_source"] = round(
+            prior_source / report["checkpoint_serial_seconds"], 2
+        )
 
     if args.seed_rev:
         seed_seconds = time_seed_revision(
@@ -296,6 +352,12 @@ def test_campaign_throughput(benchmark, capsys):
     # Floor for a single core; the worker pool multiplies this by the
     # core count on real hardware (the >=5x acceptance configuration).
     assert report["speedup_serial"] > 1.5
+    # Checkpointing must genuinely skip clean-prefix work and at worst
+    # break even on the small smoke sample (the committed fraction=0.05
+    # trajectory point shows the real margin).
+    assert report["checkpoint_resumed"] > 0
+    assert report["checkpoint_prefix_steps_skipped"] > 0
+    assert report["speedup_checkpoint_vs_source"] > 0.9
     # The source backend must at least keep pace with the closure
     # backend end-to-end even on the small smoke sample, and clearly
     # beat it on the budget-bound boots it was built for (the committed

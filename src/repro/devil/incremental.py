@@ -1,0 +1,305 @@
+"""Incremental Devil spec compilation for mutation campaigns.
+
+``run_devil_campaign`` (Table 2) checks thousands of single-token
+variants of one specification; the stock pipeline re-lexes and re-parses
+the whole spec per variant, and lexing alone dominates the campaign.
+This module caches what variants share:
+
+* **line-lex splice** — every physical line except the mutated one lexes
+  to the same tokens, so the variant's token stream is the baseline's
+  with just the mutated line re-lexed and spliced in;
+* **declaration splice** — only the top-level declaration(s) covering
+  the changed tokens are re-parsed; untouched declarations' ASTs are
+  reused (the Devil parser keeps no cross-declaration state);
+* the intra- and inter-layer **checks run in full** per variant: they
+  are cross-declaration by construction (duplicate names, register
+  cover, type references) and cost a fraction of the parse.
+
+Fidelity: campaign-visible results (detected / accepted, and the
+diagnostic codes feeding ``MutantResult.detail``) are identical to
+``spec_errors``; any variant the splice path cannot prove equivalent —
+multi-line edits, edits on comment/pattern-sensitive or header lines,
+and variants whose spliced re-parse errors (so the canonical full parse
+owns the diagnostics) — falls back to the from-scratch pipeline.
+
+Token ``offset`` fields after a spliced line are stale by the edit's
+length delta.  Offsets exist for the *mutation generator*'s textual
+splicing against the pristine baseline; the parser and the checkers
+consume only ``kind``/``text``/``line``/``column``, which the splice
+keeps exact.
+"""
+
+from __future__ import annotations
+
+from repro.devil import ast
+from repro.devil.compiler import check_spec, spec_errors
+from repro.devil.lexer import tokenize
+from repro.devil.parser import Parser
+from repro.devil.tokens import Token, TokenKind
+from repro.diagnostics import CompileError, Diagnostic
+
+#: Characters that can open/close a comment or a quoted bit pattern; an
+#: edit featuring none of these cannot change lexical structure around it.
+_LEX_SENSITIVE = frozenset("/*'\"")
+
+
+class _DeclGroup:
+    """One top-level declaration and its token span."""
+
+    __slots__ = ("category", "decl", "start", "end")
+
+    def __init__(self, category: str, decl, start: int, end: int):
+        self.category = category
+        self.decl = decl
+        self.start = start
+        self.end = end
+
+
+class SpecCampaignCompiler:
+    """Check many single-edit variants of one Devil spec, fast.
+
+    The baseline must itself parse (construction raises otherwise — the
+    campaign asserts the unmutated spec compiles first).
+    """
+
+    def __init__(self, source: str, filename: str = "<spec>"):
+        self.source = source
+        self.filename = filename
+        self._lines = source.split("\n")
+        self._tokens = tokenize(source, filename)  # EOF-terminated
+        self._line_spans = self._compute_line_spans()
+        self._line_offsets = self._compute_line_offsets()
+        self._groups, self._header, self._device = self._parse_groups()
+        #: Cache-effectiveness counters (for benchmarks and tests).
+        self.stats = {"spliced": 0, "full": 0, "identical": 0}
+
+    # -- baseline bookkeeping ---------------------------------------------
+
+    def _compute_line_spans(self) -> dict[int, tuple[int, int]]:
+        spans: dict[int, tuple[int, int]] = {}
+        for index, token in enumerate(self._tokens):
+            if token.kind is TokenKind.EOF:
+                break
+            span = spans.get(token.line)
+            spans[token.line] = (
+                (index, index + 1) if span is None else (span[0], index + 1)
+            )
+        return spans
+
+    def _compute_line_offsets(self) -> list[int]:
+        offsets = [0]
+        for line in self._lines[:-1]:
+            offsets.append(offsets[-1] + len(line) + 1)
+        return offsets
+
+    def _parse_groups(self):
+        """Parse the baseline, recording every declaration's token span.
+
+        Mirrors ``Parser._parse_device`` exactly, with the body loop
+        instrumented; the Devil grammar keeps no state across
+        declarations, so each span can be re-parsed in isolation.
+        """
+        parser = Parser(self._tokens)
+        start = parser._expect_keyword("device")
+        name = parser._expect_ident("device name")
+        parser._expect_punct("(")
+        params = [parser._parse_param()]
+        while parser.current.is_punct(","):
+            parser._advance()
+            params.append(parser._parse_param())
+        parser._expect_punct(")")
+        parser._expect_punct("{")
+        header_end = parser.index
+
+        groups: list[_DeclGroup] = []
+        while not parser.current.is_punct("}"):
+            if parser.current.kind is TokenKind.EOF:
+                raise parser._error("unterminated device body")
+            group_start = parser.index
+            category, decl = self._parse_one_decl(parser)
+            groups.append(_DeclGroup(category, decl, group_start, parser.index))
+        parser._expect_punct("}")
+        if parser.current.kind is not TokenKind.EOF:
+            raise parser._error("trailing input after device declaration")
+
+        device = ast.DeviceSpec(
+            name=name.text,
+            params=tuple(params),
+            types=tuple(g.decl for g in groups if g.category == "types"),
+            registers=tuple(
+                g.decl for g in groups if g.category == "registers"
+            ),
+            variables=tuple(
+                g.decl for g in groups if g.category == "variables"
+            ),
+            location=start.location,
+        )
+        header = (name, tuple(params), start, header_end)
+        return groups, header, device
+
+    @staticmethod
+    def _parse_one_decl(parser: Parser):
+        if parser.current.is_keyword("type"):
+            return "types", parser._parse_type_decl()
+        if parser.current.is_keyword("register"):
+            return "registers", parser._parse_register()
+        if parser.current.is_keyword("variable") or parser.current.is_keyword(
+            "private"
+        ):
+            return "variables", parser._parse_variable()
+        raise parser._error("expected 'type', 'register' or 'variable'")
+
+    # -- variant pipeline --------------------------------------------------
+
+    def errors_for_variant(self, text: str) -> list[Diagnostic]:
+        """All error diagnostics for ``text`` — ``spec_errors`` semantics."""
+        if text == self.source:
+            self.stats["identical"] += 1
+            return self._check_errors(self._device)
+        device = self._spliced_device(text)
+        if device is None:
+            self.stats["full"] += 1
+            return spec_errors(text, self.filename)
+        self.stats["spliced"] += 1
+        return self._check_errors(device)
+
+    def variant_parses(self, text: str) -> bool:
+        """Whether ``text`` lexes and parses (the enumeration gate)."""
+        if text == self.source:
+            return True
+        spliced = self._splice_tokens(text)
+        if spliced is None:
+            return self._full_parses(text)
+        try:
+            if self._parse_variant(*spliced) is None:
+                return self._full_parses(text)
+        except CompileError:
+            # A re-parse error at the slice boundary is not always a
+            # program error (a mutated declaration could consume its
+            # successor's tokens and still parse as a whole); the full
+            # parse is authoritative either way.
+            return self._full_parses(text)
+        return True
+
+    def _full_parses(self, text: str) -> bool:
+        try:
+            Parser(tokenize(text, self.filename)).parse_spec()
+        except CompileError:
+            return False
+        return True
+
+    @staticmethod
+    def _check_errors(device) -> list[Diagnostic]:
+        try:
+            check_spec(device)
+        except CompileError as exc:
+            return exc.diagnostics
+        return []
+
+    def _spliced_device(self, text: str):
+        """Variant ``DeviceSpec`` via splicing, or None for the full path."""
+        spliced = self._splice_tokens(text)
+        if spliced is None:
+            return None
+        try:
+            return self._parse_variant(*spliced)
+        except CompileError:
+            # The spliced re-parse fails; let the canonical full parse
+            # produce the (identical-code, canonical-location) errors.
+            return None
+
+    def _splice_tokens(self, text: str):
+        """(tokens, changed_lo, changed_hi) in baseline indices, or None."""
+        base_lines = self._lines
+        lines = text.split("\n")
+        if len(lines) != len(base_lines):
+            return None
+        changed = -1
+        for index, (old, new) in enumerate(zip(base_lines, lines)):
+            if old != new:
+                if changed >= 0:
+                    return None
+                changed = index
+        if changed < 0:
+            return None
+        old, new = base_lines[changed], lines[changed]
+        if _LEX_SENSITIVE.intersection(old) or _LEX_SENSITIVE.intersection(new):
+            return None
+        line_number = changed + 1
+        span = self._line_spans.get(line_number)
+        if span is None:
+            # No tokens on the line (blank or comment interior): lexical
+            # context is unclear, full pipeline decides.
+            return None
+        try:
+            lexed = tokenize(new, self.filename)
+        except CompileError:
+            return None  # canonical path owns the error locations
+        base_offset = self._line_offsets[changed]
+        rebased = [
+            Token(
+                kind=token.kind,
+                text=token.text,
+                offset=base_offset + token.offset,
+                line=line_number,
+                column=token.column,
+                filename=token.filename,
+            )
+            for token in lexed
+            if token.kind is not TokenKind.EOF
+        ]
+        start, end = span
+        tokens = list(self._tokens)
+        tokens[start:end] = rebased
+        # The changed span is reported in *baseline* indices; the suffix
+        # sits shifted by the token-count delta in the spliced stream.
+        return tokens, start, end
+
+    def _parse_variant(self, tokens, changed_lo, changed_hi):
+        """Re-parse only the declarations covering the changed tokens.
+
+        Returns None when the change falls outside every declaration
+        span (device header, braces, trailing text) — the caller takes
+        the full pipeline.  Raises ``CompileError`` on re-parse errors.
+        """
+        delta = len(tokens) - len(self._tokens)
+        first = last = None
+        for index, group in enumerate(self._groups):
+            if group.end > changed_lo and group.start < changed_hi:
+                if first is None:
+                    first = index
+                last = index
+        if first is None:
+            return None
+        affected = self._groups[first : last + 1]
+        if affected[0].start > changed_lo or affected[-1].end < changed_hi:
+            return None  # the edit leaks outside the declaration spans
+        slice_start = affected[0].start
+        slice_end = affected[-1].end + delta
+
+        stream = tokens[slice_start:slice_end]
+        tail = stream[-1] if stream else tokens[changed_lo]
+        stream.append(
+            Token(TokenKind.EOF, "", tail.end, tail.line, 1, self.filename)
+        )
+        parser = Parser(stream)
+        reparsed: list[tuple[str, object]] = []
+        while parser.current.kind is not TokenKind.EOF:
+            reparsed.append(self._parse_one_decl(parser))
+
+        ordered: list[tuple[str, object]] = [
+            (group.category, group.decl) for group in self._groups[:first]
+        ]
+        ordered.extend(reparsed)
+        ordered.extend(
+            (group.category, group.decl) for group in self._groups[last + 1 :]
+        )
+        name, params, start, _ = self._header
+        return ast.DeviceSpec(
+            name=name.text,
+            params=params,
+            types=tuple(d for c, d in ordered if c == "types"),
+            registers=tuple(d for c, d in ordered if c == "registers"),
+            variables=tuple(d for c, d in ordered if c == "variables"),
+            location=start.location,
+        )

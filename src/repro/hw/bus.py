@@ -96,6 +96,13 @@ class IOBus:
     def device_at(self, address: int):
         return self._decode.get(address)
 
+    def snapshot(self) -> tuple[BusAccess, ...]:
+        """Mutable bus state: the access trace (claims/decode are static)."""
+        return tuple(self.trace)
+
+    def restore(self, snapshot: tuple[BusAccess, ...]) -> None:
+        self.trace[:] = snapshot
+
     def _record(self, kind: str, address: int, size: int, value: int) -> None:
         if self.trace_limit:
             if len(self.trace) >= self.trace_limit:

@@ -35,6 +35,23 @@ class LogitechBusmouse(Device):
         self.dy = 0
         self.buttons = 0  # 3 bits, active state
 
+    _SNAPSHOT_FIELDS = (
+        "signature",
+        "config",
+        "index",
+        "interrupt_disabled",
+        "dx",
+        "dy",
+        "buttons",
+    )
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS}
+
+    def restore(self, snapshot: dict) -> None:
+        for name, value in snapshot.items():
+            setattr(self, name, value)
+
     # -- host-side stimulus (tests / examples) ----------------------------
 
     def move(self, dx: int, dy: int, buttons: int | None = None) -> None:

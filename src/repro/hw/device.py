@@ -26,5 +26,19 @@ class Device:
     def reset(self) -> None:
         """Return to power-on state (default: nothing)."""
 
+    def snapshot(self):
+        """Opaque snapshot of mutable device state (default: stateless).
+
+        ``restore(snapshot())`` must reproduce every observable behaviour
+        of the device at the snapshot point — the boot checkpointing
+        machinery (`repro.kernel.checkpoint`) relies on it.  Stateful
+        devices override both; the default covers devices whose reads
+        and writes touch no instance state.
+        """
+        return None
+
+    def restore(self, snapshot) -> None:
+        """Reinstate state captured by :meth:`snapshot` (default: no-op)."""
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"

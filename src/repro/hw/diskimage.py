@@ -127,6 +127,22 @@ class DiskImage:
     def copy(self) -> "DiskImage":
         return DiskImage(sectors=list(self.sectors))
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> tuple[tuple[bytes, ...], tuple[int, ...]]:
+        """Copy-on-write snapshot: shares the immutable sector payloads.
+
+        Only the sector *pointer table* and the write log are copied;
+        ``write_sector`` replaces whole ``bytes`` objects, so the shared
+        payloads can never be mutated under a snapshot.
+        """
+        return (tuple(self.sectors), tuple(self.writes))
+
+    def restore(self, snapshot: tuple[tuple[bytes, ...], tuple[int, ...]]) -> None:
+        sectors, writes = snapshot
+        self.sectors = list(sectors)
+        self.writes = list(writes)
+
     def fingerprint(self) -> str:
         digest = hashlib.sha256()
         for sector in self.sectors:

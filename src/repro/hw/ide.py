@@ -119,6 +119,51 @@ class IdeController(Device):
             drive.pending_sectors = 0
             drive.write_accumulator = []
 
+    # -- checkpointing --------------------------------------------------------
+
+    #: Scalar controller registers captured by :meth:`snapshot`.
+    _SNAPSHOT_FIELDS = (
+        "error",
+        "error_flag",
+        "features",
+        "nsector",
+        "sector",
+        "lcyl",
+        "hcyl",
+        "select",
+        "devctl",
+        "busy_reads",
+        "in_srst",
+    )
+
+    def snapshot(self) -> dict:
+        """Controller + per-drive transfer state (disks snapshot separately)."""
+        return {
+            "regs": {name: getattr(self, name) for name in self._SNAPSHOT_FIELDS},
+            "drives": [
+                {
+                    "buffer": list(drive.buffer),
+                    "buffer_index": drive.buffer_index,
+                    "mode": drive.mode,
+                    "pending_sectors": drive.pending_sectors,
+                    "next_lba": drive.next_lba,
+                    "write_accumulator": list(drive.write_accumulator),
+                }
+                for drive in self.drives
+            ],
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        for name, value in snapshot["regs"].items():
+            setattr(self, name, value)
+        for drive, state in zip(self.drives, snapshot["drives"]):
+            drive.buffer = list(state["buffer"])
+            drive.buffer_index = state["buffer_index"]
+            drive.mode = state["mode"]
+            drive.pending_sectors = state["pending_sectors"]
+            drive.next_lba = state["next_lba"]
+            drive.write_accumulator = list(state["write_accumulator"])
+
     # -- helpers --------------------------------------------------------------
 
     @property

@@ -43,6 +43,13 @@ class LegacyBoard(Device):
                 return subsystem
         return "chipset"
 
+    def snapshot(self) -> None:
+        """The board is stateless: reads float, the first write faults."""
+        return None
+
+    def restore(self, snapshot: None) -> None:
+        pass
+
     def io_read(self, address: int, size: int) -> int:
         return (1 << size) - 1
 

@@ -20,6 +20,23 @@ IDE_CONTROL_BASE = 0x3F6
 BUSMOUSE_BASE = 0x23C
 
 
+@dataclass(frozen=True)
+class MachineSnapshot:
+    """Machine-wide checkpoint: bus trace + every stateful device.
+
+    Disk snapshots are copy-on-write (sector payloads shared, pointer
+    tables copied), so taking one per driver call during a clean boot is
+    cheap; ``Machine.restore`` reinstates the exact observable machine
+    state, which the boot checkpointing subsystem relies on.
+    """
+
+    bus: tuple
+    ide: dict | None
+    busmouse: dict | None
+    disk: tuple | None
+    extras: tuple
+
+
 @dataclass
 class Machine:
     """One simulated computer."""
@@ -40,6 +57,29 @@ class Machine:
         if self.disk is None or self.pristine_disk is None:
             return []
         return self.disk.differs_from(self.pristine_disk)
+
+    def snapshot(self) -> MachineSnapshot:
+        """Capture all mutable machine state (``pristine_disk`` never mutates)."""
+        return MachineSnapshot(
+            bus=self.bus.snapshot(),
+            ide=self.ide.snapshot() if self.ide is not None else None,
+            busmouse=(
+                self.busmouse.snapshot() if self.busmouse is not None else None
+            ),
+            disk=self.disk.snapshot() if self.disk is not None else None,
+            extras=tuple(device.snapshot() for device in self.extra_devices),
+        )
+
+    def restore(self, snapshot: MachineSnapshot) -> None:
+        self.bus.restore(snapshot.bus)
+        if self.ide is not None:
+            self.ide.restore(snapshot.ide)
+        if self.busmouse is not None and snapshot.busmouse is not None:
+            self.busmouse.restore(snapshot.busmouse)
+        if self.disk is not None:
+            self.disk.restore(snapshot.disk)
+        for device, state in zip(self.extra_devices, snapshot.extras):
+            device.restore(state)
 
 
 def standard_pc(

@@ -1,0 +1,281 @@
+"""Cross-mutant boot checkpointing.
+
+Every mutant boot replays the clean boot's shared prefix — tens of
+thousands of interpreter steps and hundreds of bus transactions that are
+bit-identical across most of a campaign — before the mutated line ever
+executes.  This module amortises that prefix across the whole campaign:
+
+* :func:`record_plan` performs **one instrumented clean boot**, capturing
+  a full machine + interpreter + kernel-state checkpoint before every
+  driver call, and recording per source line the step index and
+  driver-call index of its first execution;
+* :func:`checkpoint_for_mutant` maps a mutant's changed line to the
+  latest checkpoint *provably* before its first divergent step;
+* :func:`resume_boot` re-enters the boot at that checkpoint and produces
+  a :class:`~repro.kernel.outcomes.BootReport` bit-identical to a cold
+  boot of the same mutant.
+
+Soundness argument
+------------------
+
+A mutant differs from the baseline by a single-token rewrite of one
+physical source line ``L``.  Statement ``origins`` carry every line a
+statement's tokens came from — macro definition lines included — so the
+first time any construct influenced by ``L`` executes, ``L`` enters the
+coverage set.  If the clean boot first covers ``L`` during driver call
+``k``, then no statement with tokens from ``L`` executed during
+construction or calls ``0..k-1``; a mutant of ``L`` therefore executes
+the same instruction stream as the clean boot up to the checkpoint
+before call ``k`` and may be resumed there.
+
+The mapping falls back to a cold boot whenever that argument does not
+hold — and a resumed boot is never *wrong*, merely unavailable, in the
+fallback cases:
+
+* the changed line contributes tokens to a *non-executable* construct
+  (global declaration, struct/typedef, function signature, or a
+  preprocessor line that never reaches statement origins, e.g. a macro
+  only referenced through another macro's body): its effect is not
+  bounded by statement coverage → cold boot;
+* the changed line is outside the recorded coverage entirely (dead code
+  in the clean boot) → cold boot;
+* first coverage during construction or call 0 (``ide_init``): the
+  checkpoint before call 0 saves nothing over power-on → cold boot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.hw.machine import Machine, MachineSnapshot
+from repro.kernel.kernel import (
+    BootSequence,
+    DEFAULT_BACKEND,
+    _KernelContext,
+    classify_run,
+)
+from repro.kernel.outcomes import BootReport
+from repro.minic import ast
+from repro.minic.compile import interpreter_for
+from repro.minic.interp import InterpreterSnapshot
+from repro.minic.program import CompiledProgram
+
+#: Environment switch the campaign runner honours (see
+#: ``run_driver_campaign(boot_checkpoint=...)``).
+CHECKPOINT_ENV = "REPRO_BOOT_CHECKPOINT"
+
+
+def checkpointing_enabled_by_env() -> bool:
+    return os.environ.get(CHECKPOINT_ENV, "") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class BootCheckpoint:
+    """Machine + interpreter + kernel state before driver call ``call_index``."""
+
+    call_index: int
+    steps: int
+    interp: InterpreterSnapshot
+    machine: MachineSnapshot
+    kernel: dict
+
+
+@dataclass
+class CheckpointPlan:
+    """One instrumented clean boot's checkpoints and first-execution map."""
+
+    backend: str | None
+    step_budget: int
+    report: BootReport
+    checkpoints: list[BootCheckpoint] = field(default_factory=list)
+    #: (file, line) -> driver-call index of first execution; -1 when the
+    #: line first executed during interpreter construction (global
+    #: initialisers).
+    first_call: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: (file, line) -> interpreter step index at first execution (exact
+    #: on the tree backend; batch-granular on compiled backends, which
+    #: sync ``steps`` at batch boundaries).
+    first_step: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: Lines whose tokens reach non-executable constructs — mutations
+    #: there are never resumable (see module docstring).
+    unsafe_lines: frozenset = frozenset()
+    #: Diagnostics for benchmarks: resumed/cold decisions + steps skipped.
+    stats: dict = field(default_factory=lambda: {
+        "resumed": 0,
+        "cold": 0,
+        "steps_skipped": 0,
+    })
+
+    @property
+    def clean_steps(self) -> int:
+        return self.report.steps
+
+
+class _RecordingCoverage(set):
+    """Coverage set recording the step and call index of first insertion.
+
+    Every backend reaches coverage through the interpreter's
+    ``coverage`` attribute (``rt.coverage.update(...)`` or a per-call
+    ``_cov = rt.coverage`` alias), so swapping this in before the boot
+    observes all insertions.
+    """
+
+    def __init__(self, interp):
+        super().__init__()
+        self._interp = interp
+        self.current_call = -1  # -1: interpreter construction
+        self.first_seen: dict[tuple[str, int], tuple[int, int]] = {}
+
+    def _record(self, item) -> None:
+        if item not in self.first_seen:
+            self.first_seen[item] = (self._interp.steps, self.current_call)
+
+    def add(self, item) -> None:
+        if item not in self:
+            self._record(item)
+        super().add(item)
+
+    def update(self, *iterables) -> None:
+        for iterable in iterables:
+            for item in iterable:
+                self.add(item)
+
+    def __ior__(self, other):
+        self.update(other)
+        return self
+
+
+def record_plan(
+    program: CompiledProgram,
+    machine: Machine,
+    step_budget: int,
+    backend: str | None = None,
+) -> CheckpointPlan:
+    """Record the instrumented clean boot of ``program`` on ``machine``.
+
+    Returns a plan whose ``report`` is bit-identical to what
+    ``repro.kernel.boot`` produces for the same arguments — callers
+    should verify the outcome is :data:`BootOutcome.BOOT` before using
+    the checkpoints.  The machine is left in its post-boot state.
+    """
+    interp_class = interpreter_for(backend or DEFAULT_BACKEND)
+    interp = interp_class(
+        program, machine.bus, step_budget=step_budget, defer_globals=True
+    )
+    recorder = _RecordingCoverage(interp)
+    interp.coverage = recorder
+    context = _KernelContext(interp)
+    sequence = BootSequence(context, machine)
+    plan = CheckpointPlan(backend=backend, step_budget=step_budget, report=None)
+
+    def run() -> None:
+        interp.initialize_globals()
+        while not sequence.done:
+            recorder.current_call = sequence.call_index
+            plan.checkpoints.append(
+                BootCheckpoint(
+                    call_index=sequence.call_index,
+                    steps=interp.steps,
+                    interp=interp.snapshot_state(),
+                    machine=machine.snapshot(),
+                    kernel=sequence.snapshot_state(),
+                )
+            )
+            sequence.step()
+
+    plan.report = classify_run(run, machine, interp)
+    plan.first_step = {
+        line: step for line, (step, _) in recorder.first_seen.items()
+    }
+    plan.first_call = {
+        line: call for line, (_, call) in recorder.first_seen.items()
+    }
+    plan.unsafe_lines = _non_executable_lines(program)
+    return plan
+
+
+def _non_executable_lines(program: CompiledProgram) -> frozenset:
+    """Lines contributing tokens to constructs outside statement coverage.
+
+    A mutation on such a line can change program semantics without the
+    line ever entering the coverage set at the moment of divergence
+    (globals initialise during construction; struct/typedef and
+    signature changes act at compile time), so resumption is barred.
+    """
+    lines: set = set()
+    for decl in program.unit.decls:
+        # FuncDecl origins span the signature tokens only (the body's
+        # statements carry their own origins), which is exactly the
+        # non-executable part of a definition.
+        if isinstance(
+            decl,
+            (ast.FuncDecl, ast.GlobalDecl, ast.StructDef, ast.TypedefDecl),
+        ):
+            lines |= decl.origins
+    return frozenset(lines)
+
+
+def checkpoint_for_mutant(
+    plan: CheckpointPlan, changed_lines
+) -> BootCheckpoint | None:
+    """Latest checkpoint provably before the mutant's first divergent step.
+
+    ``changed_lines`` are the ``(file, line)`` pairs the mutant's text
+    differs from the baseline on.  Returns ``None`` whenever divergence
+    before any checkpoint cannot be ruled out — the caller cold-boots.
+    """
+    earliest: int | None = None
+    for line in changed_lines:
+        if line in plan.unsafe_lines:
+            return None
+        call = plan.first_call.get(line)
+        if call is None or call < 1:
+            # Outside recorded coverage, first executed during
+            # construction (-1), or during call 0: nothing to skip.
+            return None
+        earliest = call if earliest is None else min(earliest, call)
+    if earliest is None or earliest >= len(plan.checkpoints):
+        return None
+    return plan.checkpoints[earliest]
+
+
+def resume_boot(
+    program: CompiledProgram,
+    checkpoint: BootCheckpoint,
+    machine: Machine,
+    step_budget: int,
+    backend: str | None = None,
+) -> BootReport:
+    """Boot ``program`` from ``checkpoint``, classifying like a cold boot.
+
+    The machine is overwritten with the checkpoint's device state; the
+    interpreter is built for the (mutant) program, then its mutable
+    state — steps, coverage, log, globals, synthetic addresses — is
+    replaced by the checkpoint's, which equals the mutant's own state at
+    that boundary whenever :func:`checkpoint_for_mutant` offered the
+    checkpoint.  Global initialisers are deliberately not re-run: their
+    effects are part of the restored state.
+    """
+    interp_class = interpreter_for(backend or DEFAULT_BACKEND)
+    interp = interp_class(
+        program, machine.bus, step_budget=step_budget, defer_globals=True
+    )
+    machine.restore(checkpoint.machine)
+    interp.restore_state(checkpoint.interp)
+    context = _KernelContext(interp)
+    sequence = BootSequence(context, machine)
+    sequence.restore_state(checkpoint.kernel)
+    return classify_run(sequence.run, machine, interp)
+
+
+def changed_lines_of(site, replacement: str) -> tuple | None:
+    """The (file, line) set a single-token mutant changes, or ``None``.
+
+    Single-token rewrites never move line numbers; a replacement or
+    original containing a newline would, so such mutants (none are
+    currently generated) report ``None`` and cold-boot.
+    """
+    if "\n" in site.original or "\n" in replacement:
+        return None
+    return ((site.file, site.line),)

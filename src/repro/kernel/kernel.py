@@ -109,11 +109,28 @@ def boot(
 ) -> BootReport:
     """Boot a compiled driver program on a machine and classify the run."""
     interp_class = interpreter_for(backend or DEFAULT_BACKEND)
+    # Constructed outside the classified region (so every handler has a
+    # live interpreter to report from) with global initialisation
+    # deferred *into* it: initialiser expressions execute for real, and
+    # a fault there classifies like any other run-time event.
+    interp = interp_class(
+        program, machine.bus, step_budget=step_budget, defer_globals=True
+    )
+    context = _KernelContext(interp)
+    sequence = BootSequence(context, machine)
+
+    def run() -> None:
+        interp.initialize_globals()
+        sequence.run()
+
+    return classify_run(run, machine, interp)
+
+
+def classify_run(run, machine: Machine, interp: Interpreter) -> BootReport:
+    """Execute ``run`` and map its exceptions to the paper's outcomes."""
     mounted = False
     try:
-        interp = interp_class(program, machine.bus, step_budget=step_budget)
-        context = _KernelContext(interp)
-        _boot_sequence(context, machine)
+        run()
         mounted = True
     except DevilAssertion as event:
         return _report(BootOutcome.RUN_TIME_CHECK, str(event), machine, interp)
@@ -143,55 +160,186 @@ def _report(
     )
 
 
+class BootSequence:
+    """The boot sequence as a resumable, call-indexed state machine.
+
+    Each :meth:`step` performs exactly one driver call followed by all
+    trusted-kernel processing up to (but not including) the next driver
+    call — identical operation order to the historical straight-line
+    sequence.  Between steps the kernel-side state is a handful of plain
+    values, so the checkpointing subsystem can capture it before call
+    *k* and re-enter the sequence there: :meth:`snapshot_state` /
+    :meth:`restore_state` round-trip everything, including the parsed
+    MBR geometry, the superblock bytes and mid-file-table progress.
+    """
+
+    #: Kernel-side fields captured by ``snapshot_state`` (all immutable
+    #: or copied values).
+    _STATE_FIELDS = (
+        "call_index",
+        "phase",
+        "sectors",
+        "part_start",
+        "part_size",
+        "superblock",
+        "file_count",
+        "file_index",
+        "file_offset",
+        "file_start",
+        "file_length",
+        "file_crc",
+        "file_sector",
+    )
+
+    def __init__(self, context: _KernelContext, machine: Machine):
+        self.context = context
+        self.machine = machine
+        self.call_index = 0  # index of the *next* driver call
+        self.phase = "init"
+        self.sectors = 0
+        self.part_start = 0
+        self.part_size = 0
+        self.superblock = b""
+        self.file_count = 0
+        self.file_index = 0
+        self.file_offset = 0
+        self.file_start = 0
+        self.file_length = 0
+        self.file_crc = 0
+        self.file_sector = 0
+        self.content = bytearray()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = {name: getattr(self, name) for name in self._STATE_FIELDS}
+        state["content"] = bytes(self.content)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        for name in self._STATE_FIELDS:
+            setattr(self, name, state[name])
+        self.content = bytearray(state["content"])
+
+    # -- driving -----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.phase == "done"
+
+    def run(self) -> None:
+        while self.phase != "done":
+            self.step()
+
+    def step(self) -> None:
+        """One driver call plus the pure processing that follows it."""
+        phase = self.phase
+        if phase == "init":
+            self._step_init()
+        elif phase == "mbr":
+            self._step_mbr()
+        elif phase == "superblock":
+            self._step_superblock()
+        elif phase == "file":
+            self._step_file()
+        elif phase == "writeback":
+            self._step_writeback()
+        else:
+            raise KernelPanic(f"boot sequence re-entered in phase {phase!r}")
+        self.call_index += 1
+
+    # -- the steps ---------------------------------------------------------
+
+    def _step_init(self) -> None:
+        self.sectors = self.context.init_driver()
+        if self.sectors <= 0:
+            raise KernelPanic(
+                f"ide: no drive found (init returned {self.sectors})"
+            )
+        self.phase = "mbr"
+
+    def _step_mbr(self) -> None:
+        # Partition scan.
+        mbr = self.context.read_sector(0)
+        if mbr[510] | (mbr[511] << 8) != MBR_SIGNATURE:
+            raise KernelPanic("ide: invalid partition table")
+        entry = PARTITION_ENTRY_OFFSET
+        self.part_start = int.from_bytes(mbr[entry + 8 : entry + 12], "little")
+        self.part_size = int.from_bytes(mbr[entry + 12 : entry + 16], "little")
+        if self.part_start == 0 or self.part_size == 0:
+            raise KernelPanic("ide: empty partition table")
+        if self.part_start + self.part_size > self.sectors:
+            raise KernelPanic("ide: partition exceeds reported drive capacity")
+        self.phase = "superblock"
+
+    def _step_superblock(self) -> None:
+        # Mount: superblock, then begin the file-table walk.
+        superblock = self.context.read_sector(self.part_start)
+        if superblock[0:4] != SUPERBLOCK_MAGIC:
+            raise KernelPanic(
+                "VFS: unable to mount root fs (bad superblock magic)"
+            )
+        self.superblock = superblock
+        self.file_count = int.from_bytes(superblock[8:12], "little")
+        if not 0 < self.file_count <= MAX_FILES:
+            raise KernelPanic(
+                "VFS: unable to mount root fs (corrupt file table)"
+            )
+        self.file_index = 0
+        self.file_offset = 16
+        self._begin_file()
+        self.phase = "file"
+
+    def _begin_file(self) -> None:
+        """Parse and validate the current file's extent (pure kernel work)."""
+        offset = self.file_offset
+        superblock = self.superblock
+        self.file_start = int.from_bytes(superblock[offset : offset + 4], "little")
+        self.file_length = int.from_bytes(
+            superblock[offset + 4 : offset + 8], "little"
+        )
+        self.file_crc = int.from_bytes(
+            superblock[offset + 8 : offset + 12], "little"
+        )
+        self.file_offset = offset + 12
+        if self.file_length == 0 or self.file_length > 64:
+            raise KernelPanic(f"RFS: file {self.file_index} has corrupt extent")
+        self.content = bytearray()
+        self.file_sector = 0
+
+    def _step_file(self) -> None:
+        # Mount: verify every file's checksum, one sector per step.
+        self.content.extend(
+            self.context.read_sector(self.file_start + self.file_sector)
+        )
+        self.file_sector += 1
+        if self.file_sector < self.file_length:
+            return
+        if zlib.crc32(bytes(self.content)) & 0xFFFFFFFF != self.file_crc:
+            raise KernelPanic(f"RFS: checksum error in file {self.file_index}")
+        self.file_index += 1
+        if self.file_index < self.file_count:
+            self._begin_file()
+            return
+        self.phase = "writeback"
+
+    def _step_writeback(self) -> None:
+        # Mount write-back: bump the mount count.  Deliberately *not*
+        # read back and verified — a real mount doesn't, and this is the
+        # window through which write-path mutants damage the disk
+        # undetected, as the paper's two disk-destroying mutants did.
+        superblock = self.superblock
+        updated = bytearray(superblock)
+        count = int.from_bytes(
+            superblock[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4], "little"
+        )
+        updated[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4] = (
+            count + 1
+        ).to_bytes(4, "little")
+        self.context.write_sector(self.part_start, bytes(updated))
+        self.phase = "done"
+
+
 def _boot_sequence(context: _KernelContext, machine: Machine) -> None:
-    sectors = context.init_driver()
-    if sectors <= 0:
-        raise KernelPanic(f"ide: no drive found (init returned {sectors})")
-
-    # Partition scan.
-    mbr = context.read_sector(0)
-    if mbr[510] | (mbr[511] << 8) != MBR_SIGNATURE:
-        raise KernelPanic("ide: invalid partition table")
-    entry = PARTITION_ENTRY_OFFSET
-    part_start = int.from_bytes(mbr[entry + 8 : entry + 12], "little")
-    part_size = int.from_bytes(mbr[entry + 12 : entry + 16], "little")
-    if part_start == 0 or part_size == 0:
-        raise KernelPanic("ide: empty partition table")
-    if part_start + part_size > sectors:
-        raise KernelPanic("ide: partition exceeds reported drive capacity")
-
-    # Mount: superblock.
-    superblock = context.read_sector(part_start)
-    if superblock[0:4] != SUPERBLOCK_MAGIC:
-        raise KernelPanic("VFS: unable to mount root fs (bad superblock magic)")
-    file_count = int.from_bytes(superblock[8:12], "little")
-    if not 0 < file_count <= MAX_FILES:
-        raise KernelPanic("VFS: unable to mount root fs (corrupt file table)")
-
-    # Mount: verify every file's checksum.
-    offset = 16
-    for index in range(file_count):
-        start = int.from_bytes(superblock[offset : offset + 4], "little")
-        length = int.from_bytes(superblock[offset + 4 : offset + 8], "little")
-        expected_crc = int.from_bytes(superblock[offset + 8 : offset + 12], "little")
-        offset += 12
-        if length == 0 or length > 64:
-            raise KernelPanic(f"RFS: file {index} has corrupt extent")
-        content = bytearray()
-        for sector in range(start, start + length):
-            content.extend(context.read_sector(sector))
-        if zlib.crc32(bytes(content)) & 0xFFFFFFFF != expected_crc:
-            raise KernelPanic(f"RFS: checksum error in file {index}")
-
-    # Mount write-back: bump the mount count.  Deliberately *not* read
-    # back and verified — a real mount doesn't, and this is the window
-    # through which write-path mutants damage the disk undetected, as the
-    # paper's two disk-destroying mutants did.
-    updated = bytearray(superblock)
-    count = int.from_bytes(
-        superblock[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4], "little"
-    )
-    updated[MOUNT_COUNT_OFFSET : MOUNT_COUNT_OFFSET + 4] = (count + 1).to_bytes(
-        4, "little"
-    )
-    context.write_sector(part_start, bytes(updated))
+    """Straight-line boot (historical entry point; tests exercise it)."""
+    BootSequence(context, machine).run()

@@ -1971,8 +1971,16 @@ class ClosureInterpreter(Interpreter):
     the lowered closures.
     """
 
-    def __init__(self, program, bus=None, step_budget: int = 2_000_000):
-        super().__init__(program, bus, step_budget=step_budget)
+    def __init__(
+        self,
+        program,
+        bus=None,
+        step_budget: int = 2_000_000,
+        defer_globals: bool = False,
+    ):
+        super().__init__(
+            program, bus, step_budget=step_budget, defer_globals=defer_globals
+        )
         self._compiled = compiled_functions(program)
 
     def call(self, name: str, *args):
@@ -1990,7 +1998,10 @@ BACKENDS = {
 
 #: Backends registered on first use — importing the module adds the
 #: class to ``BACKENDS`` (keeps this module import-light).
-_LAZY_BACKENDS = {"source": "repro.minic.codegen"}
+_LAZY_BACKENDS = {
+    "source": "repro.minic.codegen",
+    "hybrid": "repro.minic.codegen",
+}
 
 
 def interpreter_for(backend: str):

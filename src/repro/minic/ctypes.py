@@ -17,6 +17,13 @@ class CType:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def __deepcopy__(self, memo) -> "CType":
+        # Types are immutable interning-style objects: runtime values
+        # (e.g. ``CArray.element``) reference them, and deep-copying a
+        # value graph — as interpreter snapshot/restore does — must keep
+        # pointing at the same type objects.
+        return self
+
     @property
     def is_scalar(self) -> bool:
         return isinstance(self, (IntCType, PointerType))

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from itertools import islice
 
-from repro.diagnostics import DiagnosticSink
+from repro.diagnostics import CompileError, DiagnosticSink
 from repro.minic import ast
 from repro.minic.lexer import strip_comments
 from repro.minic.parser import Parser
@@ -141,7 +141,16 @@ class CampaignCompiler:
         self._include_memo: dict = {}
         self._stripped_baseline = None
 
-        self._baseline_tokens = self._preprocess(baseline_text)
+        baseline_pp = _CampaignPreprocessor(
+            self.include_registry, self._line_cache, self._include_memo
+        )
+        self._baseline_tokens = baseline_pp.process(
+            baseline_text, driver_filename
+        )
+        #: Preprocessor frozen at the baseline's *final* macro table, for
+        #: single-line re-expansion (valid for any line after the last
+        #: directive — see ``_line_spliced_tokens``).
+        self._splice_pp = baseline_pp
         self._groups, self._typedefs, self._structs = self._parse_groups(
             self._baseline_tokens
         )
@@ -150,11 +159,29 @@ class CampaignCompiler:
         )
         if self._baseline_tokens:
             unit.location = self._baseline_tokens[0].location
-        self.baseline_program = _run_sema(unit)
+        #: id(decl) -> that declaration's baseline check-pass diagnostics
+        #: (the groups keep every baseline declaration alive, so ids are
+        #: stable for the compiler's lifetime).
+        self._decl_diags: dict[int, tuple] = {}
+        self._sema_env: tuple | None = None
+        #: True when a variant's full check pass overwrote the shared
+        #: declarations' sema annotations under a non-baseline
+        #: environment (see ``_ensure_baseline_annotations``).
+        self._annotations_dirty = False
+        self.baseline_program = self._sema_baseline(unit)
         self.baseline_text = baseline_text
         self._stripped_baseline = strip_comments(baseline_text)
+        self._baseline_lines = baseline_text.split("\n")
+        self._stripped_lines = self._stripped_baseline.split("\n")
+        self._init_line_splicing()
         #: Cache-effectiveness counters (for benchmarks and tests).
-        self.stats = {"incremental": 0, "full": 0, "identical": 0}
+        self.stats = {
+            "incremental": 0,
+            "full": 0,
+            "identical": 0,
+            "sema_reused": 0,
+            "sema_full": 0,
+        }
 
     # -- pipeline pieces ---------------------------------------------------
 
@@ -214,6 +241,110 @@ class CampaignCompiler:
             stripped[:prefix] + new_segment + stripped[len(base) - suffix :],
         )
 
+    # -- single-line token splicing ----------------------------------------
+
+    def _init_line_splicing(self) -> None:
+        """Precompute what single-line re-expansion needs.
+
+        Expanding just the edited line and splicing its tokens into the
+        baseline stream skips re-walking the whole file per variant.  It
+        is exact when nothing can couple the line to its neighbours or
+        to preprocessor state: no function-like macros (an object-like
+        expansion can never consume tokens across lines), the line sits
+        after every directive (the macro table there is the final one)
+        and after every line continuation, and neither version of the
+        line can alter comment/string structure.
+        """
+        spans: dict[int, tuple[int, int]] = {}
+        bad_lines: set[int] = set()
+        for index, token in enumerate(self._baseline_tokens):
+            if token.filename != self.driver_filename:
+                continue
+            span = spans.get(token.line)
+            if span is None:
+                spans[token.line] = (index, index + 1)
+            elif span[1] == index:
+                spans[token.line] = (span[0], index + 1)
+            else:  # interleaved with include expansion: not spliceable
+                bad_lines.add(token.line)
+        for line in bad_lines:
+            spans.pop(line, None)
+        self._line_spans = spans
+
+        last_directive = 0
+        lines = self._stripped_lines
+        index = 0
+        while index < len(lines):
+            if lines[index].strip().startswith("#"):
+                end = index
+                while end + 1 < len(lines) and lines[end].rstrip().endswith("\\"):
+                    end += 1
+                last_directive = end + 1  # 1-based line of the directive's end
+                index = end + 1
+            else:
+                index += 1
+        self._last_directive_line = last_directive
+        self._splice_disabled = any(
+            macro.function_like for macro in self._splice_pp.macros.values()
+        ) or any(
+            line.rstrip().endswith("\\")
+            for line in self._baseline_lines[last_directive:]
+        )
+
+    def _variant_tokens(
+        self, text: str
+    ) -> tuple[list[CToken], int | None, int | None]:
+        """Variant token stream plus its changed span in baseline indices.
+
+        ``(tokens, None, None)`` means the span is unknown (full
+        preprocess ran) and the caller must diff; otherwise the tokens
+        outside ``[changed_start, changed_end)`` (baseline indices) are
+        the baseline's own token objects.
+        """
+        spliced = self._line_spliced_tokens(text)
+        if spliced is not None:
+            return spliced
+        return self._preprocess(text), None, None
+
+    def _line_spliced_tokens(self, text):
+        if self._splice_disabled:
+            return None
+        base_lines = self._baseline_lines
+        lines = text.split("\n")
+        if len(lines) != len(base_lines):
+            return None
+        changed = -1
+        for index, (old, new) in enumerate(zip(base_lines, lines)):
+            if old != new:
+                if changed >= 0:
+                    return None  # multi-line edit
+                changed = index
+        if changed < 0:
+            return None  # identical text: the caller's fast path covers it
+        line_number = changed + 1
+        if line_number <= self._last_directive_line:
+            return None
+        old, new = base_lines[changed], lines[changed]
+        if old.lstrip().startswith("#") or new.lstrip().startswith("#"):
+            return None  # defensive: directives never take this path
+        if self._STRIP_SENSITIVE.intersection(old) or (
+            self._STRIP_SENSITIVE.intersection(new)
+        ):
+            return None
+        if self._stripped_lines[changed] != old:
+            return None  # the line sits inside a comment
+        span = self._line_spans.get(line_number)
+        if span is None:
+            return None
+        start, end = span
+        lexed = self._splice_pp._lex_line(
+            new, line_number, self.driver_filename
+        )
+        expanded = self._splice_pp._expand(list(lexed), frozenset())
+        tokens = list(self._baseline_tokens)
+        tokens[start:end] = expanded
+        return tokens, start, end
+
     def _parse_groups(
         self, tokens: list[CToken]
     ) -> tuple[list[_DeclGroup], dict, dict]:
@@ -263,48 +394,28 @@ class CampaignCompiler:
         """
         if text == self.baseline_text:
             self.stats["identical"] += 1
+            self._ensure_baseline_annotations()
             return self.baseline_program
 
-        tokens = self._preprocess(text)
-        base = self._baseline_tokens
-
-        if tokens == base:
+        tokens, changed_start, changed_end = self._variant_tokens(text)
+        span = self._changed_span(tokens, changed_start, changed_end)
+        if span is None:
             # The edit vanished in preprocessing (e.g. an unused macro
             # body): the program is the baseline program.
             self.stats["identical"] += 1
+            self._ensure_baseline_annotations()
             return self.baseline_program
 
-        prefix = _common_prefix(base, tokens)
-        suffix = _common_suffix(base, tokens, prefix)
-        changed_start = prefix
-        changed_end = len(base) - suffix  # exclusive, in baseline indices
-
-        first = last = None
-        for index, group in enumerate(self._groups):
-            if group.end > changed_start and group.start < changed_end:
-                if first is None:
-                    first = index
-                last = index
-
-        if first is None or last is None:
-            # Change outside every recorded declaration span (e.g. at the
-            # very edge of the stream) — take the safe path.
+        located = self._incremental_slice(tokens, *span)
+        if located is None:
+            # Change outside the safely re-parsable declaration spans —
+            # take the safe path.
             self.stats["full"] += 1
             return self._full_compile(text)
-
-        affected = self._groups[first : last + 1]
-        if not all(group.reparse_safe() for group in affected):
-            self.stats["full"] += 1
-            return self._full_compile(text)
-
-        slice_start = affected[0].start
-        slice_end = len(tokens) - (len(base) - affected[-1].end)
-        if slice_start > prefix or slice_end < 0 or slice_start > slice_end:
-            self.stats["full"] += 1
-            return self._full_compile(text)
+        first, last, slice_start, slice_end = located
 
         new_decls = self._parse_slice(
-            tokens[slice_start:slice_end], affected[0]
+            tokens[slice_start:slice_end], self._groups[first]
         )
         decls: list[ast.TopDecl] = []
         for group in self._groups[:first]:
@@ -316,7 +427,97 @@ class CampaignCompiler:
             decls=decls, location=self.baseline_program.unit.location
         )
         self.stats["incremental"] += 1
-        return _run_sema(unit)
+        return self._variant_sema(unit, {id(decl) for decl in new_decls})
+
+    def _changed_span(
+        self, tokens: list[CToken], changed_start, changed_end
+    ) -> tuple[int, int] | None:
+        """Changed token span in baseline indices; None when unchanged.
+
+        ``changed_start``/``changed_end`` come from ``_variant_tokens``
+        (known exactly on the line-splice path, ``None`` after a full
+        preprocess, where the span is recovered by a prefix/suffix diff).
+        """
+        base = self._baseline_tokens
+        if changed_start is None:
+            if tokens == base:
+                return None
+            prefix = _common_prefix(base, tokens)
+            suffix = _common_suffix(base, tokens, prefix)
+            return prefix, len(base) - suffix  # end exclusive
+        new_end = changed_end + len(tokens) - len(base)
+        if tokens[changed_start:new_end] == base[changed_start:changed_end]:
+            return None
+        return changed_start, changed_end
+
+    def _incremental_slice(
+        self, tokens: list[CToken], changed_start: int, changed_end: int
+    ) -> tuple[int, int, int, int] | None:
+        """Locate the declarations covering a changed token span.
+
+        Returns ``(first_group, last_group, slice_start, slice_end)``
+        with the slice bounds in variant-token indices, or ``None``
+        whenever re-parsing just those declarations is not provably
+        equivalent to a from-scratch parse (change outside every
+        recorded span, type-state-mutating declarations affected, or
+        inconsistent slice bounds).
+        """
+        base = self._baseline_tokens
+        first = last = None
+        for index, group in enumerate(self._groups):
+            if group.end > changed_start and group.start < changed_end:
+                if first is None:
+                    first = index
+                last = index
+        if first is None or last is None:
+            return None
+        affected = self._groups[first : last + 1]
+        if not all(group.reparse_safe() for group in affected):
+            return None
+        slice_start = affected[0].start
+        slice_end = len(tokens) - (len(base) - affected[-1].end)
+        if slice_start > changed_start or slice_end < 0 or slice_start > slice_end:
+            return None
+        return first, last, slice_start, slice_end
+
+    def variant_parses(self, text: str) -> bool:
+        """Whether ``text`` preprocesses and parses — no semantic pass.
+
+        The mutant generator's syntactic gate: behaves exactly like
+        preprocessing and parsing the variant from scratch (operator
+        mutants that break the grammar are rejected identically), but
+        re-parses only the declarations covering the edit, sharing the
+        campaign's lex/include caches.
+        """
+        if text == self.baseline_text:
+            return True
+        try:
+            tokens, changed_start, changed_end = self._variant_tokens(text)
+        except CompileError:
+            return False
+        span = self._changed_span(tokens, changed_start, changed_end)
+        if span is None:
+            return True
+        try:
+            located = self._incremental_slice(tokens, *span)
+            if located is None:
+                return self._full_parses(tokens)
+            first, _, slice_start, slice_end = located
+            self._parse_slice(
+                tokens[slice_start:slice_end], self._groups[first]
+            )
+        except CompileError:
+            return False
+        return True
+
+    def _full_parses(self, tokens: list[CToken]) -> bool:
+        stream = list(tokens)
+        last_line = stream[-1].line if stream else 1
+        stream.append(
+            CToken(CTokenKind.EOF, "", last_line, 1, self.driver_filename)
+        )
+        Parser(stream).parse_translation_unit()
+        return True
 
     def _parse_slice(
         self, tokens: list[CToken], first_group: _DeclGroup
@@ -344,6 +545,86 @@ class CampaignCompiler:
         return compile_program(
             [SourceFile(self.driver_filename, text)], self.include_registry
         )
+
+    # -- incremental semantic analysis ------------------------------------
+
+    def _sema_baseline(self, unit: ast.TranslationUnit) -> CompiledProgram:
+        """Full baseline sema, caching per-declaration diagnostics."""
+        sink = DiagnosticSink()
+        sema = Sema(unit, sink)
+        sema.declare_all()
+        for decl in unit.decls:
+            decl_sink = DiagnosticSink()
+            sema.sink = decl_sink
+            sema.check_decl(decl)
+            diagnostics = list(decl_sink)
+            self._decl_diags[id(decl)] = tuple(diagnostics)
+            sink.extend(diagnostics)
+        sema.sink = sink
+        sink.raise_if_errors()
+        self._sema_env = sema.environment_summary()
+        return CompiledProgram(
+            unit=unit,
+            warnings=[d for d in sink.diagnostics if not d.is_error],
+        )
+
+    def _variant_sema(
+        self, unit: ast.TranslationUnit, fresh_ids: set[int]
+    ) -> CompiledProgram:
+        """Semantic pass re-checking only the re-parsed declarations.
+
+        Sound because sema annotations and diagnostics of a declaration
+        are a function of (its AST, the post-declare global environment):
+        the declare pass runs for real on the variant unit, and when its
+        environment equals the baseline's, untouched declarations keep
+        their baseline annotations and replay their cached diagnostics.
+        An environment change (e.g. a mutated signature) re-checks every
+        declaration, exactly like ``compile_program``.  Diagnostics are
+        location-sorted by the sink, so replay order cannot reorder them.
+        """
+        sink = DiagnosticSink()
+        sema = Sema(unit, sink)
+        sema.declare_all()
+        if sema.environment_summary() != self._sema_env:
+            self.stats["sema_full"] += 1
+            for decl in unit.decls:
+                sema.check_decl(decl)
+            # Shared declarations now carry this variant's annotations.
+            self._annotations_dirty = True
+        else:
+            self.stats["sema_reused"] += 1
+            # Reusing baseline annotations requires them to actually be
+            # the baseline's (an environment-changing variant may have
+            # overwritten them since).
+            self._ensure_baseline_annotations()
+            for decl in unit.decls:
+                cached = (
+                    None
+                    if id(decl) in fresh_ids
+                    else self._decl_diags.get(id(decl))
+                )
+                if cached is None:
+                    sema.check_decl(decl)
+                else:
+                    sink.extend(list(cached))
+        sink.raise_if_errors()
+        return CompiledProgram(
+            unit=unit,
+            warnings=[d for d in sink.diagnostics if not d.is_error],
+        )
+
+    def _ensure_baseline_annotations(self) -> None:
+        """Re-anchor shared declarations after an environment-changing variant.
+
+        This also closes a latent reuse hazard predating the incremental
+        sema: returning ``baseline_program`` for a byte-identical variant
+        right after a variant whose environment differed would have
+        served baseline declarations carrying the other variant's
+        annotations.
+        """
+        if self._annotations_dirty:
+            _run_sema(self.baseline_program.unit)
+            self._annotations_dirty = False
 
 
 def _run_sema(unit: ast.TranslationUnit) -> CompiledProgram:

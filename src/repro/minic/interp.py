@@ -14,6 +14,9 @@ The machine the paper boots mutant kernels on.  Responsibilities:
 
 from __future__ import annotations
 
+import copy
+from dataclasses import dataclass
+
 from repro.minic import ast
 from repro.minic.builtins import BUILTIN_IMPLS
 from repro.minic.sema import BUILTIN_SIGNATURES
@@ -46,6 +49,29 @@ class _ReturnSignal(Exception):
         self.value = value
 
 
+@dataclass(frozen=True)
+class InterpreterSnapshot:
+    """All mutable interpreter state at a function-call boundary.
+
+    Value state (``globals`` plus the synthetic-address anchors) is
+    deep-copied *into* the snapshot when taken and *out of* it on every
+    restore, so neither the source interpreter nor any number of resumed
+    runs can alias each other's arrays or structs.  Snapshots transfer
+    between backends: the tree, closure and source interpreters keep all
+    run state in the same base attributes.
+    """
+
+    steps: int
+    time_us: int
+    log: tuple[str, ...]
+    coverage: frozenset
+    globals: dict
+    #: ``(value, synthetic address)`` pairs in ``address_of`` assignment
+    #: order; values share identity with the ``globals`` graph via the
+    #: snapshot's copy memo.
+    anchors: tuple
+
+
 class _NullBus:
     """Default bus: every access faults (no devices present)."""
 
@@ -68,6 +94,7 @@ class Interpreter:
         program: CompiledProgram,
         bus=None,
         step_budget: int = 2_000_000,
+        defer_globals: bool = False,
     ):
         self.program = program
         self.bus = bus if bus is not None else _NullBus()
@@ -88,7 +115,66 @@ class Interpreter:
         # mutant runs with a wild-looking but deterministic value).
         self._addresses: dict[int, int] = {}
         self._address_keepalive: list[object] = []
-        self._init_globals()
+        self._globals_ready = False
+        if not defer_globals:
+            self.initialize_globals()
+
+    def initialize_globals(self) -> None:
+        """Run global initialisers (idempotent).
+
+        ``defer_globals=True`` lets a harness construct the interpreter
+        first and run this *inside* its exception classification, since
+        initialiser expressions execute for real (consuming steps and
+        possibly faulting, exactly like any other evaluation).
+        """
+        if not self._globals_ready:
+            self._globals_ready = True
+            self._init_globals()
+
+    # -- checkpointing ------------------------------------------------------
+
+    def snapshot_state(self) -> InterpreterSnapshot:
+        """Capture all mutable state; only valid at a call boundary."""
+        if self._scopes:
+            raise InterpreterBug(
+                "interpreter snapshot taken inside an active call"
+            )
+        memo: dict = {}
+        globals_copy = copy.deepcopy(self.globals, memo)
+        anchors = []
+        for value in self._address_keepalive:
+            key = value.array if isinstance(value, CPointer) else value
+            anchors.append(
+                (copy.deepcopy(value, memo), self._addresses[id(key)])
+            )
+        return InterpreterSnapshot(
+            steps=self.steps,
+            time_us=self.time_us,
+            log=tuple(self.log),
+            coverage=frozenset(self.coverage),
+            globals=globals_copy,
+            anchors=tuple(anchors),
+        )
+
+    def restore_state(self, snapshot: InterpreterSnapshot) -> None:
+        """Reinstate a :meth:`snapshot_state` capture (fresh value copies)."""
+        memo: dict = {}
+        self.globals = copy.deepcopy(snapshot.globals, memo)
+        addresses: dict[int, int] = {}
+        keepalive: list[object] = []
+        for value, address in snapshot.anchors:
+            copied = copy.deepcopy(value, memo)
+            key = copied.array if isinstance(copied, CPointer) else copied
+            addresses[id(key)] = address
+            keepalive.append(copied)
+        self._addresses = addresses
+        self._address_keepalive = keepalive
+        self.steps = snapshot.steps
+        self.time_us = snapshot.time_us
+        self.log = list(snapshot.log)
+        self.coverage = set(snapshot.coverage)
+        self._scopes = []
+        self._globals_ready = True
 
     # -- plumbing -----------------------------------------------------------
 

@@ -124,16 +124,47 @@ class Sema:
     # -- entry point ----------------------------------------------------------
 
     def run(self) -> None:
+        self.declare_all()
+        for decl in self.unit.decls:
+            self.check_decl(decl)
+
+    def declare_all(self) -> None:
+        """The declaration pass: build the global symbol environment."""
         for decl in self.unit.decls:
             if isinstance(decl, ast.GlobalDecl):
                 self._declare_global(decl)
             elif isinstance(decl, ast.FuncDecl):
                 self._declare_function(decl)
-        for decl in self.unit.decls:
-            if isinstance(decl, ast.GlobalDecl) and decl.init is not None:
-                self._check_init(decl.var_type, decl.init, decl.location, global_init=True)
-            elif isinstance(decl, ast.FuncDecl) and decl.body is not None:
-                self._check_function(decl)
+
+    def check_decl(self, decl: ast.TopDecl) -> None:
+        """The checking pass for one declaration (after ``declare_all``).
+
+        Exposed separately so the campaign compiler can re-check only a
+        variant's re-parsed declarations, replaying cached diagnostics
+        for the untouched ones.
+        """
+        if isinstance(decl, ast.GlobalDecl) and decl.init is not None:
+            self._check_init(decl.var_type, decl.init, decl.location, global_init=True)
+        elif isinstance(decl, ast.FuncDecl) and decl.body is not None:
+            self._check_function(decl)
+
+    def environment_summary(self) -> tuple:
+        """Comparable snapshot of the post-declare global environment.
+
+        Two units with equal summaries assign identical types to any
+        shared declaration's body, so its annotations (and diagnostics)
+        carry over verbatim.
+        """
+        return (
+            {
+                name: (symbol.ctype, symbol.const)
+                for name, symbol in self.globals.items()
+            },
+            {
+                name: (symbol.ftype, symbol.defined, symbol.builtin)
+                for name, symbol in self.functions.items()
+            },
+        )
 
     # -- declarations ------------------------------------------------------------
 

@@ -10,8 +10,10 @@ re-parsing and silently dropped when the result is not a program.
 from __future__ import annotations
 
 from repro.devil import ast as devil_ast
+from repro.devil.incremental import SpecCampaignCompiler
 from repro.devil.parser import parse as devil_parse
 from repro.diagnostics import CompileError
+from repro.minic.incremental import CampaignCompiler
 from repro.minic.parser import Parser as CParser
 from repro.minic.preprocessor import Preprocessor
 from repro.minic.tokens import CToken, CTokenKind
@@ -22,16 +24,33 @@ from repro.mutation.tagging import Region, tagged_regions
 
 
 def enumerate_devil_mutants(
-    source: str, device: devil_ast.DeviceSpec, filename: str = "<spec>"
+    source: str,
+    device: devil_ast.DeviceSpec,
+    filename: str = "<spec>",
+    compiler: SpecCampaignCompiler | None = None,
 ) -> list[Mutant]:
-    """All Devil mutants of a specification source."""
+    """All Devil mutants of a specification source.
+
+    ``compiler`` reuses a campaign's spec compiler for the syntactic
+    gate instead of building a second one.
+    """
+    checker = compiler
+    if checker is None:
+        try:
+            checker = SpecCampaignCompiler(source, filename)
+        except CompileError:
+            pass  # unparsable baseline: keep the from-scratch gate
+
+    def parses(variant: str) -> bool:
+        if checker is not None:
+            return checker.variant_parses(variant)
+        return _devil_parses(variant, filename)
+
     mutants: list[Mutant] = []
     for site, replacements in scan_devil_sites(source, device, filename):
         for replacement in replacements:
             mutant = Mutant(site=site, replacement=replacement)
-            if site.kind == "operator" and not _devil_parses(
-                mutant.apply(source), filename
-            ):
+            if site.kind == "operator" and not parses(mutant.apply(source)):
                 continue
             mutants.append(mutant)
     return mutants
@@ -43,17 +62,37 @@ def enumerate_c_mutants(
     pools: IdentifierPools,
     include_registry: dict[str, str] | None = None,
     regions: list[Region] | None = None,
+    compiler: CampaignCompiler | None = None,
 ) -> list[Mutant]:
-    """All C mutants of a driver source's tagged regions."""
+    """All C mutants of a driver source's tagged regions.
+
+    ``compiler`` reuses a campaign's incremental compiler for the
+    syntactic gate instead of building a second one.
+    """
     if regions is None:
         regions = tagged_regions(source)
+    # Operator-mutant validation re-parses a whole variant per candidate;
+    # the campaign compiler's splice parser answers the same accept /
+    # reject question re-parsing only the mutated declaration.  Sources
+    # that do not compile as a campaign baseline (never the case for the
+    # bundled drivers) keep the from-scratch gate.
+    checker = compiler
+    if checker is None:
+        try:
+            checker = CampaignCompiler(filename, source, include_registry)
+        except CompileError:
+            pass
+
+    def parses(variant: str) -> bool:
+        if checker is not None:
+            return checker.variant_parses(variant)
+        return _c_parses(variant, filename, include_registry)
+
     mutants: list[Mutant] = []
     for site, replacements in scan_c_sites(source, filename, regions, pools):
         for replacement in replacements:
             mutant = Mutant(site=site, replacement=replacement)
-            if site.kind == "operator" and not _c_parses(
-                mutant.apply(source), filename, include_registry
-            ):
+            if site.kind == "operator" and not parses(mutant.apply(source)):
                 continue
             mutants.append(mutant)
     return mutants

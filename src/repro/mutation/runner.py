@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.devil import ast as devil_ast
 from repro.devil.compiler import CheckedSpec, compile_spec, parse_spec, spec_errors
+from repro.devil.incremental import SpecCampaignCompiler
 from repro.devil.types import EnumType
 from repro.diagnostics import CompileError
 from repro.drivers import (
@@ -34,7 +35,15 @@ from repro.drivers import (
     assemble_cdevil_program,
 )
 from repro.hw.machine import standard_pc
-from repro.kernel.kernel import boot
+from repro.kernel.checkpoint import (
+    CheckpointPlan,
+    changed_lines_of,
+    checkpoint_for_mutant,
+    checkpointing_enabled_by_env,
+    record_plan,
+    resume_boot,
+)
+from repro.kernel.kernel import DEFAULT_STEP_BUDGET, boot
 from repro.kernel.outcomes import BootOutcome
 from repro.minic import ast as c_ast
 from repro.minic.incremental import CampaignCompiler
@@ -66,6 +75,9 @@ class CampaignResult:
     results: list[MutantResult] = field(default_factory=list)
     clean_steps: int = 0
     step_budget: int = 0
+    #: Boot-checkpointing diagnostics (serial checkpointed runs only):
+    #: resumed/cold boot counts and total clean-prefix steps skipped.
+    checkpoint_stats: dict | None = None
 
     @property
     def tested(self) -> int:
@@ -252,6 +264,13 @@ class _EvalContext:
     budget: int
     backend: str | None
     compiler: CampaignCompiler | None
+    checkpoint: bool = False
+    #: Lazily built per process (deterministic, so every worker records
+    #: the identical plan): the instrumented clean boot's checkpoints,
+    #: plus one reusable machine and its pristine snapshot.
+    _plan: CheckpointPlan | None = None
+    _machine: object = None
+    _pristine: object = None
 
     @classmethod
     def build(
@@ -262,12 +281,13 @@ class _EvalContext:
         budget: int,
         backend: str | None,
         compile_cache: bool,
+        checkpoint: bool = False,
+        compiler: CampaignCompiler | None = None,
     ) -> "_EvalContext":
-        compiler = (
-            CampaignCompiler(driver_filename, source, registry)
-            if compile_cache
-            else None
-        )
+        if compile_cache and compiler is None:
+            compiler = CampaignCompiler(driver_filename, source, registry)
+        if not compile_cache:
+            compiler = None
         return cls(
             source=source,
             driver_filename=driver_filename,
@@ -275,7 +295,32 @@ class _EvalContext:
             budget=budget,
             backend=backend,
             compiler=compiler,
+            checkpoint=checkpoint,
         )
+
+    def ensure_plan(self) -> CheckpointPlan:
+        if self._plan is None:
+            if self.compiler is not None:
+                baseline = self.compiler.baseline_program
+            else:
+                baseline = compile_program(
+                    [SourceFile(self.driver_filename, self.source)],
+                    self.registry,
+                )
+            self._machine = standard_pc(with_busmouse=False)
+            self._pristine = self._machine.snapshot()
+            self._plan = record_plan(
+                baseline,
+                self._machine,
+                DEFAULT_STEP_BUDGET,
+                backend=self.backend,
+            )
+            if self._plan.report.outcome is not BootOutcome.BOOT:
+                raise RuntimeError(
+                    "checkpoint recording requires a clean baseline boot: "
+                    f"{self._plan.report}"
+                )
+        return self._plan
 
 
 def run_driver_campaign(
@@ -288,14 +333,21 @@ def run_driver_campaign(
     workers: int = 1,
     backend: str | None = None,
     compile_cache: bool = True,
+    boot_checkpoint: bool | None = None,
 ) -> CampaignResult:
     """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
 
     ``workers`` > 1 evaluates mutants on a process pool; results are
     merged by mutant index, so the outcome is identical to a serial run.
     ``backend``/``compile_cache`` select the execution backend and the
-    incremental compiler (defaults: fast paths).
+    incremental compiler (defaults: fast paths).  ``boot_checkpoint``
+    starts each mutant from the deepest boot checkpoint provably before
+    its first divergent step instead of from power-on (bit-identical
+    outcomes; default: the ``REPRO_BOOT_CHECKPOINT`` environment
+    variable).
     """
+    if boot_checkpoint is None:
+        boot_checkpoint = checkpointing_enabled_by_env()
     regions = None
     if driver == "c":
         files, registry = assemble_c_program()
@@ -312,9 +364,16 @@ def run_driver_campaign(
         raise ValueError(f"unknown driver {driver!r}")
 
     source = files[0].text
+    # One incremental compiler serves both the enumeration gate and the
+    # serial evaluation loop (workers build their own per process).
+    campaign_compiler = (
+        CampaignCompiler(driver_filename, source, registry)
+        if compile_cache
+        else None
+    )
     mutants = enumerate_c_mutants(
         source, driver_filename, pools, include_registry=registry,
-        regions=regions,
+        regions=regions, compiler=campaign_compiler,
     )
     tested = sample_mutants(mutants, fraction, seed)
 
@@ -342,18 +401,28 @@ def run_driver_campaign(
             budget,
             backend,
             compile_cache,
+            boot_checkpoint,
             workers,
             progress,
         )
         return campaign
 
     context = _EvalContext.build(
-        source, driver_filename, registry, budget, backend, compile_cache
+        source,
+        driver_filename,
+        registry,
+        budget,
+        backend,
+        compile_cache,
+        checkpoint=boot_checkpoint,
+        compiler=campaign_compiler,
     )
     for index, mutant in enumerate(tested):
         if progress is not None:
             progress(index, len(tested))
         campaign.results.append(_run_one(mutant, context))
+    if context._plan is not None:
+        campaign.checkpoint_stats = dict(context._plan.stats)
     return campaign
 
 
@@ -372,18 +441,55 @@ def _run_one(mutant: Mutant, context: _EvalContext) -> MutantResult:
             outcome=BootOutcome.COMPILE_CHECK,
             detail=error.diagnostics[0].code if error.diagnostics else "error",
         )
-    report = boot(
-        program,
-        standard_pc(with_busmouse=False),
-        step_budget=context.budget,
-        backend=context.backend,
-    )
+    if context.checkpoint:
+        report = _checkpointed_boot(program, mutant, context)
+    else:
+        report = boot(
+            program,
+            standard_pc(with_busmouse=False),
+            step_budget=context.budget,
+            backend=context.backend,
+        )
     outcome = report.outcome
     if outcome is BootOutcome.BOOT:
         site_line = (mutant.site.file, mutant.site.line)
         if site_line not in report.coverage:
             outcome = BootOutcome.DEAD_CODE
     return MutantResult(mutant=mutant, outcome=outcome, detail=report.detail)
+
+
+def _checkpointed_boot(program, mutant: Mutant, context: _EvalContext):
+    """Boot a mutant from the deepest provably-safe checkpoint.
+
+    Outcome fidelity: both paths below are bit-identical to
+    ``boot(program, standard_pc(with_busmouse=False), context.budget,
+    context.backend)`` —
+
+    * resumption restores the exact machine/interpreter/kernel state the
+      mutant itself would reach at that boundary (see
+      ``repro.kernel.checkpoint``), and cold boots reinstate the
+      pristine machine snapshot, observably equal to a fresh machine;
+    * boots run on the ``hybrid`` backend (bit-identical semantics to
+      every other backend, asserted by the differential suite), which
+      avoids the per-mutant Python-``compile`` emission for loop-free
+      mutated functions while keeping the source backend's loop speed.
+    """
+    plan = context.ensure_plan()
+    machine = context._machine
+    checkpoint = None
+    lines = changed_lines_of(mutant.site, mutant.replacement)
+    if lines is not None:
+        checkpoint = checkpoint_for_mutant(plan, lines)
+    backend = "hybrid" if context.backend != "tree" else "tree"
+    if checkpoint is not None:
+        plan.stats["resumed"] += 1
+        plan.stats["steps_skipped"] += checkpoint.steps
+        return resume_boot(
+            program, checkpoint, machine, context.budget, backend=backend
+        )
+    plan.stats["cold"] += 1
+    machine.restore(context._pristine)
+    return boot(program, machine, step_budget=context.budget, backend=backend)
 
 
 # -- parallel evaluation -------------------------------------------------------
@@ -399,10 +505,17 @@ def _worker_init(
     budget: int,
     backend: str | None,
     compile_cache: bool,
+    checkpoint: bool = False,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = _EvalContext.build(
-        source, driver_filename, registry, budget, backend, compile_cache
+        source,
+        driver_filename,
+        registry,
+        budget,
+        backend,
+        compile_cache,
+        checkpoint=checkpoint,
     )
 
 
@@ -420,6 +533,7 @@ def _evaluate_parallel(
     budget: int,
     backend: str | None,
     compile_cache: bool,
+    boot_checkpoint: bool,
     workers: int,
     progress: ProgressFn | None,
 ) -> list[MutantResult]:
@@ -446,6 +560,7 @@ def _evaluate_parallel(
             budget,
             backend,
             compile_cache,
+            boot_checkpoint,
         ),
     ) as pool:
         completed = 0
@@ -468,14 +583,27 @@ def run_devil_campaign(
     fraction: float = 1.0,
     seed: int = DEFAULT_SEED,
     progress: ProgressFn | None = None,
+    compile_cache: bool = True,
 ) -> DevilCampaignResult:
-    """Mutation campaign against a bundled Devil spec (one Table 2 row)."""
+    """Mutation campaign against a bundled Devil spec (one Table 2 row).
+
+    ``compile_cache`` routes variant checking through
+    :class:`repro.devil.incremental.SpecCampaignCompiler`, which
+    re-lexes only the mutated line and re-parses only the mutated
+    declaration(s); campaign results are identical to the from-scratch
+    ``spec_errors`` pipeline (``compile_cache=False``).
+    """
     source = load_spec_source(spec_name)
     device = parse_spec(source, spec_name)
     # The unmutated spec must be accepted.
     compile_spec(source, spec_name)
 
-    mutants = enumerate_devil_mutants(source, device, spec_name)
+    compiler = (
+        SpecCampaignCompiler(source, spec_name) if compile_cache else None
+    )
+    mutants = enumerate_devil_mutants(
+        source, device, spec_name, compiler=compiler
+    )
     tested = sample_mutants(mutants, fraction, seed)
     result = DevilCampaignResult(
         spec_name=spec_name,
@@ -486,7 +614,11 @@ def run_devil_campaign(
     for index, mutant in enumerate(tested):
         if progress is not None:
             progress(index, len(tested))
-        errors = spec_errors(mutant.apply(source), spec_name)
+        mutated = mutant.apply(source)
+        if compiler is not None:
+            errors = compiler.errors_for_variant(mutated)
+        else:
+            errors = spec_errors(mutated, spec_name)
         outcome = (
             BootOutcome.COMPILE_CHECK if errors else BootOutcome.BOOT
         )

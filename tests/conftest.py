@@ -16,10 +16,12 @@ from repro.hw import standard_pc
 from repro.kernel.kernel import boot
 
 #: Every registered mini-C execution backend; "tree" is the reference.
-ALL_BACKENDS = ("tree", "closure", "source")
+#: "hybrid" is the checkpointed campaign runner's mix of cached source
+#: emissions and closure-lowered fresh declarations.
+ALL_BACKENDS = ("tree", "closure", "source", "hybrid")
 
 #: The compiled backends, each asserted against the tree walker.
-FAST_BACKENDS = ("closure", "source")
+FAST_BACKENDS = ("closure", "source", "hybrid")
 
 
 def boot_report_view(report):

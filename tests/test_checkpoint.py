@@ -1,0 +1,311 @@
+"""Cross-mutant boot checkpointing: unit and differential tests.
+
+Three layers of assurance, mirroring the subsystem's layering:
+
+* device/machine snapshots round-trip exactly (copy-on-write disk,
+  mid-transfer IDE state, busmouse, whole machines);
+* interpreter snapshots transfer *between backends* at call boundaries
+  on random generated programs — the run split across two interpreters
+  (any backend pair) is indistinguishable from one uninterrupted run;
+* checkpointed boots and whole checkpointed campaigns are bit-identical
+  to cold boots: every clean-boot checkpoint resumes to the clean
+  report, and ``run_driver_campaign(..., boot_checkpoint=True)``
+  reproduces the cold campaign mutant-for-mutant on every backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ALL_BACKENDS, boot_report_view
+from test_backend_differential import ProgramGen, ScriptedBus
+
+from repro.diagnostics import CompileError
+from repro.drivers import assemble_c_program
+from repro.hw import standard_pc
+from repro.hw.diskimage import SECTOR_SIZE, DiskImage
+from repro.kernel.checkpoint import (
+    CHECKPOINT_ENV,
+    changed_lines_of,
+    checkpoint_for_mutant,
+    record_plan,
+    resume_boot,
+)
+from repro.kernel.kernel import DEFAULT_STEP_BUDGET, boot
+from repro.kernel.outcomes import BootOutcome
+from repro.minic.compile import interpreter_for
+from repro.minic.program import SourceFile, compile_program
+from repro.mutation.runner import run_driver_campaign
+
+# -- hardware snapshots --------------------------------------------------------
+
+
+def test_disk_snapshot_is_copy_on_write():
+    disk = DiskImage.bootable()
+    pristine_sector = disk.read_sector(5)
+    snapshot = disk.snapshot()
+    # The snapshot shares sector payloads (no full image copy) ...
+    assert snapshot[0][7] is disk.sectors[7]
+    disk.write_sector(5, b"x" * SECTOR_SIZE)
+    disk.write_sector(0, b"y" * SECTOR_SIZE)
+    assert disk.writes == [5, 0]
+    # ... yet restoring undoes writes and the write log completely.
+    disk.restore(snapshot)
+    assert disk.read_sector(5) == pristine_sector
+    assert disk.writes == []
+
+
+def test_ide_snapshot_mid_transfer():
+    """Restoring mid-sector replays the identical data-port stream."""
+    machine = standard_pc(with_busmouse=False)
+    bus = machine.bus
+    bus.write_port(0x1F6, 0xE0, 8)
+    bus.write_port(0x1F2, 1, 8)
+    bus.write_port(0x1F3, 0, 8)
+    bus.write_port(0x1F4, 0, 8)
+    bus.write_port(0x1F5, 0, 8)
+    bus.write_port(0x1F7, 0x20, 8)  # READ SECTORS
+    while bus.read_port(0x1F7, 8) & 0x80:
+        pass
+    [bus.read_port(0x1F0, 16) for _ in range(10)]
+    snapshot = machine.snapshot()
+    rest = [bus.read_port(0x1F0, 16) for _ in range(246)]
+    assert any(rest)  # the MBR's partition entry + signature
+    machine.restore(snapshot)
+    assert [bus.read_port(0x1F0, 16) for _ in range(246)] == rest
+
+
+def test_busmouse_snapshot_roundtrip():
+    machine = standard_pc(with_busmouse=True)
+    mouse = machine.busmouse
+    mouse.move(3, -2, buttons=0b101)
+    machine.bus.write_port(mouse.base + 2, 0x80 | (2 << 5), 8)
+    snapshot = machine.snapshot()
+    before = machine.bus.read_port(mouse.base + 0, 8)
+    mouse.move(50, 60, buttons=0)
+    machine.bus.write_port(mouse.base + 2, 0x80, 8)
+    machine.restore(snapshot)
+    assert machine.bus.read_port(mouse.base + 0, 8) == before
+
+
+# -- interpreter snapshots across backends -------------------------------------
+
+
+def _call_view(interp, bus):
+    try:
+        result = interp.call("run", 3, 11)
+        outcome = ("value", result)
+    except Exception as error:
+        outcome = ("raise", type(error).__name__, str(error))
+    return (
+        outcome,
+        interp.steps,
+        frozenset(interp.coverage),
+        tuple(interp.log),
+        tuple(bus.writes),
+        interp.time_us,
+    )
+
+
+_BACKEND_PAIRS = (
+    ("tree", "source"),
+    ("source", "closure"),
+    ("closure", "hybrid"),
+    ("hybrid", "tree"),
+)
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("first,second", _BACKEND_PAIRS)
+def test_interpreter_snapshot_transfers_between_backends(seed, first, second):
+    """run; snapshot; restore into another backend; run — equals one run."""
+    source = ProgramGen(seed).program()
+    program = compile_program([SourceFile("fuzz.c", source)])
+    budget = 30_000
+
+    bus = ScriptedBus(seed)
+    reference = interpreter_for("tree")(program, bus, step_budget=budget)
+    expected = (_call_view(reference, bus), _call_view(reference, bus))
+
+    bus = ScriptedBus(seed)
+    starter = interpreter_for(first)(program, bus, step_budget=budget)
+    first_view = _call_view(starter, bus)
+    snapshot = starter.snapshot_state()
+    resumed = interpreter_for(second)(
+        program, bus, step_budget=budget, defer_globals=True
+    )
+    resumed.restore_state(snapshot)
+    second_view = _call_view(resumed, bus)
+    assert (first_view, second_view) == expected
+
+    # The restore deep-copied: mutating the resumed run's globals can
+    # never leak back into the snapshot (a second restore is pristine).
+    again = interpreter_for(second)(
+        program, bus, step_budget=budget, defer_globals=True
+    )
+    again.restore_state(snapshot)
+    assert again.globals == starter.globals
+
+
+# -- clean-boot checkpoints ----------------------------------------------------
+
+
+def _driver_program():
+    files, registry = assemble_c_program()
+    return compile_program(files, registry), files[0]
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_resume_clean_boot_from_every_checkpoint(backend):
+    program, _ = _driver_program()
+    cold = boot_report_view(
+        boot(program, standard_pc(with_busmouse=False), backend=backend)
+    )
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        backend=backend,
+    )
+    assert boot_report_view(plan.report) == cold
+    assert len(plan.checkpoints) == 20  # init + 2 + 16 file reads + writeback
+    for checkpoint in plan.checkpoints:
+        resumed = resume_boot(
+            program,
+            checkpoint,
+            standard_pc(with_busmouse=False),
+            DEFAULT_STEP_BUDGET,
+            backend=backend,
+        )
+        assert boot_report_view(resumed) == cold, (
+            f"resume from call {checkpoint.call_index} diverged"
+        )
+
+
+def test_first_execution_map_and_divergence_rules():
+    program, driver = _driver_program()
+    plan = record_plan(
+        program, standard_pc(with_busmouse=False), DEFAULT_STEP_BUDGET
+    )
+    lines = driver.text.split("\n")
+
+    def line_of(fragment: str) -> tuple[str, int]:
+        matches = [i + 1 for i, l in enumerate(lines) if fragment in l]
+        assert len(matches) == 1, fragment
+        return (driver.name, matches[0])
+
+    # ide_write's body first executes at the final driver call; its steps
+    # skip nearly the whole clean boot.
+    outsw_line = line_of("outsw(HD_DATA, buf, HD_WORDS);")
+    assert plan.first_call[outsw_line] == len(plan.checkpoints) - 1
+    assert plan.first_step[outsw_line] > plan.clean_steps * 0.9
+    # A macro used only on the write path inherits the same divergence
+    # bound through statement origins.
+    assert plan.first_call[line_of("#define WIN_WRITE")] == (
+        len(plan.checkpoints) - 1
+    )
+    # The polling helpers run during ide_init (call 0).
+    assert plan.first_call[line_of("if (s & STAT_DRQ)")] == 0
+    # The global declaration executes during construction...
+    hd_sectors_line = line_of("static u32 hd_sectors;")
+    assert plan.first_call[hd_sectors_line] == -1
+    # ... and is barred from resumption twice over (also a decl line).
+    assert hd_sectors_line in plan.unsafe_lines
+
+    class _Site:
+        file, line = outsw_line
+        original = "outsw"
+
+    # Write-path mutants resume from the deepest checkpoint; construction
+    # and call-0 lines cold-boot.
+    checkpoint = checkpoint_for_mutant(
+        plan, changed_lines_of(_Site, "insw")
+    )
+    assert checkpoint is plan.checkpoints[-1]
+    assert checkpoint_for_mutant(plan, (hd_sectors_line,)) is None
+    assert checkpoint_for_mutant(plan, (line_of("if (s & STAT_DRQ)"),)) is None
+    assert checkpoint_for_mutant(plan, ((driver.name, 99999),)) is None
+
+
+# -- kernel classification fixes ----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_global_initializer_fault_is_classified(backend):
+    """A faulting global initialiser classifies instead of crashing the
+    harness (the historical handler referenced an unbound ``interp``)."""
+    program = compile_program(
+        [SourceFile("bad.c", "int g = 1 / 0;\nint ide_init(void) { return 1; }")]
+    )
+    report = boot(program, standard_pc(with_busmouse=False), backend=backend)
+    assert report.outcome is BootOutcome.CRASH
+    assert "division by zero" in report.detail
+
+
+# -- checkpointed campaigns ----------------------------------------------------
+
+
+def _campaign_view(campaign):
+    return [
+        (r.mutant.mutant_id, r.outcome.value, r.detail)
+        for r in campaign.results
+    ]
+
+
+@pytest.mark.parametrize("backend", ("source", "closure"))
+def test_checkpointed_campaign_identical_c(backend):
+    cold = run_driver_campaign(
+        "c", fraction=0.02, seed=99, backend=backend
+    )
+    checkpointed = run_driver_campaign(
+        "c", fraction=0.02, seed=99, backend=backend, boot_checkpoint=True
+    )
+    assert _campaign_view(checkpointed) == _campaign_view(cold)
+    stats = checkpointed.checkpoint_stats
+    assert stats is not None and stats["resumed"] > 0
+    assert stats["steps_skipped"] > 0
+
+
+def test_checkpointed_campaign_identical_cdevil():
+    cold = run_driver_campaign("cdevil", fraction=0.01, seed=99)
+    checkpointed = run_driver_campaign(
+        "cdevil", fraction=0.01, seed=99, boot_checkpoint=True
+    )
+    assert _campaign_view(checkpointed) == _campaign_view(cold)
+
+
+def test_checkpointed_campaign_parallel_equals_serial():
+    serial = run_driver_campaign(
+        "c", fraction=0.01, seed=7, boot_checkpoint=True
+    )
+    parallel = run_driver_campaign(
+        "c", fraction=0.01, seed=7, boot_checkpoint=True, workers=2
+    )
+    assert _campaign_view(serial) == _campaign_view(parallel)
+
+
+def test_checkpointing_env_switch(monkeypatch):
+    monkeypatch.setenv(CHECKPOINT_ENV, "1")
+    campaign = run_driver_campaign("c", fraction=0.01, seed=7)
+    assert campaign.checkpoint_stats is not None
+    monkeypatch.setenv(CHECKPOINT_ENV, "0")
+    campaign = run_driver_campaign("c", fraction=0.01, seed=7)
+    assert campaign.checkpoint_stats is None
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "driver,kwargs",
+    (
+        ("c", {"backend": "tree"}),
+        ("c", {"backend": "source"}),
+        ("cdevil", {"backend": "source"}),
+        ("cdevil", {"mode": "production"}),
+    ),
+)
+def test_checkpointed_campaign_identical_deep(driver, kwargs):
+    cold = run_driver_campaign(driver, fraction=0.05, seed=4136, **kwargs)
+    checkpointed = run_driver_campaign(
+        driver, fraction=0.05, seed=4136, boot_checkpoint=True, **kwargs
+    )
+    assert _campaign_view(checkpointed) == _campaign_view(cold)

@@ -1,0 +1,91 @@
+"""`SpecCampaignCompiler` equivalence with the from-scratch Devil pipeline.
+
+The incremental spec compiler re-lexes only the mutated line and
+re-parses only the mutated declaration(s); campaign observables must be
+indistinguishable from ``spec_errors`` — same detected/accepted verdict
+and same diagnostic codes/messages/locations — across seeded mutant
+samples of every bundled specification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devil.compiler import parse_spec, spec_errors
+from repro.devil.incremental import SpecCampaignCompiler
+from repro.mutation.devil_ops import scan_devil_sites
+from repro.mutation.generator import enumerate_devil_mutants, _devil_parses
+from repro.mutation.model import Mutant
+from repro.mutation.runner import run_devil_campaign
+from repro.specs import load_spec_source, spec_names
+
+
+def _diag_view(diagnostics):
+    return [
+        (d.code, d.message, d.location.line, d.location.column)
+        for d in diagnostics
+    ]
+
+
+def _sampled_mutants(source, name, fraction, seed=4136):
+    from repro.mutation.sampling import sample_mutants
+
+    device = parse_spec(source, name)
+    return sample_mutants(
+        enumerate_devil_mutants(source, device, name), fraction, seed
+    )
+
+
+@pytest.mark.parametrize("name", spec_names())
+def test_spec_cache_matches_scratch_pipeline(name):
+    source = load_spec_source(name)
+    compiler = SpecCampaignCompiler(source, name)
+    for mutant in _sampled_mutants(source, name, fraction=0.02):
+        mutated = mutant.apply(source)
+        fast = compiler.errors_for_variant(mutated)
+        reference = spec_errors(mutated, name)
+        assert _diag_view(fast) == _diag_view(reference), str(mutant)
+    assert compiler.stats["spliced"] > 0
+
+
+@pytest.mark.parametrize("name", spec_names())
+def test_spec_cache_parse_gate_matches_scratch(name):
+    source = load_spec_source(name)
+    device = parse_spec(source, name)
+    compiler = SpecCampaignCompiler(source, name)
+    checked = 0
+    for site, replacements in scan_devil_sites(source, device, name):
+        if site.kind != "operator":
+            continue
+        for replacement in replacements:
+            mutated = Mutant(site=site, replacement=replacement).apply(source)
+            assert compiler.variant_parses(mutated) == _devil_parses(
+                mutated, name
+            ), f"{site} -> {replacement!r}"
+            checked += 1
+    assert checked > 0
+
+
+def test_devil_campaign_cache_identical():
+    fast = run_devil_campaign("ne2000", fraction=0.05, seed=99)
+    reference = run_devil_campaign(
+        "ne2000", fraction=0.05, seed=99, compile_cache=False
+    )
+    assert [
+        (r.mutant.mutant_id, r.outcome.value, r.detail) for r in fast.results
+    ] == [
+        (r.mutant.mutant_id, r.outcome.value, r.detail)
+        for r in reference.results
+    ]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", spec_names())
+def test_spec_cache_matches_scratch_pipeline_deep(name):
+    source = load_spec_source(name)
+    compiler = SpecCampaignCompiler(source, name)
+    for mutant in _sampled_mutants(source, name, fraction=0.15, seed=7):
+        mutated = mutant.apply(source)
+        assert _diag_view(compiler.errors_for_variant(mutated)) == _diag_view(
+            spec_errors(mutated, name)
+        ), str(mutant)

@@ -51,11 +51,17 @@ def table2_view() -> dict:
     return {"fraction": TABLE2_FRACTION, "seed": TABLE2_SEED, "rows": rows}
 
 
-def table3_view(backend: str | None = None) -> dict:
+def table3_view(
+    backend: str | None = None, boot_checkpoint: bool = False
+) -> dict:
     from repro.mutation.runner import run_driver_campaign
 
     campaign = run_driver_campaign(
-        "c", fraction=TABLE3_FRACTION, seed=TABLE3_SEED, backend=backend
+        "c",
+        fraction=TABLE3_FRACTION,
+        seed=TABLE3_SEED,
+        backend=backend,
+        boot_checkpoint=boot_checkpoint,
     )
     return {
         "fraction": TABLE3_FRACTION,
@@ -93,6 +99,13 @@ def test_table3_sample_matches_golden_on_every_backend(backend):
     assert table3_view(backend) == _load(TABLE3_GOLDEN), (
         f"backend {backend!r} no longer reproduces the Table 3 golden"
     )
+
+
+def test_table3_sample_matches_golden_under_checkpointing():
+    """Boot checkpointing must leave the goldens bit-identical."""
+    assert table3_view("source", boot_checkpoint=True) == _load(
+        TABLE3_GOLDEN
+    ), "checkpointed campaign no longer reproduces the Table 3 golden"
 
 
 def _regen() -> None:
