@@ -13,11 +13,17 @@ fixed-seed sampled C-driver campaign under several configurations:
   isolates the backend itself;
 * **checkpoint configuration** — the source configuration plus
   cross-mutant boot checkpointing (``boot_checkpoint=True``,
-  `repro.kernel.checkpoint`): one instrumented clean boot per campaign,
-  every mutant resumed from the deepest checkpoint provably before its
-  first divergent step (cold boots reuse a machine snapshot, mutated
-  declarations run on the ``hybrid`` backend).  The row reports
-  ``checkpoint_resumed`` / ``checkpoint_cold`` decisions and
+  `repro.kernel.checkpoint`) at sub-call granularity: one instrumented
+  clean boot per campaign snapshots every driver-call boundary *and*
+  the loop-free statement boundaries inside each call, and every mutant
+  resumes from the deepest checkpoint provably before its first
+  divergent step — including mutants whose lines first execute during
+  ``ide_init`` (driver call 0), which call granularity had to cold-boot
+  (cold boots reuse a machine snapshot, mutated declarations run on the
+  ``hybrid`` backend).  The row reports ``checkpoint_resumed`` /
+  ``checkpoint_cold`` decisions, the ``checkpoint_resumed_subcall``
+  subset resumed from intra-call snapshots, the
+  ``checkpoint_resumed_fraction`` of boots resumed, and
   ``checkpoint_prefix_steps_skipped``, the clean-prefix steps the
   campaign never re-executed.
 
@@ -43,6 +49,11 @@ subprocess), which is the most honest denominator: the legacy
 configuration above still benefits from shared hot-path work (bus decode
 tables, bulk string I/O) that landed alongside the new layers.
 
+The JSON keeps the latest run's fields flat (self-describing, as
+`benchmarks/README.md` prescribes) and carries the cross-run history in
+its ``trajectory`` list — one point per committed run, oldest first,
+read and appended through `repro.experiments.trajectory`.
+
 Under pytest, a smaller sample asserts result identity and a
 conservative speedup floor (single-core containers cannot show the
 worker-pool multiplier; multi-core machines comfortably exceed 5x).
@@ -59,6 +70,11 @@ import sys
 import tempfile
 import time
 
+from repro.experiments.trajectory import (
+    append_point,
+    load_report,
+    load_trajectory,
+)
 from repro.kernel.outcomes import BootOutcome
 from repro.mutation.runner import run_driver_campaign
 
@@ -112,6 +128,11 @@ def _outcomes(campaign):
     return [(str(r.outcome), r.detail) for r in campaign.results]
 
 
+def _resumed_fraction(stats: dict) -> float | None:
+    boots = stats.get("resumed", 0) + stats.get("cold", 0)
+    return round(stats["resumed"] / boots, 4) if boots else None
+
+
 def run_configurations(
     fraction: float = DEFAULT_FRACTION,
     seed: int = DEFAULT_SEED,
@@ -161,6 +182,7 @@ def run_configurations(
         seed=seed,
         backend="source",
         boot_checkpoint=True,
+        checkpoint_granularity="subcall",
     )
     checkpoint_serial_seconds = time.perf_counter() - start
     assert _outcomes(checkpoint_serial) == _outcomes(source_serial), (
@@ -205,7 +227,9 @@ def run_configurations(
             tested / checkpoint_serial_seconds, 2
         ),
         "checkpoint_resumed": checkpoint_stats.get("resumed"),
+        "checkpoint_resumed_subcall": checkpoint_stats.get("resumed_subcall"),
         "checkpoint_cold": checkpoint_stats.get("cold"),
+        "checkpoint_resumed_fraction": _resumed_fraction(checkpoint_stats),
         "checkpoint_prefix_steps_skipped": checkpoint_stats.get(
             "steps_skipped"
         ),
@@ -291,17 +315,27 @@ def main(argv: list[str] | None = None) -> int:
         "denominator (e.g. the repository's root commit)",
     )
     parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument(
+        "--label",
+        default="run",
+        help="label recorded on this run's trajectory point",
+    )
+    parser.add_argument(
+        "--pr",
+        type=int,
+        default=None,
+        help="PR number recorded on this run's trajectory point "
+        "(committed points carry one; ad-hoc runs may omit it)",
+    )
     args = parser.parse_args(argv)
 
     # The previous trajectory point's source row (if any) anchors the
     # cross-revision speedup claim before the file is overwritten.
     prior_source = None
-    if args.json_path and os.path.exists(args.json_path):
-        try:
-            with open(args.json_path, encoding="utf-8") as handle:
-                prior_source = json.load(handle).get("source_serial_seconds")
-        except (OSError, ValueError):
-            prior_source = None
+    if args.json_path:
+        prior_source = (load_report(args.json_path) or {}).get(
+            "source_serial_seconds"
+        )
 
     report = run_configurations(
         fraction=args.fraction,
@@ -326,6 +360,18 @@ def main(argv: list[str] | None = None) -> int:
             report["speedup_vs_seed"] = round(
                 seed_seconds / report["fast_seconds"], 2
             )
+
+    if args.json_path:
+        if args.pr is not None:
+            # A committed run: one trajectory point appended to the
+            # points already in the file (legacy flat files contribute
+            # theirs).
+            append_point(args.json_path, report, label=args.label, pr=args.pr)
+        else:
+            # Ad-hoc run: refresh the flat fields but carry the
+            # committed history forward unchanged, so reproducing the
+            # numbers never pollutes the trajectory.
+            report["trajectory"] = load_trajectory(args.json_path)
 
     print(json.dumps(report, indent=2))
     if args.json_path:
@@ -354,8 +400,12 @@ def test_campaign_throughput(benchmark, capsys):
     assert report["speedup_serial"] > 1.5
     # Checkpointing must genuinely skip clean-prefix work and at worst
     # break even on the small smoke sample (the committed fraction=0.05
-    # trajectory point shows the real margin).
+    # trajectory point shows the real margin).  Sub-call granularity
+    # must resume the ide_init-covered majority, not just the deep
+    # write-path mutants call granularity could reach.
     assert report["checkpoint_resumed"] > 0
+    assert report["checkpoint_resumed_subcall"] > 0
+    assert report["checkpoint_resumed_fraction"] > 0.7
     assert report["checkpoint_prefix_steps_skipped"] > 0
     assert report["speedup_checkpoint_vs_source"] > 0.9
     # The source backend must at least keep pace with the closure

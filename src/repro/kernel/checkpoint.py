@@ -34,13 +34,56 @@ fallback cases:
 
 * the changed line contributes tokens to a *non-executable* construct
   (global declaration, struct/typedef, function signature, or a
-  preprocessor line that never reaches statement origins, e.g. a macro
-  only referenced through another macro's body): its effect is not
+  preprocessor line that never reaches statement origins — e.g. an
+  alias macro whose whole body is another macro's name, so its
+  expansion leaves no token stamped with its line): its effect is not
   bounded by statement coverage → cold boot;
 * the changed line is outside the recorded coverage entirely (dead code
   in the clean boot) → cold boot;
-* first coverage during construction or call 0 (``ide_init``): the
-  checkpoint before call 0 saves nothing over power-on → cold boot.
+* under call granularity only, first coverage during construction or
+  call 0 (``ide_init``): the checkpoint before call 0 saves nothing over
+  power-on → cold boot;
+* under call granularity only, switch group *label* lines: a label
+  mutant can redirect a re-executed switch's dispatch in an earlier
+  call than the label's first coverage, and only the sub-call
+  recorder's dispatch-step anchors can bound that → cold boot.
+
+Sub-call granularity
+--------------------
+
+Most Tables 3/4 mutants sit in the IDE polling helpers whose lines first
+execute during ``ide_init`` — call granularity cold-boots all of them.
+``record_plan(granularity="subcall")`` therefore records the clean boot
+on an instrumented tree-walking interpreter that additionally snapshots
+at **statement boundaries inside each driver call**: whenever the walker
+is about to execute a depth-1 statement (directly inside the driver
+entry's frame, never mid-expression), at most every ``subcall_interval``
+steps and ``subcall_limit`` times per call, it captures machine +
+interpreter + kernel state *plus* the active frame's locals and a
+statement path addressing the about-to-execute statement
+(`InterpreterSnapshot.frames` / ``.resume``).  Resuming re-enters the
+boot mid-call: the kernel-side call site finishes the in-flight call via
+``Interpreter.resume_in_flight`` (the restored frame's continuation,
+executed by the tree-walking machinery every backend inherits — fresh
+nested calls still dispatch into the resuming backend's compiled
+bodies), then proceeds exactly as a cold boot would.
+
+The soundness argument extends per *step* instead of per call.  The
+recording walker observes the exact step index at which every line first
+enters coverage, and every statement records its coverage — macro
+origin lines included — *before* any of its sub-expressions evaluate,
+so a line's first-coverage step strictly precedes any effect of a
+construct influenced by it.  A snapshot taken at a statement boundary
+with ``steps < first_step(L)`` therefore precedes the mutant's first
+divergent step, and the prefix up to it is bit-identical for the
+mutant.  One construct needs a tighter bound: a ``switch`` *selects* its
+case group — comparing the selector against every group's label values —
+before any group's origin lines enter coverage, so a label-line mutant
+can diverge at the dispatch step.  The recorder anchors every group
+label line to its switch's dispatch step (``divergence_anchors``), and
+the mapping uses ``min(first step, anchor)``.  All call-granularity
+fallback cases above still apply (and are regression-pinned by tests);
+only the call-0 rule is replaced by the per-step bound.
 """
 
 from __future__ import annotations
@@ -58,27 +101,63 @@ from repro.kernel.kernel import (
 from repro.kernel.outcomes import BootReport
 from repro.minic import ast
 from repro.minic.compile import interpreter_for
-from repro.minic.interp import InterpreterSnapshot
+from repro.minic.interp import (
+    Interpreter,
+    InterpreterSnapshot,
+    _BreakSignal,
+    _ContinueSignal,
+)
 from repro.minic.program import CompiledProgram
 
 #: Environment switch the campaign runner honours (see
 #: ``run_driver_campaign(boot_checkpoint=...)``).
 CHECKPOINT_ENV = "REPRO_BOOT_CHECKPOINT"
 
+#: Environment override for the campaign runner's checkpoint
+#: granularity: ``"call"`` (PR 3's call boundaries only) or ``"subcall"``
+#: (the default: call boundaries plus intra-call statement boundaries).
+GRANULARITY_ENV = "REPRO_CHECKPOINT_GRANULARITY"
+
+GRANULARITIES = ("call", "subcall")
+
+#: Sub-call snapshot throttle: minimum steps between intra-call
+#: snapshots, and the per-call snapshot cap.  The first depth-1
+#: statement boundary of every call always qualifies, so every line
+#: first covered inside a call has a snapshot strictly before it.
+DEFAULT_SUBCALL_INTERVAL = 24
+DEFAULT_SUBCALL_LIMIT = 64
+
 
 def checkpointing_enabled_by_env() -> bool:
     return os.environ.get(CHECKPOINT_ENV, "") not in ("", "0")
 
 
+def granularity_from_env(default: str = "subcall") -> str:
+    value = os.environ.get(GRANULARITY_ENV, "") or default
+    if value not in GRANULARITIES:
+        raise ValueError(
+            f"unknown checkpoint granularity {value!r}; "
+            f"available: {', '.join(GRANULARITIES)}"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class BootCheckpoint:
-    """Machine + interpreter + kernel state before driver call ``call_index``."""
+    """Machine + interpreter + kernel state at one clean-boot instant.
+
+    Call-boundary checkpoints (``subcall=False``) precede driver call
+    ``call_index``; sub-call checkpoints (``subcall=True``) precede a
+    depth-1 statement *inside* that call, and their interpreter snapshot
+    carries the in-flight frame and re-entry path.
+    """
 
     call_index: int
     steps: int
     interp: InterpreterSnapshot
     machine: MachineSnapshot
     kernel: dict
+    subcall: bool = False
 
 
 @dataclass
@@ -88,21 +167,37 @@ class CheckpointPlan:
     backend: str | None
     step_budget: int
     report: BootReport
+    #: ``"call"`` or ``"subcall"`` — selects the mutant-mapping rule.
+    granularity: str = "call"
     checkpoints: list[BootCheckpoint] = field(default_factory=list)
     #: (file, line) -> driver-call index of first execution; -1 when the
     #: line first executed during interpreter construction (global
     #: initialisers).
     first_call: dict[tuple[str, int], int] = field(default_factory=dict)
     #: (file, line) -> interpreter step index at first execution (exact
-    #: on the tree backend; batch-granular on compiled backends, which
-    #: sync ``steps`` at batch boundaries).
+    #: on the tree backend — which sub-call plans always record on;
+    #: batch-granular on compiled backends, which sync ``steps`` at
+    #: batch boundaries).
     first_step: dict[tuple[str, int], int] = field(default_factory=dict)
     #: Lines whose tokens reach non-executable constructs — mutations
     #: there are never resumable (see module docstring).
     unsafe_lines: frozenset = frozenset()
-    #: Diagnostics for benchmarks: resumed/cold decisions + steps skipped.
+    #: (file, line) -> earlier divergence bound than first coverage:
+    #: switch group label lines anchor to their switch's dispatch step
+    #: (sub-call plans only; see module docstring).
+    divergence_anchors: dict = field(default_factory=dict)
+    #: Lines carrying switch group labels (statically collected).  Call-
+    #: granularity plans bar these from resumption outright: a label
+    #: mutant can redirect a *re-executed* switch's dispatch in an
+    #: earlier call than the label's first coverage, and only the
+    #: sub-call recorder observes dispatch steps to bound that exactly.
+    switch_label_lines: frozenset = frozenset()
+    #: Diagnostics for benchmarks: resumed/cold decisions + steps
+    #: skipped; ``resumed_subcall`` counts resumes from intra-call
+    #: checkpoints (a subset of ``resumed``).
     stats: dict = field(default_factory=lambda: {
         "resumed": 0,
+        "resumed_subcall": 0,
         "cold": 0,
         "steps_skipped": 0,
     })
@@ -146,11 +241,230 @@ class _RecordingCoverage(set):
         return self
 
 
+def _continuation_has_loop(body: ast.Block, path: tuple) -> bool:
+    """Whether resuming at ``path`` leaves a loop to run *outside* a call.
+
+    The resumed continuation executes statements through the per-
+    statement machinery (`Interpreter._resume_stmt` / ``_exec_resumed``),
+    which is closure-speed at best — fine for straight-line remainders,
+    but a budget-burning mutant loop there would forfeit the source
+    backend's 3x loop speed.  Sub-call snapshots are therefore only
+    taken where the continuation is loop-free at call depth 1: an
+    enclosing loop marker, or any loop among the statements still to run
+    (the leaf included — loops *inside fresh calls* run compiled and
+    don't count), disqualifies the boundary.
+    """
+    from repro.minic.codegen import _contains_loop
+
+    node = body
+    pending: list = []
+    for marker in path:
+        kind = marker[0]
+        if kind in ("while", "dowhile", "for-init", "for-body"):
+            return True
+        if kind == "block":
+            index = marker[1]
+            pending.extend(node.statements[index + 1 :])
+            node = node.statements[index]
+        elif kind == "then":
+            node = node.then
+        elif kind == "else":
+            node = node.otherwise
+        elif kind == "switch":
+            group = node.groups[marker[1]]
+            pending.extend(group.body[marker[2] + 1 :])
+            for later in node.groups[marker[1] + 1 :]:
+                pending.extend(later.body)
+            node = group.body[marker[2]]
+        else:
+            raise ValueError(f"unhandled resume marker {marker!r}")
+    pending.append(node)
+    return _contains_loop(pending)
+
+
+class _RecordingInterpreter(Interpreter):
+    """Tree walker that knows *where* it is at every statement boundary.
+
+    Maintains a statement path (the marker chain ``Interpreter._resume_stmt``
+    descends) mirroring the walker's own recursion, the in-flight call's
+    name and original arguments, and the switch-dispatch divergence
+    anchors.  ``boundary_hook`` fires before every depth-1 statement —
+    the sub-call snapshot points.  Every override replicates the base
+    walker's step/coverage accounting exactly; the resume-vs-cold
+    bit-identity sweeps assert the replication.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._path: list = []
+        self._call_args: list = []
+        self._switch_anchors: dict = {}
+        self.boundary_hook = None
+
+    # -- position reporting (consumed by snapshot_state) --------------------
+
+    def _resume_position(self):
+        if len(self._call_args) != 1:
+            return super()._resume_position()
+        name, args = self._call_args[0]
+        path = tuple(
+            tuple(marker) if isinstance(marker, list) else marker
+            for marker in self._path
+        )
+        return name, path, args
+
+    # -- instrumented execution --------------------------------------------
+
+    def _call_function(self, decl, args):
+        self._call_args.append((decl.name, args))
+        try:
+            return super()._call_function(decl, args)
+        finally:
+            self._call_args.pop()
+
+    def _exec(self, stmt):
+        hook = self.boundary_hook
+        if hook is not None and len(self._scopes) == 1:
+            hook(stmt)
+        if isinstance(stmt, ast.If):
+            # Replicated from Interpreter._exec so the taken branch gets
+            # a path marker.
+            self.consume_steps(1)
+            self.coverage.update(stmt.origins)
+            assert stmt.cond is not None and stmt.then is not None
+            path = self._path
+            if self._truthy(self._eval(stmt.cond)):
+                path.append(("then",))
+                try:
+                    self._exec(stmt.then)
+                finally:
+                    path.pop()
+            elif stmt.otherwise is not None:
+                path.append(("else",))
+                try:
+                    self._exec(stmt.otherwise)
+                finally:
+                    path.pop()
+            return
+        super()._exec(stmt)
+
+    def _exec_block(self, block, new_scope: bool = True):
+        # Replicated from Interpreter._exec_block, plus the position
+        # marker (whose index slot advances in place).
+        if new_scope:
+            self._push_scope()
+        marker = ["block", 0, new_scope]
+        path = self._path
+        path.append(marker)
+        try:
+            for index, stmt in enumerate(block.statements):
+                marker[1] = index
+                self._exec(stmt)
+        finally:
+            path.pop()
+            if new_scope:
+                self._pop_scope()
+
+    def _exec_while(self, stmt):
+        self._path.append(("while",))
+        try:
+            super()._exec_while(stmt)
+        finally:
+            self._path.pop()
+
+    def _exec_do_while(self, stmt):
+        self._path.append(("dowhile",))
+        try:
+            super()._exec_do_while(stmt)
+        finally:
+            self._path.pop()
+
+    def _exec_for(self, stmt):
+        # Replicated from Interpreter._exec_for: the init and body
+        # positions need distinct markers.
+        assert stmt.body is not None
+        self._push_scope()
+        path = self._path
+        try:
+            if stmt.init is not None:
+                path.append(("for-init",))
+                try:
+                    self._exec(stmt.init)
+                finally:
+                    path.pop()
+            path.append(("for-body",))
+            try:
+                while True:
+                    self.consume_steps(1)
+                    self.coverage.update(stmt.origins)
+                    if stmt.cond is not None and not self._truthy(
+                        self._eval(stmt.cond)
+                    ):
+                        return
+                    try:
+                        self._exec(stmt.body)
+                    except _BreakSignal:
+                        return
+                    except _ContinueSignal:
+                        pass
+                    if stmt.step is not None:
+                        self._eval(stmt.step)
+            finally:
+                path.pop()
+        finally:
+            self._pop_scope()
+
+    def _exec_switch(self, stmt):
+        # Replicated from Interpreter._exec_switch, plus the group/
+        # statement marker and the label-line divergence anchors: a
+        # label mutant can redirect dispatch *here*, before any group
+        # line enters coverage.
+        anchors = self._switch_anchors
+        for group in stmt.groups:
+            for line in group.origins:
+                if line not in anchors:
+                    anchors[line] = self.steps
+        assert stmt.expr is not None
+        selector = int(self._eval(stmt.expr))
+        start = None
+        default = None
+        for index, group in enumerate(stmt.groups):
+            if any(value == selector for value in group.values if value is not None):
+                start = index
+                break
+            if default is None and any(value is None for value in group.values):
+                default = index
+        if start is None:
+            start = default
+        if start is None:
+            return
+        marker = ["switch", start, 0]
+        path = self._path
+        self._push_scope()
+        path.append(marker)
+        try:
+            for group_index in range(start, len(stmt.groups)):
+                group = stmt.groups[group_index]
+                marker[1] = group_index
+                self.coverage.update(group.origins)
+                for stmt_index, inner in enumerate(group.body):
+                    marker[2] = stmt_index
+                    self._exec(inner)
+        except _BreakSignal:
+            pass
+        finally:
+            path.pop()
+            self._pop_scope()
+
+
 def record_plan(
     program: CompiledProgram,
     machine: Machine,
     step_budget: int,
     backend: str | None = None,
+    granularity: str = "call",
+    subcall_interval: int = DEFAULT_SUBCALL_INTERVAL,
+    subcall_limit: int = DEFAULT_SUBCALL_LIMIT,
 ) -> CheckpointPlan:
     """Record the instrumented clean boot of ``program`` on ``machine``.
 
@@ -158,19 +472,71 @@ def record_plan(
     ``repro.kernel.boot`` produces for the same arguments — callers
     should verify the outcome is :data:`BootOutcome.BOOT` before using
     the checkpoints.  The machine is left in its post-boot state.
+
+    ``granularity="call"`` records one checkpoint per driver-call
+    boundary on the requested ``backend``.  ``granularity="subcall"``
+    additionally snapshots at depth-1 statement boundaries inside each
+    call — at most one per ``subcall_interval`` steps and
+    ``subcall_limit`` per call — and always records on the instrumented
+    tree walker (exact step indices; the snapshots restore into any
+    backend).
     """
-    interp_class = interpreter_for(backend or DEFAULT_BACKEND)
-    interp = interp_class(
-        program, machine.bus, step_budget=step_budget, defer_globals=True
-    )
+    if granularity not in GRANULARITIES:
+        raise ValueError(
+            f"unknown checkpoint granularity {granularity!r}; "
+            f"available: {', '.join(GRANULARITIES)}"
+        )
+    subcall = granularity == "subcall"
+    if subcall:
+        interp = _RecordingInterpreter(
+            program, machine.bus, step_budget=step_budget, defer_globals=True
+        )
+    else:
+        interp_class = interpreter_for(backend or DEFAULT_BACKEND)
+        interp = interp_class(
+            program, machine.bus, step_budget=step_budget, defer_globals=True
+        )
     recorder = _RecordingCoverage(interp)
     interp.coverage = recorder
     context = _KernelContext(interp)
     sequence = BootSequence(context, machine)
-    plan = CheckpointPlan(backend=backend, step_budget=step_budget, report=None)
+    plan = CheckpointPlan(
+        backend=backend,
+        step_budget=step_budget,
+        report=None,
+        granularity=granularity,
+    )
+    throttle = {"floor": 0, "taken": 0}
+
+    def boundary_hook(stmt) -> None:
+        if throttle["taken"] >= subcall_limit:
+            return
+        if interp.steps < throttle["floor"]:
+            return
+        name, path, _ = interp._resume_position()
+        if _continuation_has_loop(interp._functions[name].body, path):
+            return
+        plan.checkpoints.append(
+            BootCheckpoint(
+                call_index=sequence.call_index,
+                steps=interp.steps,
+                interp=interp.snapshot_state(),
+                machine=machine.snapshot(),
+                kernel=sequence.snapshot_state(),
+                subcall=True,
+            )
+        )
+        throttle["floor"] = interp.steps + subcall_interval
+        throttle["taken"] += 1
 
     def run() -> None:
         interp.initialize_globals()
+        # Only armed once the boot sequence starts issuing driver calls:
+        # a function call inside a *global initialiser* also reaches
+        # depth 1, but a snapshot there would pair a pre-boot kernel
+        # state with partially-initialised globals — unsound to resume.
+        if subcall:
+            interp.boundary_hook = boundary_hook
         while not sequence.done:
             recorder.current_call = sequence.call_index
             plan.checkpoints.append(
@@ -182,6 +548,9 @@ def record_plan(
                     kernel=sequence.snapshot_state(),
                 )
             )
+            # The first depth-1 boundary of every call qualifies.
+            throttle["floor"] = 0
+            throttle["taken"] = 0
             sequence.step()
 
     plan.report = classify_run(run, machine, interp)
@@ -192,7 +561,40 @@ def record_plan(
         line: call for line, (_, call) in recorder.first_seen.items()
     }
     plan.unsafe_lines = _non_executable_lines(program)
+    plan.switch_label_lines = _switch_label_lines(program)
+    if subcall:
+        plan.divergence_anchors = dict(interp._switch_anchors)
     return plan
+
+
+def _switch_label_lines(program: CompiledProgram) -> frozenset:
+    """Every line contributing tokens to a switch group label."""
+    lines: set = set()
+
+    def walk(stmt) -> None:
+        if isinstance(stmt, ast.Switch):
+            for group in stmt.groups:
+                lines.update(group.origins)
+                for inner in group.body:
+                    walk(inner)
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                walk(inner)
+        elif isinstance(stmt, ast.If):
+            walk(stmt.then)
+            if stmt.otherwise is not None:
+                walk(stmt.otherwise)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            walk(stmt.body)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                walk(stmt.init)
+            walk(stmt.body)
+
+    for decl in program.unit.decls:
+        if isinstance(decl, ast.FuncDecl) and decl.body is not None:
+            walk(decl.body)
+    return frozenset(lines)
 
 
 def _non_executable_lines(program: CompiledProgram) -> frozenset:
@@ -224,10 +626,23 @@ def checkpoint_for_mutant(
     ``changed_lines`` are the ``(file, line)`` pairs the mutant's text
     differs from the baseline on.  Returns ``None`` whenever divergence
     before any checkpoint cannot be ruled out — the caller cold-boots.
+
+    Call-granularity plans map through the driver-call index of first
+    coverage; sub-call plans bound the first divergent *step* — the
+    line's first-coverage step, tightened by the switch-dispatch anchors
+    — and pick the deepest checkpoint strictly before it.
     """
+    if plan.granularity == "subcall":
+        return _subcall_checkpoint_for_mutant(plan, changed_lines)
     earliest: int | None = None
     for line in changed_lines:
         if line in plan.unsafe_lines:
+            return None
+        if line in plan.switch_label_lines:
+            # A label mutant can redirect a re-executed switch's
+            # dispatch in an earlier call than the label's first
+            # coverage; without recorded dispatch steps the call index
+            # cannot bound that, so label lines cold-boot.
             return None
         call = plan.first_call.get(line)
         if call is None or call < 1:
@@ -238,6 +653,32 @@ def checkpoint_for_mutant(
     if earliest is None or earliest >= len(plan.checkpoints):
         return None
     return plan.checkpoints[earliest]
+
+
+def _subcall_checkpoint_for_mutant(
+    plan: CheckpointPlan, changed_lines
+) -> BootCheckpoint | None:
+    divergence: int | None = None
+    for line in changed_lines:
+        if line in plan.unsafe_lines:
+            return None
+        step = plan.first_step.get(line)
+        if step is None:
+            # Outside recorded coverage (dead code in the clean boot).
+            return None
+        anchor = plan.divergence_anchors.get(line)
+        if anchor is not None and anchor < step:
+            step = anchor
+        divergence = step if divergence is None else min(divergence, step)
+    if divergence is None:
+        return None
+    best: BootCheckpoint | None = None
+    for checkpoint in plan.checkpoints:  # ordered by steps
+        if checkpoint.steps < divergence:
+            best = checkpoint
+        else:
+            break
+    return best
 
 
 def resume_boot(
@@ -251,11 +692,14 @@ def resume_boot(
 
     The machine is overwritten with the checkpoint's device state; the
     interpreter is built for the (mutant) program, then its mutable
-    state — steps, coverage, log, globals, synthetic addresses — is
-    replaced by the checkpoint's, which equals the mutant's own state at
-    that boundary whenever :func:`checkpoint_for_mutant` offered the
-    checkpoint.  Global initialisers are deliberately not re-run: their
-    effects are part of the restored state.
+    state — steps, coverage, log, globals, synthetic addresses, and for
+    sub-call checkpoints the in-flight frame's locals and re-entry
+    position — is replaced by the checkpoint's, which equals the
+    mutant's own state at that instant whenever
+    :func:`checkpoint_for_mutant` offered the checkpoint.  Global
+    initialisers are deliberately not re-run: their effects are part of
+    the restored state.  A pending in-flight call is finished by the
+    kernel context's re-entrant call sites on the first boot step.
     """
     interp_class = interpreter_for(backend or DEFAULT_BACKEND)
     interp = interp_class(

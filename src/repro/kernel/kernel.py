@@ -39,6 +39,7 @@ from repro.kernel.outcomes import BootOutcome, BootReport
 from repro.minic.ctypes import U16
 from repro.minic.errors import (
     DevilAssertion,
+    InterpreterBug,
     KernelPanic,
     MachineFault,
     StepBudgetExceeded,
@@ -64,14 +65,40 @@ MAX_FILES = 64
 
 
 class _KernelContext:
-    """Driver calls + sector marshalling for one boot."""
+    """Driver calls + sector marshalling for one boot.
+
+    Every driver-call site is re-entrant: when the interpreter carries a
+    restored in-flight call (a sub-call checkpoint landed *inside* the
+    call), the site finishes that call via ``resume_in_flight`` instead
+    of issuing a fresh one, recovering its own buffers from the call's
+    restored arguments.  The kernel-side processing after the call is
+    byte-identical either way.
+    """
 
     def __init__(self, interp: Interpreter):
         self.interp = interp
 
     def _call_checked(self, name: str, *args) -> int:
-        result = self.interp.call(name, *args)
+        if self.interp.has_pending_resume():
+            result = self._resume_checked(name)
+        else:
+            result = self.interp.call(name, *args)
         return int(result) if result is not None else 0
+
+    def _resume_checked(self, name: str):
+        self._check_pending(name)
+        return self.interp.resume_in_flight()
+
+    def _check_pending(self, name: str) -> None:
+        pending = self.interp.pending_call_name()
+        if pending != name:
+            raise InterpreterBug(
+                f"in-flight call is {pending!r}, kernel expected {name!r}"
+            )
+
+    def _pending_args_checked(self, name: str) -> list:
+        self._check_pending(name)
+        return self.interp.pending_resume_args()
 
     def init_driver(self) -> int:
         for name in DRIVER_ABI:
@@ -85,8 +112,16 @@ class _KernelContext:
     BUFFER_SLACK = 256
 
     def read_sector(self, lba: int) -> bytes:
-        array = CArray.zeroed(U16, 256 + self.BUFFER_SLACK)
-        status = self._call_checked("ide_read", lba, CPointer(array, 0), 256)
+        if self.interp.has_pending_resume():
+            # Mid-call re-entry: the buffer is the restored original
+            # argument — the array the in-flight frame writes through.
+            array = self._pending_args_checked("ide_read")[1].array
+            status = self._call_checked("ide_read")
+        else:
+            array = CArray.zeroed(U16, 256 + self.BUFFER_SLACK)
+            status = self._call_checked(
+                "ide_read", lba, CPointer(array, 0), 256
+            )
         if status != 0:
             raise KernelPanic(f"ide: read error {status} at sector {lba}")
         # words_to_bytes masks each word (raising on non-ints exactly as
@@ -94,9 +129,14 @@ class _KernelContext:
         return words_to_bytes(array.values[:256])
 
     def write_sector(self, lba: int, data: bytes) -> None:
-        words = bytes_to_words(data) + [0] * self.BUFFER_SLACK
-        array = CArray(U16, words)
-        status = self._call_checked("ide_write", lba, CPointer(array, 0), 256)
+        if self.interp.has_pending_resume():
+            status = self._call_checked("ide_write")
+        else:
+            words = bytes_to_words(data) + [0] * self.BUFFER_SLACK
+            array = CArray(U16, words)
+            status = self._call_checked(
+                "ide_write", lba, CPointer(array, 0), 256
+            )
         if status != 0:
             raise KernelPanic(f"ide: write error {status} at sector {lba}")
 

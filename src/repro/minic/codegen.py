@@ -88,6 +88,7 @@ from repro.minic.compile import (
     _static_coerce,
     _truthy,
     _wrap_fn,
+    ClosureInterpreter,
     compiled_functions,
 )
 from repro.minic.program import CompiledProgram
@@ -2201,16 +2202,32 @@ class SourceInterpreter(Interpreter):
         step_budget: int = 2_000_000,
         defer_globals: bool = False,
     ):
+        # Before super().__init__: global initialisers may run there and
+        # can call functions, which dispatch through ``_call_function``
+        # into this table.
+        self._compiled = compiled_source_functions(program)
         super().__init__(
             program, bus, step_budget=step_budget, defer_globals=defer_globals
         )
-        self._compiled = compiled_source_functions(program)
 
     def call(self, name: str, *args):
         compiled = self._compiled.get(name)
         if compiled is None:
             raise InterpreterBug(f"no function {name!r} in program")
         return compiled(self, list(args))
+
+    def _call_function(self, decl, args):
+        # Tree-walked statements (global initialisers, resumed in-flight
+        # calls) dispatch nested calls into the emitted bodies, whose
+        # call prologue is step-for-step the walker's.
+        return self._compiled[decl.name](self, args)
+
+    # As on the closure backend: fresh statements in a resumed in-flight
+    # call run closure-lowered (source emission is per-function, so
+    # statement-level lowering borrows the closure backend's), cached on
+    # the shared AST nodes with calls late-bound through rt._compiled.
+    _resume_lowerer = None
+    _exec_resumed = ClosureInterpreter._exec_resumed
 
 
 def _contains_loop(stmts) -> bool:
@@ -2310,10 +2327,10 @@ class HybridInterpreter(SourceInterpreter):
         step_budget: int = 2_000_000,
         defer_globals: bool = False,
     ):
+        self._compiled = compiled_hybrid_functions(program)
         Interpreter.__init__(
             self, program, bus, step_budget=step_budget, defer_globals=defer_globals
         )
-        self._compiled = compiled_hybrid_functions(program)
 
 
 #: Importing this module registers the backends (see compile.interpreter_for).

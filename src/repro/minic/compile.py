@@ -1962,6 +1962,27 @@ def compiled_functions(program: CompiledProgram) -> dict[str, Callable]:
     return cached
 
 
+class _LateBoundCalls(dict):
+    """Function table whose entries dispatch through the *executing*
+    interpreter's own compiled table.
+
+    Resume-lowered statements (``_exec_resumed``) are cached on shared
+    AST nodes, so their call sites cannot close over any one program's
+    or backend's table; these dispatchers look it up per call instead.
+    """
+
+    def __missing__(self, name):
+        def dispatch(rt, args):
+            return rt._compiled[name](rt, args)
+
+        self[name] = dispatch
+        return dispatch
+
+
+#: The shared table resume-lowered call sites bind against.
+_RESUME_CALLS = _LateBoundCalls()
+
+
 class ClosureInterpreter(Interpreter):
     """Drop-in :class:`Interpreter` executing closure-compiled bodies.
 
@@ -1978,16 +1999,49 @@ class ClosureInterpreter(Interpreter):
         step_budget: int = 2_000_000,
         defer_globals: bool = False,
     ):
+        # Before super().__init__: global initialisers may run there and
+        # can call functions, which dispatch through ``_call_function``
+        # into this table.
+        self._compiled = compiled_functions(program)
         super().__init__(
             program, bus, step_budget=step_budget, defer_globals=defer_globals
         )
-        self._compiled = compiled_functions(program)
 
     def call(self, name: str, *args):
         compiled = self._compiled.get(name)
         if compiled is None:
             raise InterpreterBug(f"no function {name!r} in program")
         return compiled(self, list(args))
+
+    def _call_function(self, decl, args):
+        # Tree-walked statements (global initialisers, resumed in-flight
+        # calls) dispatch nested calls into the lowered bodies; the
+        # lowered call prologue is step-for-step the walker's.
+        return self._compiled[decl.name](self, args)
+
+    #: Lazy per-interpreter lowerer for resumed statements (class
+    #: sentinel; instances build their own on first resume).
+    _resume_lowerer = None
+
+    def _exec_resumed(self, stmt):
+        # Fresh statements in a resumed in-flight call run lowered, so a
+        # mutant's budget-burning loop reached through a sub-call
+        # checkpoint stays at backend speed.  The lowering is cached on
+        # the AST node: compile-cache splices share unmutated
+        # declarations' nodes across a whole campaign, and the lowered
+        # call sites dispatch through ``rt._compiled`` (see
+        # ``_RESUME_CALLS``), so one lowering serves every mutant and
+        # every compiled backend.
+        fn = getattr(stmt, "_resume_lowered", None)
+        if fn is None:
+            lowerer = self._resume_lowerer
+            if lowerer is None:
+                lowerer = _Lowerer(self.program)
+                lowerer.compiled = _RESUME_CALLS
+                self._resume_lowerer = lowerer
+            fn = lowerer._lower_stmt(stmt)
+            stmt._resume_lowered = fn
+        fn(self)
 
 
 #: Named backends, for harness-level selection.

@@ -51,14 +51,20 @@ class _ReturnSignal(Exception):
 
 @dataclass(frozen=True)
 class InterpreterSnapshot:
-    """All mutable interpreter state at a function-call boundary.
+    """All mutable interpreter state at a snapshot-safe point.
 
     Value state (``globals`` plus the synthetic-address anchors) is
     deep-copied *into* the snapshot when taken and *out of* it on every
     restore, so neither the source interpreter nor any number of resumed
     runs can alias each other's arrays or structs.  Snapshots transfer
-    between backends: the tree, closure and source interpreters keep all
-    run state in the same base attributes.
+    between backends: the tree, closure, source and hybrid interpreters
+    keep all run state in the same base attributes.
+
+    Safe points are function-call boundaries (``frames`` empty) and, for
+    interpreters that track a statement path (the checkpoint recorder),
+    statement boundaries inside a depth-1 call: ``frames`` then carries
+    the active call's scope chain and ``resume`` the re-entry position
+    consumed by :meth:`Interpreter.resume_in_flight`.
     """
 
     steps: int
@@ -70,6 +76,73 @@ class InterpreterSnapshot:
     #: order; values share identity with the ``globals`` graph via the
     #: snapshot's copy memo.
     anchors: tuple
+    #: Active call frames (outermost first), each a tuple of scope dicts;
+    #: empty at a call boundary.  Values share the snapshot's copy memo,
+    #: so locals aliasing globals (or each other) stay aliased.
+    frames: tuple = ()
+    #: ``(function name, statement path, call arguments)`` re-entry
+    #: record for the in-flight call, or ``None`` at a call boundary.
+    #: The path is a tuple of markers addressing the statement about to
+    #: execute (see ``Interpreter._resume_stmt``).
+    resume: tuple | None = None
+
+
+def _snapshot_copy(value, memo: dict):
+    """Deep copy of a mini-C value graph, aliasing preserved via ``memo``.
+
+    Equivalent to ``copy.deepcopy`` for the types interpreter state can
+    hold — which is what snapshot/restore cost per resumed boot — minus
+    the generic dispatch: integer-element array payloads copy as one
+    list slice instead of element-wise (mini-C arrays only ever hold
+    pre-wrapped plain ints; see `repro.minic.values`).  The memo speaks
+    ``copy.deepcopy``'s id-keyed protocol, and unknown types fall back
+    to it with the same memo.
+    """
+    cls = value.__class__
+    if cls in (int, str, bool, bytes, type(None)):
+        return value
+    key = id(value)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit
+    if cls is CArray:
+        if isinstance(value.element, IntCType):
+            copied = CArray(value.element, list(value.values))
+        else:  # pragma: no cover - int elements are the only kind built
+            copied = CArray(
+                value.element,
+                [_snapshot_copy(item, memo) for item in value.values],
+            )
+        memo[key] = copied
+        return copied
+    if cls is CPointer:
+        copied = CPointer(_snapshot_copy(value.array, memo), value.offset)
+        memo[key] = copied
+        return copied
+    if cls is CStructValue:
+        copied = CStructValue(value.struct_name)
+        memo[key] = copied
+        copied.fields = {
+            name: _snapshot_copy(item, memo)
+            for name, item in value.fields.items()
+        }
+        return copied
+    if cls is dict:
+        copied = {}
+        memo[key] = copied
+        for name, item in value.items():
+            copied[name] = _snapshot_copy(item, memo)
+        return copied
+    if cls is list:
+        copied = []
+        memo[key] = copied
+        copied.extend(_snapshot_copy(item, memo) for item in value)
+        return copied
+    if cls is tuple:
+        copied = tuple(_snapshot_copy(item, memo) for item in value)
+        memo[key] = copied
+        return copied
+    return copy.deepcopy(value, memo)
 
 
 class _NullBus:
@@ -116,6 +189,9 @@ class Interpreter:
         self._addresses: dict[int, int] = {}
         self._address_keepalive: list[object] = []
         self._globals_ready = False
+        #: ``(name, path, args)`` of a restored in-flight call awaiting
+        #: :meth:`resume_in_flight`; ``None`` otherwise.
+        self._pending_resume: tuple | None = None
         if not defer_globals:
             self.initialize_globals()
 
@@ -133,19 +209,45 @@ class Interpreter:
 
     # -- checkpointing ------------------------------------------------------
 
+    def _resume_position(self) -> tuple | None:
+        """``(name, path, args)`` describing the in-flight call, if known.
+
+        The base interpreter only knows a position while a restored
+        in-flight call is still pending (re-snapshot before resuming);
+        the checkpoint recorder overrides this with its live statement
+        path.
+        """
+        return self._pending_resume
+
     def snapshot_state(self) -> InterpreterSnapshot:
-        """Capture all mutable state; only valid at a call boundary."""
+        """Capture all mutable state at a snapshot-safe point.
+
+        Safe points are call boundaries (no active frames) and, when the
+        interpreter knows its statement position (`_resume_position`),
+        statement boundaries inside a single active call.
+        """
+        frames: tuple = ()
+        resume = None
         if self._scopes:
-            raise InterpreterBug(
-                "interpreter snapshot taken inside an active call"
-            )
+            position = self._resume_position()
+            if position is None or len(self._scopes) != 1:
+                raise InterpreterBug(
+                    "interpreter snapshot taken inside an active call"
+                )
         memo: dict = {}
-        globals_copy = copy.deepcopy(self.globals, memo)
+        globals_copy = _snapshot_copy(self.globals, memo)
+        if self._scopes:
+            name, path, args = position
+            frames = tuple(
+                tuple(_snapshot_copy(scope, memo) for scope in frame)
+                for frame in self._scopes
+            )
+            resume = (name, path, tuple(_snapshot_copy(args, memo)))
         anchors = []
         for value in self._address_keepalive:
             key = value.array if isinstance(value, CPointer) else value
             anchors.append(
-                (copy.deepcopy(value, memo), self._addresses[id(key)])
+                (_snapshot_copy(value, memo), self._addresses[id(key)])
             )
         return InterpreterSnapshot(
             steps=self.steps,
@@ -154,16 +256,27 @@ class Interpreter:
             coverage=frozenset(self.coverage),
             globals=globals_copy,
             anchors=tuple(anchors),
+            frames=frames,
+            resume=resume,
         )
 
     def restore_state(self, snapshot: InterpreterSnapshot) -> None:
         """Reinstate a :meth:`snapshot_state` capture (fresh value copies)."""
         memo: dict = {}
-        self.globals = copy.deepcopy(snapshot.globals, memo)
+        self.globals = _snapshot_copy(snapshot.globals, memo)
+        scopes: list[list[dict[str, object]]] = []
+        pending = None
+        if snapshot.frames:
+            scopes = [
+                [_snapshot_copy(scope, memo) for scope in frame]
+                for frame in snapshot.frames
+            ]
+            name, path, args = snapshot.resume
+            pending = (name, path, list(_snapshot_copy(args, memo)))
         addresses: dict[int, int] = {}
         keepalive: list[object] = []
         for value, address in snapshot.anchors:
-            copied = copy.deepcopy(value, memo)
+            copied = _snapshot_copy(value, memo)
             key = copied.array if isinstance(copied, CPointer) else copied
             addresses[id(key)] = address
             keepalive.append(copied)
@@ -173,8 +286,218 @@ class Interpreter:
         self.time_us = snapshot.time_us
         self.log = list(snapshot.log)
         self.coverage = set(snapshot.coverage)
-        self._scopes = []
+        self._scopes = scopes
+        self._pending_resume = pending
         self._globals_ready = True
+
+    # -- mid-call re-entry ---------------------------------------------------
+
+    def has_pending_resume(self) -> bool:
+        return self._pending_resume is not None
+
+    def pending_call_name(self) -> str:
+        assert self._pending_resume is not None
+        return self._pending_resume[0]
+
+    def pending_resume_args(self) -> list:
+        """The in-flight call's original arguments (restored identities).
+
+        These are the deep-copied originals of the objects the caller
+        passed in — a ``CPointer`` argument still references the exact
+        array the restored frame writes through, so a harness can read
+        call results out of its own buffers after :meth:`resume_in_flight`.
+        """
+        assert self._pending_resume is not None
+        return self._pending_resume[2]
+
+    def resume_in_flight(self):
+        """Finish the restored in-flight call from its recorded position.
+
+        The restored frame already holds the call's locals; the recorded
+        statement path addresses the statement that was *about to*
+        execute when the snapshot was taken, so execution continues with
+        that statement's own step/coverage accounting — no call-entry
+        step, argument coercion or stack-depth check is repeated.  The
+        resumed statements run on the inherited tree-walking machinery;
+        fresh nested calls dispatch through ``_call_function``, which the
+        compiled backends override with their fast paths.
+        """
+        pending = self._pending_resume
+        if pending is None:
+            raise InterpreterBug("resume_in_flight without a pending call")
+        if len(self._scopes) != 1:
+            raise InterpreterBug("pending resume with unexpected frame depth")
+        self._pending_resume = None
+        name, path, _ = pending
+        decl = self._functions.get(name)
+        if decl is None:
+            raise InterpreterBug(f"no function {name!r} in program")
+        try:
+            assert decl.body is not None
+            self._resume_stmt(decl.body, path)
+            result = None
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            self._scopes.pop()
+        assert decl.return_type is not None
+        if isinstance(decl.return_type, type(VOID)):
+            return None
+        return self._coerce(result if result is not None else 0, decl.return_type)
+
+    def _exec_resumed(self, stmt: ast.Stmt) -> None:
+        """Execute a fresh statement reached by an in-flight resume.
+
+        The base walker just executes it; compiled backends override
+        with their lowered statement bodies, so a resumed boot's
+        remaining work — including a mutant's budget-burning loop —
+        runs at backend speed.
+        """
+        self._exec(stmt)
+
+    def _resume_stmt(self, stmt: ast.Stmt, path: tuple) -> None:
+        """Descend ``path`` into ``stmt`` and continue execution from there.
+
+        An empty path means ``stmt`` is the statement the snapshot was
+        taken in front of: it executes fresh (entry step and coverage
+        included).  Otherwise the head marker selects the child position
+        inside ``stmt`` — whose own entry accounting already happened in
+        the recorded prefix — and each construct's *continuation* after
+        the resumed child mirrors the corresponding ``_exec_*`` loop
+        exactly.  Scopes on the path were restored with the frame, so
+        the descent only pops them on the way out.
+        """
+        if not path:
+            self._exec_resumed(stmt)
+            return
+        marker, rest = path[0], path[1:]
+        kind = marker[0]
+        if kind == "block":
+            assert isinstance(stmt, ast.Block)
+            self._resume_block(stmt, marker[1], bool(marker[2]), rest)
+        elif kind == "then":
+            assert isinstance(stmt, ast.If) and stmt.then is not None
+            self._resume_stmt(stmt.then, rest)
+        elif kind == "else":
+            assert isinstance(stmt, ast.If) and stmt.otherwise is not None
+            self._resume_stmt(stmt.otherwise, rest)
+        elif kind == "while":
+            assert isinstance(stmt, ast.While)
+            self._resume_while(stmt, rest)
+        elif kind == "dowhile":
+            assert isinstance(stmt, ast.DoWhile)
+            self._resume_do_while(stmt, rest)
+        elif kind in ("for-init", "for-body"):
+            assert isinstance(stmt, ast.For)
+            self._resume_for(stmt, kind == "for-init", rest)
+        elif kind == "switch":
+            assert isinstance(stmt, ast.Switch)
+            self._resume_switch(stmt, marker[1], marker[2], rest)
+        else:
+            raise InterpreterBug(f"unhandled resume marker {marker!r}")
+
+    def _resume_block(
+        self, block: ast.Block, index: int, new_scope: bool, rest: tuple
+    ) -> None:
+        try:
+            self._resume_stmt(block.statements[index], rest)
+            for stmt in block.statements[index + 1 :]:
+                self._exec_resumed(stmt)
+        finally:
+            if new_scope:
+                self._pop_scope()
+
+    def _resume_while(self, stmt: ast.While, rest: tuple) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        try:
+            self._resume_stmt(stmt.body, rest)
+        except _BreakSignal:
+            return
+        except _ContinueSignal:
+            pass
+        while True:
+            self.consume_steps(1)
+            self.coverage.update(stmt.origins)
+            if not self._truthy(self._eval(stmt.cond)):
+                return
+            try:
+                self._exec_resumed(stmt.body)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                continue
+
+    def _resume_do_while(self, stmt: ast.DoWhile, rest: tuple) -> None:
+        assert stmt.cond is not None and stmt.body is not None
+        try:
+            self._resume_stmt(stmt.body, rest)
+        except _BreakSignal:
+            return
+        except _ContinueSignal:
+            pass
+        if not self._truthy(self._eval(stmt.cond)):
+            return
+        while True:
+            self.consume_steps(1)
+            self.coverage.update(stmt.origins)
+            try:
+                self._exec_resumed(stmt.body)
+            except _BreakSignal:
+                return
+            except _ContinueSignal:
+                pass
+            if not self._truthy(self._eval(stmt.cond)):
+                return
+
+    def _resume_for(self, stmt: ast.For, in_init: bool, rest: tuple) -> None:
+        assert stmt.body is not None
+        try:
+            if in_init:
+                assert stmt.init is not None
+                self._resume_stmt(stmt.init, rest)
+            else:
+                try:
+                    self._resume_stmt(stmt.body, rest)
+                except _BreakSignal:
+                    return
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step)
+            while True:
+                self.consume_steps(1)
+                self.coverage.update(stmt.origins)
+                if stmt.cond is not None and not self._truthy(
+                    self._eval(stmt.cond)
+                ):
+                    return
+                try:
+                    self._exec_resumed(stmt.body)
+                except _BreakSignal:
+                    return
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step)
+        finally:
+            self._pop_scope()
+
+    def _resume_switch(
+        self, stmt: ast.Switch, group_index: int, stmt_index: int, rest: tuple
+    ) -> None:
+        try:
+            group = stmt.groups[group_index]
+            self._resume_stmt(group.body[stmt_index], rest)
+            for inner in group.body[stmt_index + 1 :]:
+                self._exec_resumed(inner)
+            for later in stmt.groups[group_index + 1 :]:
+                self.coverage.update(later.origins)
+                for inner in later.body:
+                    self._exec_resumed(inner)
+        except _BreakSignal:
+            pass
+        finally:
+            self._pop_scope()
 
     # -- plumbing -----------------------------------------------------------
 

@@ -40,6 +40,7 @@ from repro.kernel.checkpoint import (
     changed_lines_of,
     checkpoint_for_mutant,
     checkpointing_enabled_by_env,
+    granularity_from_env,
     record_plan,
     resume_boot,
 )
@@ -75,8 +76,10 @@ class CampaignResult:
     results: list[MutantResult] = field(default_factory=list)
     clean_steps: int = 0
     step_budget: int = 0
-    #: Boot-checkpointing diagnostics (serial checkpointed runs only):
-    #: resumed/cold boot counts and total clean-prefix steps skipped.
+    #: Boot-checkpointing diagnostics (checkpointed runs, serial or
+    #: parallel — per-worker counters merge to the serial totals):
+    #: resumed/cold boot counts, the sub-call resume subset, and total
+    #: clean-prefix steps skipped.
     checkpoint_stats: dict | None = None
 
     @property
@@ -265,6 +268,9 @@ class _EvalContext:
     backend: str | None
     compiler: CampaignCompiler | None
     checkpoint: bool = False
+    #: Checkpoint granularity ("call" or "subcall"; see
+    #: `repro.kernel.checkpoint`).
+    granularity: str = "subcall"
     #: Lazily built per process (deterministic, so every worker records
     #: the identical plan): the instrumented clean boot's checkpoints,
     #: plus one reusable machine and its pristine snapshot.
@@ -282,6 +288,7 @@ class _EvalContext:
         backend: str | None,
         compile_cache: bool,
         checkpoint: bool = False,
+        granularity: str = "subcall",
         compiler: CampaignCompiler | None = None,
     ) -> "_EvalContext":
         if compile_cache and compiler is None:
@@ -296,6 +303,7 @@ class _EvalContext:
             backend=backend,
             compiler=compiler,
             checkpoint=checkpoint,
+            granularity=granularity,
         )
 
     def ensure_plan(self) -> CheckpointPlan:
@@ -314,6 +322,7 @@ class _EvalContext:
                 self._machine,
                 DEFAULT_STEP_BUDGET,
                 backend=self.backend,
+                granularity=self.granularity,
             )
             if self._plan.report.outcome is not BootOutcome.BOOT:
                 raise RuntimeError(
@@ -321,6 +330,10 @@ class _EvalContext:
                     f"{self._plan.report}"
                 )
         return self._plan
+
+    def stats_view(self) -> dict | None:
+        """Current checkpoint counters, or ``None`` before any boot."""
+        return dict(self._plan.stats) if self._plan is not None else None
 
 
 def run_driver_campaign(
@@ -334,6 +347,7 @@ def run_driver_campaign(
     backend: str | None = None,
     compile_cache: bool = True,
     boot_checkpoint: bool | None = None,
+    checkpoint_granularity: str | None = None,
 ) -> CampaignResult:
     """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
 
@@ -344,10 +358,19 @@ def run_driver_campaign(
     starts each mutant from the deepest boot checkpoint provably before
     its first divergent step instead of from power-on (bit-identical
     outcomes; default: the ``REPRO_BOOT_CHECKPOINT`` environment
-    variable).
+    variable).  ``checkpoint_granularity`` selects ``"subcall"`` (the
+    default: resume inside driver calls too) or ``"call"`` (PR 3's call
+    boundaries only); the ``REPRO_CHECKPOINT_GRANULARITY`` environment
+    variable overrides the default.
     """
     if boot_checkpoint is None:
         boot_checkpoint = checkpointing_enabled_by_env()
+    if checkpoint_granularity is None:
+        # Resolved (and validated) only when it will actually be used,
+        # so a stale env value cannot abort a non-checkpointed campaign.
+        checkpoint_granularity = (
+            granularity_from_env() if boot_checkpoint else "subcall"
+        )
     regions = None
     if driver == "c":
         files, registry = assemble_c_program()
@@ -393,7 +416,7 @@ def run_driver_campaign(
         step_budget=budget,
     )
     if workers > 1 and len(tested) > 1:
-        campaign.results = _evaluate_parallel(
+        campaign.results, campaign.checkpoint_stats = _evaluate_parallel(
             tested,
             source,
             driver_filename,
@@ -402,6 +425,7 @@ def run_driver_campaign(
             backend,
             compile_cache,
             boot_checkpoint,
+            checkpoint_granularity,
             workers,
             progress,
         )
@@ -415,14 +439,14 @@ def run_driver_campaign(
         backend,
         compile_cache,
         checkpoint=boot_checkpoint,
+        granularity=checkpoint_granularity,
         compiler=campaign_compiler,
     )
     for index, mutant in enumerate(tested):
         if progress is not None:
             progress(index, len(tested))
         campaign.results.append(_run_one(mutant, context))
-    if context._plan is not None:
-        campaign.checkpoint_stats = dict(context._plan.stats)
+    campaign.checkpoint_stats = context.stats_view()
     return campaign
 
 
@@ -483,6 +507,8 @@ def _checkpointed_boot(program, mutant: Mutant, context: _EvalContext):
     backend = "hybrid" if context.backend != "tree" else "tree"
     if checkpoint is not None:
         plan.stats["resumed"] += 1
+        if checkpoint.subcall:
+            plan.stats["resumed_subcall"] += 1
         plan.stats["steps_skipped"] += checkpoint.steps
         return resume_boot(
             program, checkpoint, machine, context.budget, backend=backend
@@ -506,6 +532,7 @@ def _worker_init(
     backend: str | None,
     compile_cache: bool,
     checkpoint: bool = False,
+    granularity: str = "subcall",
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = _EvalContext.build(
@@ -516,13 +543,40 @@ def _worker_init(
         backend,
         compile_cache,
         checkpoint=checkpoint,
+        granularity=granularity,
     )
 
 
-def _worker_eval(item: tuple[int, Mutant]) -> tuple[int, MutantResult]:
+def _stats_delta(before: dict | None, after: dict | None) -> dict | None:
+    """Per-mutant increment of the checkpoint counters (``None`` when the
+    mutant never booted, e.g. a compile-time detection)."""
+    if after is None:
+        return None
+    if before is None:
+        return dict(after)
+    delta = {key: value - before.get(key, 0) for key, value in after.items()}
+    return delta if any(delta.values()) else None
+
+
+def _merge_stats(total: dict | None, delta: dict | None) -> dict | None:
+    if delta is None:
+        return total
+    if total is None:
+        total = {}
+    for key, value in delta.items():
+        total[key] = total.get(key, 0) + value
+    return total
+
+
+def _worker_eval(
+    item: tuple[int, Mutant],
+) -> tuple[int, MutantResult, dict | None]:
     index, mutant = item
-    assert _WORKER_CONTEXT is not None
-    return index, _run_one(mutant, _WORKER_CONTEXT)
+    context = _WORKER_CONTEXT
+    assert context is not None
+    before = context.stats_view()
+    result = _run_one(mutant, context)
+    return index, result, _stats_delta(before, context.stats_view())
 
 
 def _evaluate_parallel(
@@ -534,13 +588,16 @@ def _evaluate_parallel(
     backend: str | None,
     compile_cache: bool,
     boot_checkpoint: bool,
+    checkpoint_granularity: str,
     workers: int,
     progress: ProgressFn | None,
-) -> list[MutantResult]:
+) -> tuple[list[MutantResult], dict | None]:
     """Evaluate mutants on a process pool, merging by mutant index.
 
     Each mutant evaluation is independent and deterministic, so the merge
-    is seed-stable: ``workers=N`` equals ``workers=1`` result-for-result.
+    is seed-stable: ``workers=N`` equals ``workers=1`` result-for-result,
+    and the per-mutant checkpoint-counter deltas sum to the serial
+    ``checkpoint_stats`` regardless of how mutants land on workers.
     ``progress`` is invoked in completion order (indices may interleave).
     """
     try:
@@ -550,6 +607,7 @@ def _evaluate_parallel(
     worker_count = min(workers, len(tested))
     chunksize = max(1, len(tested) // (worker_count * 8))
     results: list[MutantResult | None] = [None] * len(tested)
+    stats: dict | None = None
     with context.Pool(
         worker_count,
         initializer=_worker_init,
@@ -561,18 +619,20 @@ def _evaluate_parallel(
             backend,
             compile_cache,
             boot_checkpoint,
+            checkpoint_granularity,
         ),
     ) as pool:
         completed = 0
-        for index, result in pool.imap_unordered(
+        for index, result, delta in pool.imap_unordered(
             _worker_eval, list(enumerate(tested)), chunksize=chunksize
         ):
             results[index] = result
+            stats = _merge_stats(stats, delta)
             if progress is not None:
                 progress(completed, len(tested))
             completed += 1
     assert all(result is not None for result in results)
-    return results  # type: ignore[return-value]
+    return results, stats  # type: ignore[return-value]
 
 
 # -- Devil specification campaigns ----------------------------------------------

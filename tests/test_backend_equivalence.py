@@ -67,6 +67,27 @@ def test_direct_call_results_and_steps_match(fast):
 
 
 @pytest.mark.parametrize("fast", FAST_BACKENDS)
+def test_global_initializer_calling_a_function_constructs(fast):
+    """Global initialisers run during construction and may call
+    functions; those calls dispatch through ``_call_function`` into the
+    backend's compiled table, which must exist that early."""
+    program = compile_program(
+        [
+            SourceFile(
+                "g.c",
+                "int helper(void) { return 7; }\n"
+                "int g = helper();\n"
+                "int run(void) { return g; }\n",
+            )
+        ]
+    )
+    tree = Interpreter(program)
+    other = interpreter_for(fast)(program)
+    assert other.call("run") == tree.call("run") == 7
+    assert other.steps == tree.steps
+
+
+@pytest.mark.parametrize("fast", FAST_BACKENDS)
 def test_step_budget_exhaustion_is_identical(fast):
     program = compile_program(
         [SourceFile("t.c", "int f(void) { while (1) { ; } return 0; }")]

@@ -26,8 +26,12 @@ from repro.hw import standard_pc
 from repro.hw.diskimage import SECTOR_SIZE, DiskImage
 from repro.kernel.checkpoint import (
     CHECKPOINT_ENV,
+    GRANULARITY_ENV,
+    _RecordingCoverage,
+    _RecordingInterpreter,
     changed_lines_of,
     checkpoint_for_mutant,
+    granularity_from_env,
     record_plan,
     resume_boot,
 )
@@ -227,6 +231,300 @@ def test_first_execution_map_and_divergence_rules():
     assert checkpoint_for_mutant(plan, ((driver.name, 99999),)) is None
 
 
+# -- sub-call granularity ------------------------------------------------------
+
+#: IDE_C_SOURCE plus constructs exercising every documented fallback:
+#: an alias macro whose line never reaches statement origins (its whole
+#: body is another macro's name, so expansion leaves no token stamped
+#: with its line), dead code, and a struct definition (signature and
+#: global-declaration lines are in the stock driver already).
+_FALLBACK_DRIVER_EXTRAS = """
+#define CHAIN_INNER 1
+#define CHAIN_ALIAS CHAIN_INNER
+
+struct hd_geom { int heads; };
+static struct hd_geom hd_geometry;
+
+static int dead_helper(void)
+{
+    return CHAIN_INNER + 2;
+}
+"""
+
+
+def _fallback_driver():
+    from repro.drivers.ide_c import IDE_C_SOURCE
+
+    source = IDE_C_SOURCE.replace(
+        "static u32 hd_sectors;",
+        "static u32 hd_sectors;\n" + _FALLBACK_DRIVER_EXTRAS,
+    ).replace(
+        "    hd_sectors = (u32)id[60] | ((u32)id[61] << 16);",
+        "    hd_sectors = (u32)id[60] | ((u32)id[61] << 16);\n"
+        "    hd_sectors = hd_sectors * CHAIN_ALIAS;",
+    )
+    files, registry = assemble_c_program(source)
+    return compile_program(files, registry), files[0]
+
+
+def _line_of(text, filename, fragment):
+    matches = [
+        i + 1 for i, line in enumerate(text.split("\n")) if fragment in line
+    ]
+    assert len(matches) == 1, fragment
+    return (filename, matches[0])
+
+
+def test_subcall_plan_resumes_call0_lines():
+    """The headline: polling-helper lines (first executed during driver
+    call 0) map to an intra-call checkpoint instead of a cold boot."""
+    program, driver = _driver_program()
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+    )
+    line = _line_of(driver.text, driver.name, "if (s & STAT_DRQ)")
+    checkpoint = checkpoint_for_mutant(plan, (line,))
+    assert checkpoint is not None
+    assert checkpoint.subcall and checkpoint.call_index == 0
+    assert checkpoint.steps < plan.first_step[line]
+    # A macro line used in call 0 resumes too.
+    macro = _line_of(driver.text, driver.name, "#define STAT_BUSY")
+    macro_checkpoint = checkpoint_for_mutant(plan, (macro,))
+    assert macro_checkpoint is not None
+    assert macro_checkpoint.steps < plan.first_step[macro]
+    # Read-path mutants resume *deeper* than their call boundary now.
+    insw = _line_of(driver.text, driver.name, "insw(HD_DATA, buf, HD_WORDS);")
+    deep = checkpoint_for_mutant(plan, (insw,))
+    boundary_1 = next(
+        c for c in plan.checkpoints if not c.subcall and c.call_index == 1
+    )
+    assert deep is not None and deep.subcall
+    assert deep.call_index == 1 and deep.steps > boundary_1.steps
+    # ide_write's outsw is followed by the depth-1 drain spin, whose
+    # loop-bearing continuation the recorder refuses to snapshot (the
+    # burn must stay at backend speed): the call-19 *boundary* it is.
+    outsw = _line_of(driver.text, driver.name, "outsw(HD_DATA, buf, HD_WORDS);")
+    write = checkpoint_for_mutant(plan, (outsw,))
+    assert write is not None and not write.subcall
+    assert write.call_index == len(
+        [c for c in plan.checkpoints if not c.subcall]
+    ) - 1
+
+
+def test_subcall_fallbacks_regression_pinned():
+    """Finer granularity must not resume any documented-unsound case."""
+    program, driver = _fallback_driver()
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+    )
+    assert plan.report.outcome is BootOutcome.BOOT
+
+    def line(fragment):
+        return _line_of(driver.text, driver.name, fragment)
+
+    # The inner macro's line survives nested expansion into the live
+    # statement's origins: resumable, and soundly so.
+    inner = checkpoint_for_mutant(plan, (line("#define CHAIN_INNER"),))
+    assert inner is not None
+    assert inner.steps < plan.first_step[line("#define CHAIN_INNER")]
+    # The alias macro's line is reached only through the other macro —
+    # no token carries it into statement origins, so it must cold-boot.
+    assert line("#define CHAIN_ALIAS") not in plan.first_step
+    assert checkpoint_for_mutant(plan, (line("#define CHAIN_ALIAS"),)) is None
+    # Dead code (never executed in the clean boot) cold-boots.
+    assert checkpoint_for_mutant(plan, (line("return CHAIN_INNER + 2;"),)) is None
+    # Function signatures, struct definitions and global declarations
+    # act at compile/construction time: cold boots, all three.
+    assert checkpoint_for_mutant(plan, (line("static int dead_helper(void)"),)) is None
+    assert checkpoint_for_mutant(plan, (line("struct hd_geom { int heads; };"),)) is None
+    assert checkpoint_for_mutant(plan, (line("static struct hd_geom hd_geometry;"),)) is None
+    assert checkpoint_for_mutant(plan, (line("static u32 hd_sectors;"),)) is None
+    assert checkpoint_for_mutant(plan, (line("static int wait_ready(void)"),)) is None
+    # Lines outside the file, and multi-line rewrites, still cold-boot.
+    assert checkpoint_for_mutant(plan, ((driver.name, 99999),)) is None
+
+    site_file, site_line = line("if (s & STAT_DRQ)")
+
+    class _Site:
+        file = site_file
+        line = site_line
+        original = "s"
+
+    assert changed_lines_of(_Site, "multi\nline") is None
+
+
+def test_switch_label_lines_anchor_to_dispatch_step():
+    """A case-label mutant can redirect dispatch before its group's
+    lines enter coverage; the anchor must bound resumption there."""
+    source = """
+int pick(int selector)
+{
+    int result;
+    result = 0;
+    switch (selector) {
+    case 1:
+        result = 10;
+        break;
+    case 2:
+        result = 20;
+        break;
+    default:
+        result = 30;
+    }
+    return result;
+}
+"""
+    program = compile_program([SourceFile("sw.c", source)])
+    interp = _RecordingInterpreter(program, step_budget=10_000)
+    recorder = _RecordingCoverage(interp)
+    interp.coverage = recorder
+    assert interp.call("pick", 2) == 20
+
+    case1 = ("sw.c", 7)
+    case2 = ("sw.c", 10)
+    anchors = interp._switch_anchors
+    # Both label lines anchor to the same dispatch step ...
+    assert anchors[case1] == anchors[case2]
+    # ... which strictly precedes the selected group's first coverage.
+    assert anchors[case2] < recorder.first_seen[case2][0]
+    # The unselected group never entered coverage at all (its mutants
+    # fall back through the dead-code rule).
+    assert case1 not in recorder.first_seen
+
+
+def test_no_subcall_checkpoint_during_global_initialisers():
+    """A function call inside a global initialiser also reaches depth 1;
+    snapshotting there would pair a pre-boot kernel state with
+    partially-initialised globals, so the recorder must stay disarmed
+    until the boot sequence issues driver calls."""
+    from repro.drivers.ide_c import IDE_C_SOURCE
+
+    source = IDE_C_SOURCE.replace(
+        "static u32 hd_sectors;",
+        "static int tag_helper(void)\n"
+        "{\n"
+        "    int t;\n"
+        "    t = 3;\n"
+        "    return t + 4;\n"
+        "}\n"
+        "static u32 boot_tag = (u32)tag_helper();\n"
+        "static u32 hd_sectors;",
+    )
+    files, registry = assemble_c_program(source)
+    program = compile_program(files, registry)
+    cold = boot(program, standard_pc(with_busmouse=False))
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+    )
+    assert plan.report.outcome is BootOutcome.BOOT
+    # The first recorded checkpoint is the call-0 boundary (after the
+    # initialisers ran); nothing precedes it.
+    first = plan.checkpoints[0]
+    assert not first.subcall
+    assert all(c.steps >= first.steps for c in plan.checkpoints)
+    # The initialiser-only lines cold-boot (first covered before any
+    # checkpoint), and a call-0 resume still matches the cold boot.
+    tag_line = _line_of(files[0].text, files[0].name, "return t + 4;")
+    assert checkpoint_for_mutant(plan, (tag_line,)) is None
+    subcall = next(c for c in plan.checkpoints if c.subcall)
+    resumed = resume_boot(
+        program,
+        subcall,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+    )
+    assert boot_report_view(resumed) == boot_report_view(cold)
+
+
+def test_stale_granularity_env_ignored_without_checkpointing(monkeypatch):
+    monkeypatch.setenv(GRANULARITY_ENV, "bogus")
+    campaign = run_driver_campaign(
+        "c", fraction=0.01, seed=7, boot_checkpoint=False
+    )
+    assert campaign.checkpoint_stats is None
+
+
+def test_call_granularity_bars_switch_label_lines():
+    """A call plan has no dispatch-step anchors, and a re-executed
+    switch can be redirected by a label mutant in an *earlier* call than
+    the label's first coverage — so label lines must cold-boot there."""
+    from repro.drivers import assemble_cdevil_program
+
+    files, registry = assemble_cdevil_program()
+    program = compile_program(files, registry)
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="call",
+    )
+    covered_labels = [
+        line
+        for line in plan.switch_label_lines
+        if plan.first_call.get(line, -1) >= 1
+        and line not in plan.unsafe_lines
+    ]
+    assert covered_labels, "cdevil driver has switch labels covered after call 0"
+    for line in covered_labels:
+        assert checkpoint_for_mutant(plan, (line,)) is None
+    # The sub-call plan resumes the same lines, bounded by its recorded
+    # dispatch-step anchors instead.
+    subcall_plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+    )
+    for line in covered_labels:
+        checkpoint = checkpoint_for_mutant(subcall_plan, (line,))
+        if checkpoint is not None:
+            anchor = subcall_plan.divergence_anchors.get(line)
+            bound = subcall_plan.first_step[line]
+            if anchor is not None:
+                bound = min(bound, anchor)
+            assert checkpoint.steps < bound
+
+
+def test_granularity_knobs_and_env(monkeypatch):
+    monkeypatch.delenv(GRANULARITY_ENV, raising=False)
+    assert granularity_from_env() == "subcall"
+    monkeypatch.setenv(GRANULARITY_ENV, "call")
+    assert granularity_from_env() == "call"
+    monkeypatch.setenv(GRANULARITY_ENV, "bogus")
+    with pytest.raises(ValueError):
+        granularity_from_env()
+    with pytest.raises(ValueError):
+        record_plan(None, None, 0, granularity="bogus")
+    # The snapshot throttle bounds intra-call checkpoints per call.
+    program, _ = _driver_program()
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+        subcall_interval=1_000_000,
+        subcall_limit=2,
+    )
+    subcalls = [c for c in plan.checkpoints if c.subcall]
+    per_call: dict[int, int] = {}
+    for checkpoint in subcalls:
+        per_call[checkpoint.call_index] = (
+            per_call.get(checkpoint.call_index, 0) + 1
+        )
+    assert subcalls and all(count <= 2 for count in per_call.values())
+    # A huge interval still yields the first boundary of each call.
+    assert any(c.call_index == 0 for c in subcalls)
+
+
 # -- kernel classification fixes ----------------------------------------------
 
 
@@ -282,6 +580,46 @@ def test_checkpointed_campaign_parallel_equals_serial():
         "c", fraction=0.01, seed=7, boot_checkpoint=True, workers=2
     )
     assert _campaign_view(serial) == _campaign_view(parallel)
+
+
+def test_checkpoint_stats_parallel_equals_serial():
+    """Per-worker stats dicts must merge to the serial counters exactly
+    (the workers>1 path used to drop them entirely)."""
+    serial = run_driver_campaign(
+        "c", fraction=0.02, seed=99, boot_checkpoint=True,
+        checkpoint_granularity="subcall",
+    )
+    parallel = run_driver_campaign(
+        "c", fraction=0.02, seed=99, boot_checkpoint=True, workers=4,
+        checkpoint_granularity="subcall",
+    )
+    assert _campaign_view(parallel) == _campaign_view(serial)
+    assert serial.checkpoint_stats is not None
+    assert parallel.checkpoint_stats == serial.checkpoint_stats
+    assert serial.checkpoint_stats["resumed_subcall"] > 0
+    # Without checkpointing, neither path reports stats.
+    plain = run_driver_campaign(
+        "c", fraction=0.01, seed=7, workers=2, boot_checkpoint=False
+    )
+    assert plain.checkpoint_stats is None
+
+
+def test_subcall_granularity_resumes_more_than_call():
+    call = run_driver_campaign(
+        "c", fraction=0.02, seed=99, boot_checkpoint=True,
+        checkpoint_granularity="call",
+    )
+    sub = run_driver_campaign(
+        "c", fraction=0.02, seed=99, boot_checkpoint=True,
+        checkpoint_granularity="subcall",
+    )
+    assert _campaign_view(sub) == _campaign_view(call)
+    assert call.checkpoint_stats["resumed_subcall"] == 0
+    assert sub.checkpoint_stats["resumed_subcall"] > 0
+    assert sub.checkpoint_stats["resumed"] > call.checkpoint_stats["resumed"]
+    assert sub.checkpoint_stats["cold"] < call.checkpoint_stats["cold"]
+    boots = sub.checkpoint_stats["resumed"] + sub.checkpoint_stats["cold"]
+    assert sub.checkpoint_stats["resumed"] / boots >= 0.7
 
 
 def test_checkpointing_env_switch(monkeypatch):

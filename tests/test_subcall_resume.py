@@ -1,0 +1,310 @@
+"""Sub-call resume: mid-call snapshot/restore bit-identity sweeps.
+
+Two layers below the campaign tests in ``test_checkpoint.py``:
+
+* **interpreter-level sweeps** — a recording tree walker snapshots at
+  depth-1 statement boundaries of a direct call (loops, switches and
+  branches included — no loop-free policy here, so the resume descent's
+  hairiest continuations all execute), then every snapshot is restored
+  into every backend and resumed; the split run must be
+  indistinguishable from an uninterrupted one.  Swept over the busmouse
+  spec's driver and the differential harness's generated programs;
+* **boot-level sweeps** — the C and C/Devil drivers' sub-call plans
+  resume the clean boot from every recorded checkpoint on every backend
+  (fast slice in tier-1, the full sweep under ``slow``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import ALL_BACKENDS, boot_report_view
+from test_backend_differential import ProgramGen, ScriptedBus
+
+from repro.drivers import (
+    BUSMOUSE_HEADER_NAME,
+    assemble_c_program,
+    assemble_cdevil_program,
+    busmouse_stub_header,
+)
+from repro.drivers.busmouse_cdevil import BUSMOUSE_CDEVIL_SOURCE
+from repro.hw import standard_pc
+from repro.kernel.checkpoint import (
+    _RecordingInterpreter,
+    record_plan,
+    resume_boot,
+)
+from repro.kernel.kernel import (
+    BootSequence,
+    DEFAULT_STEP_BUDGET,
+    _KernelContext,
+    boot,
+    classify_run,
+)
+from repro.minic.compile import interpreter_for
+from repro.minic.program import SourceFile, compile_program
+
+# -- interpreter-level sweeps --------------------------------------------------
+
+#: Interpreter-level sweeps cap their snapshot count (loop bodies yield
+#: a boundary per iteration).
+MAX_CAPTURES = 12
+
+
+def _interp_view(interp):
+    return (
+        interp.steps,
+        interp.time_us,
+        frozenset(interp.coverage),
+        tuple(interp.log),
+    )
+
+
+def _guarded(thunk):
+    """A comparable view of a call's result or raised exception."""
+    try:
+        return ("value", thunk())
+    except Exception as error:  # noqa: BLE001 - mutant faults are data here
+        return ("raise", type(error).__name__, str(error))
+
+
+def _sweep_direct_call(program, start, finish, machine_factory, budget, backends):
+    """Snapshot depth-1 boundaries of ``start``'s call; resume everywhere.
+
+    ``start(interp)`` issues the instrumented direct call;
+    ``finish(interp)`` performs any follow-up calls.  Both return
+    comparable views.  Asserts, per snapshot and backend, that restore +
+    ``resume_in_flight`` + ``finish`` reproduces the uninterrupted run
+    exactly.  Returns the snapshot count.
+    """
+    machine, bus = machine_factory()
+    reference = _RecordingInterpreter(program, bus, step_budget=budget)
+    expected = (start(reference), finish(reference), _interp_view(reference))
+
+    machine, bus = machine_factory()
+    recorder = _RecordingInterpreter(program, bus, step_budget=budget)
+    captures = []
+    seen = [0]
+
+    def hook(stmt):
+        index = seen[0]
+        seen[0] += 1
+        if len(captures) >= MAX_CAPTURES:
+            return
+        if index >= 4 and index % 23 != 0:
+            return  # dense early, sparse through loop iterations
+        captures.append(
+            (
+                recorder.snapshot_state(),
+                machine.snapshot() if machine is not None else None,
+            )
+        )
+
+    recorder.boundary_hook = hook
+    first = start(recorder)
+    recorder.boundary_hook = None
+    assert (first, finish(recorder), _interp_view(recorder)) == expected
+
+    assert captures, "no depth-1 boundaries recorded"
+    for backend in backends:
+        for interp_snapshot, machine_snapshot in captures:
+            fresh_machine, fresh_bus = machine_factory()
+            if machine_snapshot is not None:
+                fresh_machine.restore(machine_snapshot)
+            resumed = interpreter_for(backend)(
+                program, fresh_bus, step_budget=budget, defer_globals=True
+            )
+            resumed.restore_state(interp_snapshot)
+            assert resumed.has_pending_resume()
+            view = (
+                _guarded(resumed.resume_in_flight),
+                finish(resumed),
+                _interp_view(resumed),
+            )
+            assert view == expected, (
+                f"backend {backend!r} diverged resuming from step "
+                f"{interp_snapshot.steps}"
+            )
+    return len(captures)
+
+
+def _busmouse_program():
+    return compile_program(
+        [SourceFile("bm.c", BUSMOUSE_CDEVIL_SOURCE)],
+        include_registry={BUSMOUSE_HEADER_NAME: busmouse_stub_header()},
+    )
+
+
+def test_busmouse_driver_subcall_resume_sweep():
+    """bm_probe resumes mid-call from every depth-1 boundary, and the
+    follow-up bm_get_state call still agrees."""
+    program = _busmouse_program()
+
+    def machine_factory():
+        machine = standard_pc(with_busmouse=True)
+        return machine, machine.bus
+
+    count = _sweep_direct_call(
+        program,
+        start=lambda interp: _guarded(lambda: interp.call("bm_probe")),
+        finish=lambda interp: _guarded(lambda: interp.call("bm_get_state")),
+        machine_factory=machine_factory,
+        budget=50_000,
+        backends=ALL_BACKENDS,
+    )
+    assert count >= 4  # the probe body's early statement boundaries
+
+
+def _generated_seeds(limit):
+    """Generated-program seeds whose ``run`` entry hits depth-1 boundaries."""
+    found = []
+    seed = 0
+    while len(found) < limit and seed < limit * 8:
+        source = ProgramGen(seed).program()
+        program = compile_program([SourceFile("fuzz.c", source)])
+        probe = _RecordingInterpreter(
+            program, ScriptedBus(seed), step_budget=30_000
+        )
+        boundaries = [0]
+        probe.boundary_hook = lambda stmt: boundaries.__setitem__(
+            0, boundaries[0] + 1
+        )
+        try:
+            probe.call("run", 3, 11)
+        except Exception:
+            pass
+        if boundaries[0]:
+            found.append(seed)
+        seed += 1
+    assert found
+    return found
+
+
+def _generated_sweep(seed):
+    source = ProgramGen(seed).program()
+    program = compile_program([SourceFile("fuzz.c", source)])
+    _sweep_direct_call(
+        program,
+        start=lambda interp: _guarded(lambda: interp.call("run", 3, 11)),
+        finish=lambda interp: None,
+        machine_factory=lambda: (None, ScriptedBus(seed)),
+        budget=30_000,
+        backends=ALL_BACKENDS,
+    )
+
+
+@pytest.mark.parametrize("seed", _generated_seeds(4))
+def test_generated_program_subcall_resume_sweep(seed):
+    """Random programs: depth-1 boundaries resume on every backend
+    (loops, switches, do-while and shadowing declarations included)."""
+    _generated_sweep(seed)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", _generated_seeds(24)[4:])
+def test_generated_program_subcall_resume_sweep_deep(seed):
+    _generated_sweep(seed)
+
+
+# -- boot-level sweeps ---------------------------------------------------------
+
+
+def _boot_sweep(assemble, backend, stride):
+    files, registry = assemble()
+    program = compile_program(files, registry)
+    cold = boot_report_view(
+        boot(program, standard_pc(with_busmouse=False), backend=backend)
+    )
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        backend=backend,
+        granularity="subcall",
+    )
+    assert boot_report_view(plan.report) == cold
+    subcalls = [c for c in plan.checkpoints if c.subcall]
+    assert subcalls, "sub-call plan recorded no intra-call checkpoints"
+    assert any(c.call_index == 0 for c in subcalls), (
+        "no checkpoint inside driver call 0"
+    )
+    for checkpoint in plan.checkpoints[::stride]:
+        resumed = resume_boot(
+            program,
+            checkpoint,
+            standard_pc(with_busmouse=False),
+            DEFAULT_STEP_BUDGET,
+            backend=backend,
+        )
+        assert boot_report_view(resumed) == cold, (
+            f"resume from call {checkpoint.call_index} "
+            f"(subcall={checkpoint.subcall}, steps={checkpoint.steps}) "
+            "diverged"
+        )
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_c_driver_subcall_resume_fast_slice(backend):
+    _boot_sweep(assemble_c_program, backend, stride=9)
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_cdevil_driver_subcall_resume_fast_slice(backend):
+    _boot_sweep(assemble_cdevil_program, backend, stride=9)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+@pytest.mark.parametrize(
+    "assemble", (assemble_c_program, assemble_cdevil_program)
+)
+def test_driver_subcall_resume_every_checkpoint_deep(assemble, backend):
+    _boot_sweep(assemble, backend, stride=1)
+
+
+# -- mid-call snapshots transfer between backends ------------------------------
+
+
+@pytest.mark.parametrize(
+    "first,second", (("closure", "source"), ("hybrid", "tree"))
+)
+def test_midcall_snapshot_retake_transfers(first, second):
+    """A restored-but-not-resumed interpreter can re-snapshot: the copy
+    restores into a *different* backend and still resumes identically."""
+    files, registry = assemble_c_program()
+    program = compile_program(files, registry)
+    cold = boot_report_view(
+        boot(program, standard_pc(with_busmouse=False), backend=second)
+    )
+    plan = record_plan(
+        program,
+        standard_pc(with_busmouse=False),
+        DEFAULT_STEP_BUDGET,
+        granularity="subcall",
+    )
+    checkpoint = next(c for c in plan.checkpoints if c.subcall)
+
+    staging = interpreter_for(first)(
+        program,
+        standard_pc(with_busmouse=False).bus,
+        step_budget=DEFAULT_STEP_BUDGET,
+        defer_globals=True,
+    )
+    staging.restore_state(checkpoint.interp)
+    retaken = staging.snapshot_state()
+    assert retaken.frames
+    assert retaken.resume == checkpoint.interp.resume
+
+    machine = standard_pc(with_busmouse=False)
+    machine.restore(checkpoint.machine)
+    resumed = interpreter_for(second)(
+        program,
+        machine.bus,
+        step_budget=DEFAULT_STEP_BUDGET,
+        defer_globals=True,
+    )
+    resumed.restore_state(retaken)
+    sequence = BootSequence(_KernelContext(resumed), machine)
+    sequence.restore_state(checkpoint.kernel)
+    report = classify_run(sequence.run, machine, resumed)
+    assert boot_report_view(report) == cold

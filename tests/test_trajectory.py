@@ -1,0 +1,117 @@
+"""`repro.experiments.trajectory`: the BENCH_*.json trajectory reader.
+
+Regression-pins the schema mismatch this reader fixes: the benchmark
+used to write only a flat report, which trajectory tooling read back as
+an *empty* history.  The reader now reconstructs a point from legacy
+flat files, and the writer appends one point per run while keeping the
+latest run's fields flat.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.experiments.trajectory import (
+    POINT_KEYS,
+    append_point,
+    load_report,
+    load_trajectory,
+    point_from_report,
+)
+
+_LEGACY_FLAT = {
+    "driver": "c",
+    "fraction": 0.05,
+    "seed": 4136,
+    "tested": 433,
+    "source_mutants_per_sec": 274.57,
+    "checkpoint_mutants_per_sec": 342.3,
+    "checkpoint_resumed": 131,
+    "checkpoint_cold": 191,
+    "speedup_checkpoint_vs_source": 1.25,
+    "outcomes_identical": True,
+}
+
+
+def _write(tmp_path, data):
+    path = os.path.join(tmp_path, "BENCH_test.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle)
+    return path
+
+
+def test_legacy_flat_file_is_not_an_empty_trajectory(tmp_path):
+    """The bug: flat-schema files must yield their own point, not []."""
+    path = _write(tmp_path, _LEGACY_FLAT)
+    trajectory = load_trajectory(path)
+    assert len(trajectory) == 1
+    point = trajectory[0]
+    assert point["checkpoint_resumed"] == 131
+    assert point["outcomes_identical"] is True
+    # Only point keys are lifted — no accidental whole-file embedding.
+    assert set(point) <= set(POINT_KEYS)
+
+
+def test_missing_or_invalid_files_read_empty(tmp_path):
+    assert load_trajectory(os.path.join(tmp_path, "absent.json")) == []
+    path = os.path.join(tmp_path, "broken.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("{not json")
+    assert load_trajectory(path) == []
+    assert load_report(path) is None
+
+
+def test_append_point_grows_history_and_keeps_flat_fields(tmp_path):
+    path = _write(tmp_path, dict(_LEGACY_FLAT))
+
+    report = {
+        "driver": "c",
+        "fraction": 0.05,
+        "seed": 4136,
+        "checkpoint_resumed": 318,
+        "checkpoint_resumed_subcall": 295,
+        "checkpoint_cold": 4,
+        "checkpoint_resumed_fraction": 0.9876,
+        "outcomes_identical": True,
+        "checkpoint_serial_seconds": 1.4,  # flat-only field
+    }
+    append_point(path, report, pr=4, label="subcall")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle)
+
+    trajectory = load_trajectory(path)
+    assert [p.get("checkpoint_resumed") for p in trajectory] == [131, 318]
+    assert trajectory[-1]["pr"] == 4
+    assert trajectory[-1]["label"] == "subcall"
+    # The latest run's fields stay flat and self-describing.
+    data = load_report(path)
+    assert data["checkpoint_serial_seconds"] == 1.4
+
+    # A further run appends rather than resetting.
+    later = {"driver": "c", "checkpoint_resumed": 320}
+    append_point(path, later, label="run")
+    assert [
+        p.get("checkpoint_resumed") for p in later["trajectory"]
+    ] == [131, 318, 320]
+
+
+def test_point_from_report_drops_missing_keys():
+    point = point_from_report({"checkpoint_resumed": 5, "seed_rev": "x"}, pr=1)
+    assert point == {"pr": 1, "checkpoint_resumed": 5}
+
+
+def test_committed_trajectory_reads_back_nonempty():
+    """The committed artifact must satisfy what tooling expects of it:
+    a non-empty history whose latest point is the sub-call run."""
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "BENCH_campaign_throughput.json"
+    )
+    trajectory = load_trajectory(path)
+    assert len(trajectory) >= 4  # PR 1-3 backfill + this PR's point
+    assert all("pr" in point for point in trajectory)
+    assert [p["pr"] for p in trajectory] == sorted(p["pr"] for p in trajectory)
+    latest = trajectory[-1]
+    assert latest["outcomes_identical"] is True
+    assert latest["checkpoint_resumed_fraction"] >= 0.7
+    assert latest["checkpoint_resumed_subcall"] > 0
