@@ -138,8 +138,18 @@ def run_configurations(
     seed: int = DEFAULT_SEED,
     driver: str = "c",
     workers: int | None = None,
+    shards: int = 1,
 ) -> dict:
-    """Time the legacy and fast configurations; verify identical results."""
+    """Time the legacy and fast configurations; verify identical results.
+
+    ``shards`` > 1 additionally times the **sharded configuration**: the
+    checkpointed campaign fanned over that many independent OS processes
+    through `repro.distributed` — portable plan recorded once, shard
+    results merged by mutant index — asserting the merged result
+    classifies identically.  Shard processes pay their own interpreter
+    start-up and campaign preparation, so small benchmark fractions
+    understate the speedup full campaigns see.
+    """
     if workers is None:
         workers = multiprocessing.cpu_count()
 
@@ -206,10 +216,46 @@ def run_configurations(
         "fast configuration changed campaign outcomes"
     )
 
+    sharded_seconds = None
+    if shards > 1:
+        from repro.distributed import sharded_campaign
+
+        start = time.perf_counter()
+        sharded = sharded_campaign(
+            driver,
+            fraction=fraction,
+            seed=seed,
+            shard_count=shards,
+            backend="source",
+            boot_checkpoint=True,
+            checkpoint_granularity="subcall",
+        )
+        sharded_seconds = time.perf_counter() - start
+        assert _outcomes(sharded) == _outcomes(checkpoint_serial), (
+            "sharded campaign diverged from the serial checkpointed run"
+        )
+        assert sharded.checkpoint_stats == checkpoint_serial.checkpoint_stats, (
+            "sharded campaign's summed checkpoint stats diverged"
+        )
+
     budget_bound = time_budget_bound_boots(fast_serial, driver)
 
     tested = legacy.tested
     return {
+        "shard_count": shards,
+        "sharded_seconds": (
+            round(sharded_seconds, 3) if sharded_seconds is not None else None
+        ),
+        "sharded_mutants_per_sec": (
+            round(tested / sharded_seconds, 2)
+            if sharded_seconds
+            else None
+        ),
+        "speedup_sharded_vs_checkpoint_serial": (
+            round(checkpoint_serial_seconds / sharded_seconds, 2)
+            if sharded_seconds
+            else None
+        ),
         "driver": driver,
         "fraction": fraction,
         "seed": seed,
@@ -309,6 +355,14 @@ def main(argv: list[str] | None = None) -> int:
         help="fast-configuration worker count (default: all cores)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="also time the checkpointed campaign sharded over N local "
+        "processes via repro.distributed (recorded as shard_count on "
+        "the trajectory point)",
+    )
+    parser.add_argument(
         "--seed-rev",
         default=None,
         help="git revision of the seed implementation to time as the "
@@ -342,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         driver=args.driver,
         workers=args.workers,
+        shards=args.shards,
     )
 
     if prior_source:

@@ -27,7 +27,27 @@ PAPER_TABLE3 = {
 }
 
 
-def run(fraction: float = 1.0, seed: int = 4136, progress=None) -> CampaignResult:
+def run(
+    fraction: float = 1.0,
+    seed: int = 4136,
+    progress=None,
+    shards: int = 1,
+) -> CampaignResult:
+    """The Table 3 campaign; ``shards`` > 1 runs it as a sharded campaign.
+
+    Sharded runs fan out over local processes through
+    `repro.distributed` (one shard per process, checkpoint plan recorded
+    once) and merge to the identical ``CampaignResult`` — the route to
+    full-fraction reproductions that outgrow one host.  ``progress`` is
+    per-mutant and therefore serial-only: shard processes report
+    completion per shard file, not per mutant, so it is not forwarded.
+    """
+    if shards > 1:
+        from repro.distributed import sharded_campaign
+
+        return sharded_campaign(
+            "c", fraction=fraction, seed=seed, shard_count=shards
+        )
     return run_driver_campaign(
         "c", fraction=fraction, seed=seed, progress=progress
     )
@@ -41,10 +61,49 @@ def render(result: CampaignResult) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fraction", type=float, default=0.25)
-    parser.add_argument("--seed", type=int, default=4136)
+    # Campaign flags default to None so --from-shards can refuse them:
+    # the shard files fix the campaign parameters, and silently printing
+    # a table for different flags would misattribute the result.
+    parser.add_argument("--fraction", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the campaign as N local shard processes (plan "
+        "recorded once; merged result identical to --shards 1)",
+    )
+    parser.add_argument(
+        "--from-shards",
+        nargs="+",
+        default=None,
+        metavar="SHARD_FILE",
+        help="skip running: merge these shard-result files "
+        "(written by `python -m repro.distributed run-shard`)",
+    )
     args = parser.parse_args(argv)
-    print(render(run(fraction=args.fraction, seed=args.seed)))
+    if args.from_shards:
+        if (args.fraction, args.seed, args.shards) != (None, None, None):
+            parser.error(
+                "--from-shards merges pre-computed results; "
+                "--fraction/--seed/--shards belong to the run that "
+                "produced them"
+            )
+        from repro.distributed import merge_shard_files
+
+        result = merge_shard_files(args.from_shards)
+        if result.driver != "c":
+            parser.error(
+                f"shard files hold a {result.driver!r} campaign, "
+                "not Table 3's C driver"
+            )
+    else:
+        result = run(
+            fraction=0.25 if args.fraction is None else args.fraction,
+            seed=4136 if args.seed is None else args.seed,
+            shards=args.shards or 1,
+        )
+    print(render(result))
     return 0
 
 

@@ -34,7 +34,19 @@ def run(
     seed: int = 4136,
     mode: str = "debug",
     progress=None,
+    shards: int = 1,
 ) -> CampaignResult:
+    """The Table 4 campaign; ``shards`` > 1 runs it as a sharded campaign
+    over local processes (`repro.distributed`), merged to the identical
+    ``CampaignResult``.  ``progress`` is per-mutant and therefore
+    serial-only (shards report per shard file, not per mutant)."""
+    if shards > 1:
+        from repro.distributed import sharded_campaign
+
+        return sharded_campaign(
+            "cdevil", mode=mode, fraction=fraction, seed=seed,
+            shard_count=shards,
+        )
     return run_driver_campaign(
         "cdevil", mode=mode, fraction=fraction, seed=seed, progress=progress
     )
@@ -48,11 +60,55 @@ def render(result: CampaignResult) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--fraction", type=float, default=1.0)
-    parser.add_argument("--seed", type=int, default=4136)
-    parser.add_argument("--mode", choices=("debug", "production"), default="debug")
+    # Campaign flags default to None so --from-shards can refuse them:
+    # the shard files fix the campaign parameters, and silently printing
+    # a table for different flags would misattribute the result.
+    parser.add_argument("--fraction", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--mode", choices=("debug", "production"), default=None
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="run the campaign as N local shard processes (plan "
+        "recorded once; merged result identical to --shards 1)",
+    )
+    parser.add_argument(
+        "--from-shards",
+        nargs="+",
+        default=None,
+        metavar="SHARD_FILE",
+        help="skip running: merge these shard-result files "
+        "(written by `python -m repro.distributed run-shard`)",
+    )
     args = parser.parse_args(argv)
-    print(render(run(fraction=args.fraction, seed=args.seed, mode=args.mode)))
+    if args.from_shards:
+        if (args.fraction, args.seed, args.mode, args.shards) != (
+            None, None, None, None,
+        ):
+            parser.error(
+                "--from-shards merges pre-computed results; "
+                "--fraction/--seed/--mode/--shards belong to the run "
+                "that produced them"
+            )
+        from repro.distributed import merge_shard_files
+
+        result = merge_shard_files(args.from_shards)
+        if result.driver != "cdevil":
+            parser.error(
+                f"shard files hold a {result.driver!r} campaign, "
+                "not Table 4's CDevil driver"
+            )
+    else:
+        result = run(
+            fraction=1.0 if args.fraction is None else args.fraction,
+            seed=4136 if args.seed is None else args.seed,
+            mode=args.mode or "debug",
+            shards=args.shards or 1,
+        )
+    print(render(result))
     return 0
 
 

@@ -27,10 +27,15 @@ POINT_KEYS = (
     "fraction",
     "seed",
     "tested",
+    #: Shard-process count of the run's sharded configuration (1 for a
+    #: purely single-host point) — distinguishes single-host and
+    #: sharded trajectory points.
+    "shard_count",
     "legacy_mutants_per_sec",
     "fast_mutants_per_sec",
     "source_mutants_per_sec",
     "checkpoint_mutants_per_sec",
+    "sharded_mutants_per_sec",
     "checkpoint_resumed",
     "checkpoint_resumed_subcall",
     "checkpoint_cold",

@@ -88,8 +88,9 @@ only the call-0 rule is replaced by the per-step bound.
 
 from __future__ import annotations
 
+import hashlib
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.hw.machine import Machine, MachineSnapshot
 from repro.kernel.kernel import (
@@ -140,6 +141,31 @@ def granularity_from_env(default: str = "subcall") -> str:
             f"available: {', '.join(GRANULARITIES)}"
         )
     return value
+
+
+def pinned_granularity(explicit: str | None) -> str | None:
+    """The granularity this campaign *insists* on, or ``None`` if free.
+
+    Pinned means an explicit parameter or a ``REPRO_CHECKPOINT_GRANULARITY``
+    override; a pinned value must match any loaded plan's recorded
+    granularity (the serial runner and the shard runner both enforce
+    this through here), while an unpinned campaign adopts the plan's.
+    """
+    if explicit is not None:
+        return explicit
+    if os.environ.get(GRANULARITY_ENV, "") != "":
+        return granularity_from_env()
+    return None
+
+
+def fresh_stats() -> dict:
+    """Zeroed checkpoint-decision counters (one dict per campaign)."""
+    return {
+        "resumed": 0,
+        "resumed_subcall": 0,
+        "cold": 0,
+        "steps_skipped": 0,
+    }
 
 
 @dataclass(frozen=True)
@@ -195,12 +221,7 @@ class CheckpointPlan:
     #: Diagnostics for benchmarks: resumed/cold decisions + steps
     #: skipped; ``resumed_subcall`` counts resumes from intra-call
     #: checkpoints (a subset of ``resumed``).
-    stats: dict = field(default_factory=lambda: {
-        "resumed": 0,
-        "resumed_subcall": 0,
-        "cold": 0,
-        "steps_skipped": 0,
-    })
+    stats: dict = field(default_factory=fresh_stats)
 
     @property
     def clean_steps(self) -> int:
@@ -711,6 +732,126 @@ def resume_boot(
     sequence = BootSequence(context, machine)
     sequence.restore_state(checkpoint.kernel)
     return classify_run(sequence.run, machine, interp)
+
+
+# -- portable plans -----------------------------------------------------------
+#
+# A recorded plan is pure data — machine/interpreter/kernel snapshots,
+# first-execution maps, line sets — so it serialises whole.  Saving it
+# lets the instrumented clean boot run *once* per campaign and ship to
+# every shard of a distributed run (`repro.distributed`) instead of
+# being re-recorded per process.
+
+#: Container kind + payload schema revision for saved plans.  Bump the
+#: version whenever `CheckpointPlan`/`BootCheckpoint`/snapshot layouts
+#: change shape; `load_plan` refuses newer versions.
+PLAN_KIND = "checkpoint-plan"
+PLAN_FORMAT_VERSION = 1
+
+
+class PlanError(ValueError):
+    """A saved checkpoint plan is unusable for the requested campaign."""
+
+
+def source_digest(source: str) -> str:
+    """The fingerprint tying a plan to the exact baseline driver text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def plan_fingerprint(plan: CheckpointPlan, source: str, driver_filename: str) -> dict:
+    """The identity a consumer must match before resuming from ``plan``."""
+    return {
+        "driver_filename": driver_filename,
+        "source_sha256": source_digest(source),
+        "granularity": plan.granularity,
+        "step_budget": plan.step_budget,
+    }
+
+
+def save_plan(
+    plan: CheckpointPlan, path, source: str, driver_filename: str
+) -> dict:
+    """Write ``plan`` to ``path`` in the versioned portable format.
+
+    The file is self-describing: a header readable without
+    deserialisation (:func:`read_plan_header`) carries the plan's
+    fingerprint — driver file name, baseline source digest, granularity,
+    recording step budget — plus payload counts.  The payload is a
+    canonical pickle (`repro.serialize`), so saving the same plan twice
+    produces identical bytes and a load → save cycle is byte-stable.
+    Mutable campaign counters (``stats``) are zeroed in the saved copy.
+    Returns the header written.
+    """
+    from repro.serialize import write_container
+
+    header = plan_fingerprint(plan, source, driver_filename)
+    header["plan_format"] = PLAN_FORMAT_VERSION
+    header["backend"] = plan.backend
+    header["checkpoints"] = len(plan.checkpoints)
+    header["clean_steps"] = plan.clean_steps
+    portable = replace(plan, stats=fresh_stats())
+    write_container(path, PLAN_KIND, header, portable)
+    return header
+
+
+def read_plan_header(path) -> dict:
+    """A saved plan's fingerprint header — no snapshot deserialisation."""
+    from repro.serialize import read_header
+
+    header = read_header(path, kind=PLAN_KIND)
+    _check_plan_version(header, path)
+    return header
+
+
+def _check_plan_version(header: dict, path) -> None:
+    version = header.get("plan_format")
+    if version != PLAN_FORMAT_VERSION:
+        raise PlanError(
+            f"{path}: checkpoint-plan format {version!r} is not supported "
+            f"(this reader supports {PLAN_FORMAT_VERSION})"
+        )
+
+
+def load_plan(
+    path,
+    source: str | None = None,
+    driver_filename: str | None = None,
+    granularity: str | None = None,
+    step_budget: int | None = None,
+) -> CheckpointPlan:
+    """Load a saved plan, validating its fingerprint against the campaign.
+
+    Every keyword given is checked against the file's header: ``source``
+    must hash to the recorded baseline digest (a plan is only sound for
+    the exact driver text it recorded), ``driver_filename`` /
+    ``granularity`` / ``step_budget`` must match outright.  Mismatches
+    raise :class:`PlanError` *before* the snapshot payload is touched.
+    The returned plan carries fresh zeroed ``stats``.
+    """
+    from repro.serialize import read_container
+
+    header = read_plan_header(path)
+    expectations = []
+    if source is not None:
+        expectations.append(("source_sha256", source_digest(source)))
+    if driver_filename is not None:
+        expectations.append(("driver_filename", driver_filename))
+    if granularity is not None:
+        expectations.append(("granularity", granularity))
+    if step_budget is not None:
+        expectations.append(("step_budget", step_budget))
+    for key, expected in expectations:
+        found = header.get(key)
+        if found != expected:
+            raise PlanError(
+                f"{path}: plan {key} is {found!r}, campaign requires "
+                f"{expected!r} — re-record the plan for this campaign"
+            )
+    _, plan = read_container(path, kind=PLAN_KIND)
+    if not isinstance(plan, CheckpointPlan):
+        raise PlanError(f"{path}: payload is not a CheckpointPlan")
+    plan.stats = fresh_stats()
+    return plan
 
 
 def changed_lines_of(site, replacement: str) -> tuple | None:

@@ -15,6 +15,7 @@ The machine the paper boots mutant kernels on.  Responsibilities:
 from __future__ import annotations
 
 import copy
+import zlib
 from dataclasses import dataclass
 
 from repro.minic import ast
@@ -517,10 +518,20 @@ class Interpreter:
         self.bus.write_port(address, value, size)
 
     def address_of(self, value) -> int:
-        """Deterministic synthetic address for a pointer-ish value."""
+        """Deterministic synthetic address for a pointer-ish value.
+
+        Deterministic across *processes*, not merely within one:
+        built-in ``hash(str)`` is randomised per interpreter start
+        (``PYTHONHASHSEED``), and these addresses feed real computation
+        (a mutant can write one to a device register), so a
+        hash-derived address would make such mutants' outcomes differ
+        between the fork-sharing worker pool and the fresh processes a
+        distributed campaign runs shards in.  CRC32 of the content is
+        stable everywhere.
+        """
         if isinstance(value, str):
             # Stable per content: string literals live in .rodata.
-            return 0xC0800000 + (hash(value) & 0x3FFFF0)
+            return 0xC0800000 + (zlib.crc32(value.encode("utf-8")) & 0x3FFFF0)
         key = id(value.array if isinstance(value, CPointer) else value)
         address = self._addresses.get(key)
         if address is None:
@@ -535,7 +546,8 @@ class Interpreter:
         return address
 
     def function_address(self, name: str) -> int:
-        return 0xC8000000 + (hash(name) & 0xFFFFF0)
+        # CRC32, not hash(): see address_of — cross-process stability.
+        return 0xC8000000 + (zlib.crc32(name.encode("utf-8")) & 0xFFFFF0)
 
     # -- globals ------------------------------------------------------------
 

@@ -41,6 +41,8 @@ from repro.kernel.checkpoint import (
     checkpoint_for_mutant,
     checkpointing_enabled_by_env,
     granularity_from_env,
+    load_plan,
+    pinned_granularity,
     record_plan,
     resume_boot,
 )
@@ -271,6 +273,15 @@ class _EvalContext:
     #: Checkpoint granularity ("call" or "subcall"; see
     #: `repro.kernel.checkpoint`).
     granularity: str = "subcall"
+    #: Portable checkpoint plan to load instead of recording in-process
+    #: (`repro.kernel.checkpoint.save_plan` format) — the distributed
+    #: runner's path: the instrumented clean boot runs once and ships to
+    #: every shard.
+    plan_path: str | None = None
+    #: Whether ``granularity`` was requested explicitly (parameter or
+    #: environment override) rather than defaulted: a loaded plan's
+    #: granularity must then match instead of being adopted.
+    granularity_pinned: bool = False
     #: Lazily built per process (deterministic, so every worker records
     #: the identical plan): the instrumented clean boot's checkpoints,
     #: plus one reusable machine and its pristine snapshot.
@@ -290,6 +301,8 @@ class _EvalContext:
         checkpoint: bool = False,
         granularity: str = "subcall",
         compiler: CampaignCompiler | None = None,
+        plan_path: str | None = None,
+        granularity_pinned: bool = False,
     ) -> "_EvalContext":
         if compile_cache and compiler is None:
             compiler = CampaignCompiler(driver_filename, source, registry)
@@ -304,26 +317,42 @@ class _EvalContext:
             compiler=compiler,
             checkpoint=checkpoint,
             granularity=granularity,
+            plan_path=plan_path,
+            granularity_pinned=granularity_pinned,
         )
 
     def ensure_plan(self) -> CheckpointPlan:
         if self._plan is None:
-            if self.compiler is not None:
-                baseline = self.compiler.baseline_program
-            else:
-                baseline = compile_program(
-                    [SourceFile(self.driver_filename, self.source)],
-                    self.registry,
-                )
             self._machine = standard_pc(with_busmouse=False)
             self._pristine = self._machine.snapshot()
-            self._plan = record_plan(
-                baseline,
-                self._machine,
-                DEFAULT_STEP_BUDGET,
-                backend=self.backend,
-                granularity=self.granularity,
-            )
+            if self.plan_path is not None:
+                self._plan = load_plan(
+                    self.plan_path,
+                    source=self.source,
+                    driver_filename=self.driver_filename,
+                    granularity=(
+                        self.granularity if self.granularity_pinned else None
+                    ),
+                    step_budget=DEFAULT_STEP_BUDGET,
+                )
+                # Adopt the plan's recorded granularity so the stats and
+                # mapping rules match what is actually on disk.
+                self.granularity = self._plan.granularity
+            else:
+                if self.compiler is not None:
+                    baseline = self.compiler.baseline_program
+                else:
+                    baseline = compile_program(
+                        [SourceFile(self.driver_filename, self.source)],
+                        self.registry,
+                    )
+                self._plan = record_plan(
+                    baseline,
+                    self._machine,
+                    DEFAULT_STEP_BUDGET,
+                    backend=self.backend,
+                    granularity=self.granularity,
+                )
             if self._plan.report.outcome is not BootOutcome.BOOT:
                 raise RuntimeError(
                     "checkpoint recording requires a clean baseline boot: "
@@ -336,41 +365,47 @@ class _EvalContext:
         return dict(self._plan.stats) if self._plan is not None else None
 
 
-def run_driver_campaign(
+@dataclass
+class CampaignSetup:
+    """The deterministic front half of a driver campaign.
+
+    Everything up to (and including) mutant enumeration, sampling and
+    the baseline boot — derived from ``(driver, mode, fraction, seed)``
+    alone, so any process that runs :func:`prepare_campaign` with the
+    same arguments sees the identical ``tested`` list.  This is what
+    makes multi-host sharding coordination-free: a shard derives its own
+    mutant slice from the shared parameters (`repro.distributed`).
+    """
+
+    driver: str
+    mode: str
+    fraction: float
+    seed: int
+    files: list[SourceFile]
+    registry: dict[str, str]
+    driver_filename: str
+    source: str
+    mutants: list[Mutant]
+    tested: list[Mutant]
+    clean_steps: int
+    budget: int
+    compiler: CampaignCompiler | None = None
+
+    @property
+    def enumerated(self) -> int:
+        return len(self.mutants)
+
+
+def prepare_campaign(
     driver: str = "c",
     mode: str = "debug",
     fraction: float = 1.0,
     seed: int = DEFAULT_SEED,
     step_budget: int | None = None,
-    progress: ProgressFn | None = None,
-    workers: int = 1,
     backend: str | None = None,
     compile_cache: bool = True,
-    boot_checkpoint: bool | None = None,
-    checkpoint_granularity: str | None = None,
-) -> CampaignResult:
-    """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
-
-    ``workers`` > 1 evaluates mutants on a process pool; results are
-    merged by mutant index, so the outcome is identical to a serial run.
-    ``backend``/``compile_cache`` select the execution backend and the
-    incremental compiler (defaults: fast paths).  ``boot_checkpoint``
-    starts each mutant from the deepest boot checkpoint provably before
-    its first divergent step instead of from power-on (bit-identical
-    outcomes; default: the ``REPRO_BOOT_CHECKPOINT`` environment
-    variable).  ``checkpoint_granularity`` selects ``"subcall"`` (the
-    default: resume inside driver calls too) or ``"call"`` (PR 3's call
-    boundaries only); the ``REPRO_CHECKPOINT_GRANULARITY`` environment
-    variable overrides the default.
-    """
-    if boot_checkpoint is None:
-        boot_checkpoint = checkpointing_enabled_by_env()
-    if checkpoint_granularity is None:
-        # Resolved (and validated) only when it will actually be used,
-        # so a stale env value cannot abort a non-checkpointed campaign.
-        checkpoint_granularity = (
-            granularity_from_env() if boot_checkpoint else "subcall"
-        )
+) -> CampaignSetup:
+    """Assemble, enumerate, sample and baseline-boot one campaign."""
     regions = None
     if driver == "c":
         files, registry = assemble_c_program()
@@ -408,45 +443,192 @@ def run_driver_campaign(
             f"baseline {driver} driver does not boot cleanly: {baseline}"
         )
     budget = step_budget or max(1_000_000, baseline.steps * 6 + 200_000)
-
-    campaign = CampaignResult(
+    return CampaignSetup(
         driver=driver,
-        enumerated=len(mutants),
+        mode=mode,
+        fraction=fraction,
+        seed=seed,
+        files=files,
+        registry=registry,
+        driver_filename=driver_filename,
+        source=source,
+        mutants=mutants,
+        tested=tested,
         clean_steps=baseline.steps,
-        step_budget=budget,
+        budget=budget,
+        compiler=campaign_compiler,
     )
-    if workers > 1 and len(tested) > 1:
-        campaign.results, campaign.checkpoint_stats = _evaluate_parallel(
-            tested,
-            source,
-            driver_filename,
-            registry,
-            budget,
+
+
+def shard_indices(total: int, shard_index: int, shard_count: int) -> range:
+    """The sampled-mutant indices shard ``shard_index`` evaluates.
+
+    The index space ``range(total)`` is partitioned by stride —
+    ``range(shard_index, total, shard_count)`` — so the union over all
+    shards covers every index exactly once, every shard's share differs
+    in size by at most one, and a shard needs nothing but its own
+    coordinates to know its slice.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard_count {shard_count} must be >= 1")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(
+            f"shard_index {shard_index} outside [0, {shard_count})"
+        )
+    return range(shard_index, total, shard_count)
+
+
+def evaluate_campaign(
+    setup: CampaignSetup,
+    indices,
+    backend: str | None = None,
+    compile_cache: bool = True,
+    boot_checkpoint: bool = False,
+    checkpoint_granularity: str = "subcall",
+    granularity_pinned: bool = False,
+    checkpoint_plan: str | None = None,
+    workers: int = 1,
+    progress: ProgressFn | None = None,
+) -> tuple[list[MutantResult], dict | None]:
+    """Evaluate ``setup.tested[i]`` for each ``i`` in ``indices``.
+
+    Results come back ordered by sampled-mutant index (the order the
+    serial full campaign would produce them in), with the summed
+    checkpoint counters.  This is the campaign loop both the classic
+    runner and the shard runner drive — the only difference is which
+    index subset they pass.
+    """
+    indices = list(indices)
+    for index in indices:
+        if not 0 <= index < len(setup.tested):
+            raise ValueError(
+                f"mutant index {index} outside sampled range "
+                f"[0, {len(setup.tested)})"
+            )
+    if workers > 1 and len(indices) > 1:
+        return _evaluate_parallel(
+            setup,
+            indices,
             backend,
             compile_cache,
             boot_checkpoint,
             checkpoint_granularity,
+            granularity_pinned,
+            checkpoint_plan,
             workers,
             progress,
         )
-        return campaign
-
     context = _EvalContext.build(
-        source,
-        driver_filename,
-        registry,
-        budget,
+        setup.source,
+        setup.driver_filename,
+        setup.registry,
+        setup.budget,
         backend,
         compile_cache,
         checkpoint=boot_checkpoint,
         granularity=checkpoint_granularity,
-        compiler=campaign_compiler,
+        compiler=setup.compiler,
+        plan_path=checkpoint_plan,
+        granularity_pinned=granularity_pinned,
     )
-    for index, mutant in enumerate(tested):
+    results = []
+    for done, index in enumerate(indices):
         if progress is not None:
-            progress(index, len(tested))
-        campaign.results.append(_run_one(mutant, context))
-    campaign.checkpoint_stats = context.stats_view()
+            progress(done, len(indices))
+        results.append(_run_one(setup.tested[index], context))
+    return results, context.stats_view()
+
+
+def run_driver_campaign(
+    driver: str = "c",
+    mode: str = "debug",
+    fraction: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    step_budget: int | None = None,
+    progress: ProgressFn | None = None,
+    workers: int = 1,
+    backend: str | None = None,
+    compile_cache: bool = True,
+    boot_checkpoint: bool | None = None,
+    checkpoint_granularity: str | None = None,
+    shard: tuple[int, int] | None = None,
+    checkpoint_plan: str | None = None,
+) -> CampaignResult:
+    """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
+
+    ``workers`` > 1 evaluates mutants on a process pool; results are
+    merged by mutant index, so the outcome is identical to a serial run.
+    ``backend``/``compile_cache`` select the execution backend and the
+    incremental compiler (defaults: fast paths).  ``boot_checkpoint``
+    starts each mutant from the deepest boot checkpoint provably before
+    its first divergent step instead of from power-on (bit-identical
+    outcomes; default: the ``REPRO_BOOT_CHECKPOINT`` environment
+    variable).  ``checkpoint_granularity`` selects ``"subcall"`` (the
+    default: resume inside driver calls too) or ``"call"`` (PR 3's call
+    boundaries only); the ``REPRO_CHECKPOINT_GRANULARITY`` environment
+    variable overrides the default.
+
+    ``shard=(shard_index, shard_count)`` restricts evaluation to that
+    shard's deterministic slice of the sampled mutants (see
+    :func:`shard_indices`); the result then holds only the shard's
+    ``results``, in sampled order — `repro.distributed` merges shards
+    back into the full campaign.  ``checkpoint_plan`` names a portable
+    plan file (`repro.kernel.checkpoint.save_plan`) to load instead of
+    recording the instrumented clean boot in-process; it implies
+    ``boot_checkpoint=True``.
+    """
+    if checkpoint_plan is not None:
+        if boot_checkpoint is None:
+            boot_checkpoint = True
+        elif not boot_checkpoint:
+            raise ValueError(
+                "checkpoint_plan given but boot_checkpoint=False"
+            )
+    if boot_checkpoint is None:
+        boot_checkpoint = checkpointing_enabled_by_env()
+    # Resolved lazily so a stale environment value cannot abort (or
+    # pin anything on) a non-checkpointed campaign.
+    granularity_pinned = boot_checkpoint and (
+        pinned_granularity(checkpoint_granularity) is not None
+    )
+    if checkpoint_granularity is None:
+        # Resolved (and validated) only when it will actually be used,
+        # so a stale env value cannot abort a non-checkpointed campaign.
+        checkpoint_granularity = (
+            granularity_from_env() if boot_checkpoint else "subcall"
+        )
+    setup = prepare_campaign(
+        driver,
+        mode,
+        fraction,
+        seed,
+        step_budget=step_budget,
+        backend=backend,
+        compile_cache=compile_cache,
+    )
+    indices = (
+        range(len(setup.tested))
+        if shard is None
+        else shard_indices(len(setup.tested), *shard)
+    )
+    campaign = CampaignResult(
+        driver=driver,
+        enumerated=setup.enumerated,
+        clean_steps=setup.clean_steps,
+        step_budget=setup.budget,
+    )
+    campaign.results, campaign.checkpoint_stats = evaluate_campaign(
+        setup,
+        indices,
+        backend=backend,
+        compile_cache=compile_cache,
+        boot_checkpoint=boot_checkpoint,
+        checkpoint_granularity=checkpoint_granularity,
+        granularity_pinned=granularity_pinned,
+        checkpoint_plan=checkpoint_plan,
+        workers=workers,
+        progress=progress,
+    )
     return campaign
 
 
@@ -533,6 +715,8 @@ def _worker_init(
     compile_cache: bool,
     checkpoint: bool = False,
     granularity: str = "subcall",
+    plan_path: str | None = None,
+    granularity_pinned: bool = False,
 ) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = _EvalContext.build(
@@ -544,6 +728,8 @@ def _worker_init(
         compile_cache,
         checkpoint=checkpoint,
         granularity=granularity,
+        plan_path=plan_path,
+        granularity_pinned=granularity_pinned,
     )
 
 
@@ -580,19 +766,18 @@ def _worker_eval(
 
 
 def _evaluate_parallel(
-    tested: list[Mutant],
-    source: str,
-    driver_filename: str,
-    registry: dict[str, str],
-    budget: int,
+    setup: CampaignSetup,
+    indices: list[int],
     backend: str | None,
     compile_cache: bool,
     boot_checkpoint: bool,
     checkpoint_granularity: str,
+    granularity_pinned: bool,
+    checkpoint_plan: str | None,
     workers: int,
     progress: ProgressFn | None,
 ) -> tuple[list[MutantResult], dict | None]:
-    """Evaluate mutants on a process pool, merging by mutant index.
+    """Evaluate the indexed mutants on a process pool, merging by index.
 
     Each mutant evaluation is independent and deterministic, so the merge
     is seed-stable: ``workers=N`` equals ``workers=1`` result-for-result,
@@ -604,32 +789,37 @@ def _evaluate_parallel(
         context = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX fallback
         context = multiprocessing.get_context("spawn")
-    worker_count = min(workers, len(tested))
-    chunksize = max(1, len(tested) // (worker_count * 8))
-    results: list[MutantResult | None] = [None] * len(tested)
+    worker_count = min(workers, len(indices))
+    chunksize = max(1, len(indices) // (worker_count * 8))
+    slots = {index: slot for slot, index in enumerate(indices)}
+    results: list[MutantResult | None] = [None] * len(indices)
     stats: dict | None = None
     with context.Pool(
         worker_count,
         initializer=_worker_init,
         initargs=(
-            source,
-            driver_filename,
-            registry,
-            budget,
+            setup.source,
+            setup.driver_filename,
+            setup.registry,
+            setup.budget,
             backend,
             compile_cache,
             boot_checkpoint,
             checkpoint_granularity,
+            checkpoint_plan,
+            granularity_pinned,
         ),
     ) as pool:
         completed = 0
         for index, result, delta in pool.imap_unordered(
-            _worker_eval, list(enumerate(tested)), chunksize=chunksize
+            _worker_eval,
+            [(index, setup.tested[index]) for index in indices],
+            chunksize=chunksize,
         ):
-            results[index] = result
+            results[slots[index]] = result
             stats = _merge_stats(stats, delta)
             if progress is not None:
-                progress(completed, len(tested))
+                progress(completed, len(indices))
             completed += 1
     assert all(result is not None for result in results)
     return results, stats  # type: ignore[return-value]
