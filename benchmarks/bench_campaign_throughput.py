@@ -25,7 +25,16 @@ fixed-seed sampled C-driver campaign under several configurations:
   subset resumed from intra-call snapshots, the
   ``checkpoint_resumed_fraction`` of boots resumed, and
   ``checkpoint_prefix_steps_skipped``, the clean-prefix steps the
-  campaign never re-executed.
+  campaign never re-executed;
+* **engine configuration** (``--engine N``) — the checkpoint
+  configuration submitted to a warm `repro.engine.Engine` with ``N``
+  work-stealing workers.  Pool warm-up (fork with baseline, mutants and
+  checkpoint plan resident, plus the first submission that unshares the
+  copy-on-write pages) is ``engine_warmup_seconds``; ``engine_seconds``
+  times a steady-state submission — the cost of every further campaign
+  against a resident engine, which is the number the serial rows should
+  be compared to since they pay their setup inside the timed region on
+  every run.
 
 A separate **budget-bound** measurement re-boots the campaign's
 infinite-loop mutants (the ones that burn the whole step budget and
@@ -74,6 +83,7 @@ from repro.experiments.trajectory import (
     append_point,
     load_report,
     load_trajectory,
+    seed_anchor_throughput,
 )
 from repro.kernel.outcomes import BootOutcome
 from repro.mutation.runner import run_driver_campaign
@@ -139,6 +149,7 @@ def run_configurations(
     driver: str = "c",
     workers: int | None = None,
     shards: int = 1,
+    engine: int = 0,
 ) -> dict:
     """Time the legacy and fast configurations; verify identical results.
 
@@ -149,6 +160,17 @@ def run_configurations(
     classifies identically.  Shard processes pay their own interpreter
     start-up and campaign preparation, so small benchmark fractions
     understate the speedup full campaigns see.
+
+    ``engine`` > 0 times the **engine configuration**: the same
+    checkpointed campaign submitted to a warm `repro.engine.Engine`
+    with that many work-stealing workers.  Warm-up (pool fork with the
+    compiled baseline, enumerated mutants and recorded checkpoint plan
+    resident, plus the first submission that unshares the forked
+    copy-on-write pages) is reported separately as
+    ``engine_warmup_seconds``: ``engine_seconds`` times a steady-state
+    submission (best of two), which is what every further campaign
+    costs against a resident engine — the serving-system number the
+    serial rows pay as per-run setup inside their own timings.
     """
     if workers is None:
         workers = multiprocessing.cpu_count()
@@ -238,11 +260,70 @@ def run_configurations(
             "sharded campaign's summed checkpoint stats diverged"
         )
 
+    engine_warmup_seconds = None
+    engine_seconds = None
+    if engine:
+        from repro.engine import CampaignRequest, Engine
+
+        request = CampaignRequest(
+            driver=driver,
+            fraction=fraction,
+            seed=seed,
+            backend="source",
+            boot_checkpoint=True,
+            granularity="subcall",
+        )
+        # Warm-up = pool fork + the first submission: forked pages
+        # unshare (copy-on-write) as each worker first touches the
+        # inherited state, a one-time cost belonging to warm-up, not to
+        # steady-state service.  engine_seconds is then the best of two
+        # steady submissions (best-of-N absorbs single-core scheduler
+        # noise); every submission is asserted identical to serial.
+        start = time.perf_counter()
+        warm_engine = Engine(workers=engine, warm=(request,))
+        warm_engine.start()
+        submissions = [warm_engine.submit(request)]
+        engine_warmup_seconds = time.perf_counter() - start
+        try:
+            timings = []
+            for _ in range(2):
+                start = time.perf_counter()
+                submissions.append(warm_engine.submit(request))
+                timings.append(time.perf_counter() - start)
+            engine_seconds = min(timings)
+        finally:
+            warm_engine.close()
+        for engine_campaign in submissions:
+            assert _outcomes(engine_campaign) == _outcomes(
+                checkpoint_serial
+            ), "engine campaign diverged from the serial checkpointed run"
+            assert (
+                engine_campaign.checkpoint_stats
+                == checkpoint_serial.checkpoint_stats
+            ), "engine campaign's summed checkpoint stats diverged"
+
     budget_bound = time_budget_bound_boots(fast_serial, driver)
 
     tested = legacy.tested
     return {
         "shard_count": shards,
+        "engine_workers": engine or None,
+        "engine_warmup_seconds": (
+            round(engine_warmup_seconds, 3)
+            if engine_warmup_seconds is not None
+            else None
+        ),
+        "engine_seconds": (
+            round(engine_seconds, 3) if engine_seconds is not None else None
+        ),
+        "engine_mutants_per_sec": (
+            round(tested / engine_seconds, 2) if engine_seconds else None
+        ),
+        "speedup_engine_vs_checkpoint_serial": (
+            round(checkpoint_serial_seconds / engine_seconds, 2)
+            if engine_seconds
+            else None
+        ),
         "sharded_seconds": (
             round(sharded_seconds, 3) if sharded_seconds is not None else None
         ),
@@ -363,6 +444,16 @@ def main(argv: list[str] | None = None) -> int:
         "the trajectory point)",
     )
     parser.add_argument(
+        "--engine",
+        type=int,
+        default=0,
+        metavar="WORKERS",
+        help="also time the checkpointed campaign on a warm engine with "
+        "N work-stealing workers (warm-up reported separately; recorded "
+        "as engine_workers / engine_mutants_per_sec on the trajectory "
+        "point)",
+    )
+    parser.add_argument(
         "--seed-rev",
         default=None,
         help="git revision of the seed implementation to time as the "
@@ -397,6 +488,7 @@ def main(argv: list[str] | None = None) -> int:
         driver=args.driver,
         workers=args.workers,
         shards=args.shards,
+        engine=args.engine,
     )
 
     if prior_source:
@@ -415,6 +507,19 @@ def main(argv: list[str] | None = None) -> int:
             report["speedup_vs_seed"] = round(
                 seed_seconds / report["fast_seconds"], 2
             )
+
+    if args.json_path and report.get("speedup_vs_seed") is None:
+        # The growth seed has no benchmarkable tree, so without
+        # --seed-rev the cross-revision claim anchors on the committed
+        # trajectory: the newest point carrying both a fast throughput
+        # and its speedup_vs_seed fixes the seed's implied throughput
+        # on this class of machine.
+        anchor = seed_anchor_throughput(args.json_path)
+        if anchor:
+            report["speedup_vs_seed"] = round(
+                report["fast_mutants_per_sec"] / anchor, 2
+            )
+            report["speedup_vs_seed_derived"] = True
 
     if args.json_path:
         if args.pr is not None:

@@ -150,10 +150,16 @@ def main(argv: list[str] | None = None) -> int:
         "run-local", help="plan + run all shards locally + merge"
     )
     _campaign_arguments(local)
-    local.add_argument("--shard-count", type=int, required=True)
+    local.add_argument("--shard-count", type=int, default=None)
     local.add_argument("--out-dir", default=None,
                        help="keep plan + shard files here")
     local.add_argument("--workers-per-shard", type=int, default=1)
+    local.add_argument(
+        "--engine", type=int, default=None, metavar="WORKERS",
+        help="run on a warm in-process engine with N work-stealing "
+        "workers instead of shard processes (identical result, no "
+        "per-shard fixed cost; no shard files are written)",
+    )
 
     resume = commands.add_parser(
         "resume", help="re-run only the missing shards of out-dir + merge"
@@ -220,6 +226,26 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run-local":
+        if (args.shard_count is None) == (args.engine is None):
+            parser.error("run-local needs exactly one of "
+                         "--shard-count or --engine")
+        if args.engine is not None:
+            from repro.engine import run_engine_campaign
+
+            result = run_engine_campaign(
+                driver=args.driver,
+                mode=args.mode,
+                fraction=args.fraction,
+                seed=args.seed,
+                workers=args.engine,
+                backend=args.backend,
+                compile_cache=args.compile_cache,
+                boot_checkpoint=args.boot_checkpoint,
+                checkpoint_granularity=args.granularity,
+                step_budget=args.step_budget,
+            )
+            print(_render(result))
+            return 0
         result = sharded_campaign(
             driver=args.driver,
             mode=args.mode,

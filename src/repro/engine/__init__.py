@@ -1,0 +1,52 @@
+"""Warm campaign engine: persistent workers serving campaign requests.
+
+The batch pipeline (`repro.mutation.runner`, `repro.distributed`) pays
+its fixed costs — program assembly, mutant enumeration, baseline boot,
+checkpoint-plan recording — once per OS process, which is once per
+campaign (or worse, once per shard).  This package moves those costs to
+*process-pool lifetime*: an :class:`Engine` forks a worker pool once
+with the warm state resident, then evaluates any number of campaign
+requests against it, dealing the sampled mutant index space out as
+work-stealing leases (`repro.engine.scheduler`).  Results are
+byte-identical to the serial runner for any worker count and any steal
+schedule, because evaluation reuses the serial code paths and the merge
+is keyed by sampled index (`repro.engine.state`).
+
+Front ends, closest-first:
+
+* ``Engine`` / ``run_engine_campaign`` — in-process;
+* ``run_driver_campaign(engine=...)`` — the classic entry point,
+  engine-backed;
+* ``EngineClient`` ↔ ``python -m repro.engine serve`` — a Unix-socket
+  daemon (`repro.engine.daemon`) whose warm state outlives submitting
+  processes.
+"""
+
+from repro.engine.core import Engine, EngineError, run_engine_campaign
+from repro.engine.daemon import EngineClient, serve
+from repro.engine.scheduler import (
+    LeaseEvent,
+    StealScheduler,
+    default_lease_size,
+)
+from repro.engine.state import (
+    CampaignRequest,
+    SpecRequest,
+    WarmSpec,
+    WarmState,
+)
+
+__all__ = [
+    "CampaignRequest",
+    "Engine",
+    "EngineClient",
+    "EngineError",
+    "LeaseEvent",
+    "SpecRequest",
+    "StealScheduler",
+    "WarmSpec",
+    "WarmState",
+    "default_lease_size",
+    "run_engine_campaign",
+    "serve",
+]

@@ -1,0 +1,470 @@
+"""The warm campaign engine: persistent workers, resident state, stealing.
+
+`repro.distributed` made campaigns parallel but paid a fixed cost per
+shard *process*: a fresh interpreter, a plan load, a baseline recompile.
+On the committed benchmark that fixed cost swamped small slices — four
+shards ran the sampled campaign at 0.4× the serial checkpointed speed.
+:class:`Engine` removes the per-campaign process cost entirely:
+
+* **pre-forked worker pool, warmed once** — the parent builds the warm
+  state (compiled baseline, enumerated mutant population, incremental
+  compiler, recorded checkpoint plan with its pristine machine
+  snapshot) *before* forking, so under the default ``fork`` start
+  method every worker inherits it by memory inheritance, paying zero
+  setup.  Specs warmed after the pool exists are recorded once in the
+  parent and shipped to workers as portable plan files
+  (`repro.kernel.checkpoint.save_plan`) — a load, not a re-recording;
+* **long-lived workers** — a worker evaluates mutants from any number
+  of campaign submissions against its resident state; batch evaluation
+  happens inside one process off the snapshot tree, with no per-mutant
+  (or per-campaign) process setup;
+* **work-stealing dispatch** — the sampled index space is dealt out as
+  chunked leases by a `repro.engine.scheduler.StealScheduler` (or any
+  object with its ``next_lease`` contract, which is how the test suite
+  forces adversarial schedules).  Workers keep two leases in flight so
+  the pipe round-trip hides behind evaluation.
+
+Determinism: results carry their sampled index and merge positionally,
+checkpoint-counter deltas sum commutatively, and each evaluation runs
+the serial runner's own code path against state recorded once — so for
+every ``(worker count, steal schedule)`` pair the assembled
+`~repro.mutation.runner.CampaignResult` is byte-identical to the serial
+run, and a warm engine's Nth campaign equals its cold-start equivalent.
+The engine validates whatever scheduler it is given: a lease that
+repeats or exceeds the index space raises :class:`EngineError` instead
+of silently corrupting the merge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import tempfile
+import traceback
+from multiprocessing import connection
+
+from repro.mutation.runner import (
+    CampaignResult,
+    DevilCampaignResult,
+    MutantResult,
+    _merge_stats,
+    _pool_context,
+)
+from repro.mutation.sampling import DEFAULT_SEED
+from repro.engine.scheduler import StealScheduler
+from repro.engine.state import (
+    DEVIL_KIND,
+    DRIVER_KIND,
+    CampaignRequest,
+    SpecRequest,
+    WarmSpec,
+    WarmState,
+)
+
+
+class EngineError(RuntimeError):
+    """A worker died, a scheduler misbehaved, or a request was invalid."""
+
+
+#: Leases kept in flight per worker: the second lease queues in the pipe
+#: while the first evaluates, so workers never idle on the round-trip.
+PIPELINE_DEPTH = 2
+
+#: Fork-inheritance hand-off: the parent points this at its warm states
+#: immediately before forking the pool, so ``fork``-start workers reuse
+#: the parent-built state instead of rebuilding it.  ``spawn`` workers
+#: see ``None`` and build from the pickled warm payload instead.
+_INHERITED_STATES: dict | None = None
+
+
+def _worker_main(worker_id: int, conn, warm_payload) -> None:
+    """One engine worker: warm states resident, evaluate leases forever."""
+    states: dict[WarmSpec, WarmState] = {}
+    if _INHERITED_STATES is not None:
+        states.update(_INHERITED_STATES)
+    try:
+        for spec, plan_path in warm_payload:
+            if spec not in states:
+                states[spec] = WarmState.build(spec, plan_path=plan_path)
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "stop":
+                break
+            if op == "warm":
+                _, spec, plan_path = message
+                if spec not in states:
+                    states[spec] = WarmState.build(spec, plan_path=plan_path)
+                conn.send(("warmed", worker_id, spec))
+            elif op == "eval":
+                _, campaign_id, spec, fraction, seed, indices = message
+                state = states[spec]
+                tested = state.tested(fraction, seed)
+                items = []
+                for index in indices:
+                    result, delta = state.evaluate(tested[index])
+                    items.append((index, result, delta))
+                conn.send(("results", worker_id, campaign_id, items))
+            else:
+                raise RuntimeError(f"unknown engine message {op!r}")
+    except (EOFError, KeyboardInterrupt):
+        pass
+    except Exception:
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class Engine:
+    """A resident pool of warm workers serving campaign requests.
+
+    ``warm`` lists requests (or :class:`WarmSpec`\\ s) whose state is
+    built before the pool forks — the zero-cost inheritance path.
+    Requests submitted later warm on first use.  ``scheduler_factory``
+    (``(total, worker_count) -> scheduler``) replaces the default
+    :class:`StealScheduler`; ``start_method`` forces a multiprocessing
+    start method (default: ``REPRO_MP_START_METHOD``, else ``fork``
+    where available).
+
+    Use as a context manager, or call :meth:`close` — workers are
+    daemonic either way, so an abandoned engine cannot outlive its
+    process.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        warm=(),
+        scheduler_factory=None,
+        lease_size: int | None = None,
+        start_method: str | None = None,
+    ):
+        self.workers = workers or multiprocessing.cpu_count()
+        if self.workers < 1:
+            raise ValueError(f"workers {self.workers} must be >= 1")
+        self._warm_requests = tuple(warm)
+        self._scheduler_factory = scheduler_factory
+        self._lease_size = lease_size
+        self._start_method = start_method
+        self._states: dict[WarmSpec, WarmState] = {}
+        self._plan_paths: dict[WarmSpec, str | None] = {}
+        self._worker_warmed: set[WarmSpec] = set()
+        self._conns: list = []
+        self._procs: list = []
+        self._scratch = None
+        self._campaign_id = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def __enter__(self) -> "Engine":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def start(self) -> None:
+        """Warm the requested state, then fork the worker pool once."""
+        if self._started:
+            return
+        if self._closed:
+            raise EngineError("engine already closed")
+        self._scratch = tempfile.mkdtemp(prefix="repro-engine-")
+        for request in self._warm_requests:
+            self._warm_parent(self._spec_of(request))
+        ctx = _pool_context(self._start_method)
+        payload = [
+            (spec, self._plan_paths.get(spec)) for spec in self._states
+        ]
+        global _INHERITED_STATES
+        if ctx.get_start_method() == "fork":
+            _INHERITED_STATES = self._states
+        try:
+            for worker_id in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(worker_id, child_conn, payload),
+                    daemon=True,
+                    name=f"repro-engine-worker-{worker_id}",
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        finally:
+            _INHERITED_STATES = None
+        self._worker_warmed.update(self._states)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop the workers and remove the engine's scratch files."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker backstop
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            conn.close()
+        self._conns = []
+        self._procs = []
+        if self._scratch is not None:
+            import shutil
+
+            shutil.rmtree(self._scratch, ignore_errors=True)
+
+    # -- warm state ------------------------------------------------------
+
+    @staticmethod
+    def _spec_of(request) -> WarmSpec:
+        if isinstance(request, WarmSpec):
+            return request
+        return request.warm_spec()
+
+    def _warm_parent(self, spec: WarmSpec) -> WarmState:
+        """Build the parent's copy of ``spec``'s state (plan included)."""
+        state = self._states.get(spec)
+        if state is not None:
+            return state
+        state = WarmState.build(spec)
+        plan_path = None
+        if spec.kind == DRIVER_KIND and spec.boot_checkpoint:
+            # Persist the recorded plan so workers warmed *after* the
+            # fork load it instead of re-running the instrumented boot.
+            from repro.kernel.checkpoint import save_plan
+
+            plan_path = os.path.join(
+                self._scratch, f"plan-{len(self._plan_paths)}.ckpt"
+            )
+            save_plan(
+                state.context._plan,
+                plan_path,
+                state.setup.source,
+                state.setup.driver_filename,
+            )
+        self._states[spec] = state
+        self._plan_paths[spec] = plan_path
+        return state
+
+    def _ensure_warm(self, spec: WarmSpec) -> WarmState:
+        state = self._warm_parent(spec)
+        if self._started and spec not in self._worker_warmed:
+            plan_path = self._plan_paths.get(spec)
+            for conn in self._conns:
+                conn.send(("warm", spec, plan_path))
+            for conn in self._conns:
+                message = self._recv(conn)
+                if message[0] != "warmed" or message[2] != spec:
+                    raise EngineError(
+                        f"unexpected warm acknowledgement: {message[:2]}"
+                    )
+            self._worker_warmed.add(spec)
+        return state
+
+    def warm(self, request) -> None:
+        """Build (or broadcast) the warm state for ``request`` now."""
+        if not self._started:
+            self.start()
+        self._ensure_warm(self._spec_of(request))
+
+    # -- campaign evaluation ---------------------------------------------
+
+    def submit(self, request, progress=None, on_result=None):
+        """Evaluate one campaign request against the warm pool.
+
+        Returns the same result object the serial runner produces:
+        `~repro.mutation.runner.CampaignResult` for
+        :class:`CampaignRequest`,
+        `~repro.mutation.runner.DevilCampaignResult` for
+        :class:`SpecRequest` — byte-identical to the cold-start
+        equivalent.  ``on_result(index, result)`` streams results in
+        completion order; ``progress(done, total)`` mirrors the serial
+        runner's callback.
+        """
+        if not self._started:
+            self.start()
+        if self._closed:
+            raise EngineError("engine already closed")
+        request = request.resolved()
+        spec = request.warm_spec()
+        state = self._ensure_warm(spec)
+        tested = state.tested(request.fraction, request.seed)
+        results, stats = self._evaluate(
+            spec, request.fraction, request.seed, len(tested),
+            progress, on_result,
+        )
+        if spec.kind == DEVIL_KIND:
+            campaign = DevilCampaignResult(
+                spec_name=spec.spec_name,
+                lines=state.lines,
+                sites=state.sites,
+                enumerated=state.enumerated,
+            )
+            campaign.results = results
+            return campaign
+        campaign = CampaignResult(
+            driver=spec.driver,
+            enumerated=state.enumerated,
+            clean_steps=state.setup.clean_steps,
+            step_budget=state.setup.budget,
+        )
+        campaign.results = results
+        campaign.checkpoint_stats = stats
+        return campaign
+
+    def run_campaign(self, request: CampaignRequest, progress=None, on_result=None) -> CampaignResult:
+        """`submit`, typed for driver campaigns (Tables 3/4)."""
+        if not isinstance(request, CampaignRequest):
+            raise EngineError(
+                f"run_campaign takes a CampaignRequest, got {type(request)!r}"
+            )
+        return self.submit(request, progress=progress, on_result=on_result)
+
+    def _evaluate(
+        self, spec, fraction, seed, total, progress, on_result
+    ) -> tuple[list[MutantResult], dict | None]:
+        results: list[MutantResult | None] = [None] * total
+        stats: dict | None = None
+        if total == 0:
+            return [], stats
+        campaign_id = self._campaign_id
+        self._campaign_id += 1
+        if self._scheduler_factory is not None:
+            scheduler = self._scheduler_factory(total, self.workers)
+        else:
+            scheduler = StealScheduler(
+                total, self.workers, lease_size=self._lease_size
+            )
+        assigned = bytearray(total)
+        outstanding = 0
+
+        def dispatch(worker_id: int) -> bool:
+            nonlocal outstanding
+            lease = scheduler.next_lease(worker_id)
+            if lease is None:
+                return False
+            indices = list(lease)
+            for index in indices:
+                if not 0 <= index < total:
+                    raise EngineError(
+                        f"scheduler leased index {index} outside "
+                        f"[0, {total})"
+                    )
+                if assigned[index]:
+                    raise EngineError(
+                        f"scheduler leased index {index} twice"
+                    )
+                assigned[index] = 1
+            if not indices:
+                return True  # empty lease: legal no-op, ask again later
+            self._conns[worker_id].send(
+                ("eval", campaign_id, spec, fraction, seed, indices)
+            )
+            outstanding += 1
+            return True
+
+        conn_worker = {id(conn): wid for wid, conn in enumerate(self._conns)}
+        for worker_id in range(self.workers):
+            for _ in range(PIPELINE_DEPTH):
+                if not dispatch(worker_id):
+                    break
+        done = 0
+        while done < total:
+            if outstanding == 0:
+                raise EngineError(
+                    f"scheduler ran dry after {done}/{total} results — "
+                    "the lease sequence does not cover the index space"
+                )
+            for conn in connection.wait(self._conns):
+                message = self._recv(conn)
+                if message[0] == "warmed":  # late ack, never expected here
+                    raise EngineError("warm acknowledgement during campaign")
+                _, worker_id, got_campaign, items = message
+                if got_campaign != campaign_id:
+                    raise EngineError(
+                        f"worker {worker_id} answered campaign "
+                        f"{got_campaign}, expected {campaign_id}"
+                    )
+                outstanding -= 1
+                for index, result, delta in items:
+                    results[index] = result
+                    stats = _merge_stats(stats, delta)
+                    if on_result is not None:
+                        on_result(index, result)
+                    if progress is not None:
+                        progress(done, total)
+                    done += 1
+                assert conn_worker[id(conn)] == worker_id
+                dispatch(worker_id)
+        assert all(result is not None for result in results)
+        return results, stats  # type: ignore[return-value]
+
+    def _recv(self, conn):
+        try:
+            message = conn.recv()
+        except EOFError as error:
+            raise EngineError(
+                "an engine worker died mid-campaign (EOF on its pipe); "
+                "its traceback, if any, preceded this on stderr"
+            ) from error
+        if message[0] == "error":
+            raise EngineError(
+                f"engine worker {message[1]} failed:\n{message[2]}"
+            )
+        return message
+
+
+def run_engine_campaign(
+    driver: str = "c",
+    mode: str = "debug",
+    fraction: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    *,
+    workers: int | None = None,
+    backend: str | None = None,
+    compile_cache: bool = True,
+    boot_checkpoint: bool | None = None,
+    checkpoint_granularity: str | None = None,
+    step_budget: int | None = None,
+    scheduler_factory=None,
+    start_method: str | None = None,
+    progress=None,
+) -> CampaignResult:
+    """One-call engine campaign: warm, fork, evaluate, tear down.
+
+    The throwaway-engine convenience behind ``run-local --engine``,
+    ``table3/table4 --engine`` and quick scripts; long-running services
+    hold an :class:`Engine` (or talk to the `repro.engine.daemon`) so
+    the warm state outlives a single campaign.
+    """
+    request = CampaignRequest(
+        driver=driver,
+        mode=mode,
+        fraction=fraction,
+        seed=seed,
+        backend=backend,
+        compile_cache=compile_cache,
+        boot_checkpoint=boot_checkpoint,
+        granularity=checkpoint_granularity,
+        step_budget=step_budget,
+    )
+    with Engine(
+        workers=workers,
+        warm=(request,),
+        scheduler_factory=scheduler_factory,
+        start_method=start_method,
+    ) as engine:
+        return engine.run_campaign(request, progress=progress)

@@ -1,0 +1,283 @@
+"""Unix-socket front end for the warm campaign engine.
+
+``serve`` binds a Unix socket, warms an :class:`repro.engine.Engine`
+once, and then answers campaign requests for the life of the process —
+the long-running form of the engine, where the warm state outlives not
+just campaigns but the submitting processes.  :class:`EngineClient` is
+the matching client: submit a :class:`repro.engine.CampaignRequest` (or
+:class:`~repro.engine.SpecRequest`), receive per-mutant results streamed
+in completion order, and get back the same result object — byte for
+byte — that the in-process serial runner would have produced.
+
+Wire format: length-prefixed pickle frames, the same trusted-local
+trade-off the distributed shard files make (`repro.serialize`): the
+socket path is the trust boundary, so keep it in a directory only you
+can write.  Client frames are ``("campaign", CampaignRequest)``,
+``("spec-campaign", SpecRequest)``, ``("ping",)`` and ``("shutdown",)``;
+the server answers a campaign with a stream of
+``("result", index, MutantResult)`` frames in completion order,
+terminated by ``("done", summary)`` — or ``("error", message)`` if
+evaluation failed.  The client reassembles the stream by sampled index,
+which is exactly the merge the engine itself performs, so daemon
+round-trips preserve byte-identity.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import socket
+import struct
+import time
+
+from repro.mutation.runner import CampaignResult, DevilCampaignResult
+from repro.engine.core import Engine, EngineError
+from repro.engine.state import CampaignRequest, SpecRequest
+
+_LENGTH = struct.Struct(">I")
+
+
+def send_frame(sock: socket.socket, payload) -> None:
+    data = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket):
+    """One frame, or ``None`` on a cleanly closed connection."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    data = _recv_exact(sock, length)
+    if data is None:
+        raise EngineError("connection closed mid-frame")
+    return pickle.loads(data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise EngineError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _summary_of(campaign) -> dict:
+    """The non-streamed remainder of a result object, for ``done``."""
+    if isinstance(campaign, DevilCampaignResult):
+        return {
+            "kind": "devil",
+            "spec_name": campaign.spec_name,
+            "lines": campaign.lines,
+            "sites": campaign.sites,
+            "enumerated": campaign.enumerated,
+        }
+    return {
+        "kind": "driver",
+        "driver": campaign.driver,
+        "enumerated": campaign.enumerated,
+        "clean_steps": campaign.clean_steps,
+        "step_budget": campaign.step_budget,
+        "checkpoint_stats": campaign.checkpoint_stats,
+    }
+
+
+def _assemble(summary: dict, indexed_results: list) -> object:
+    """The client-side inverse of streaming: merge by sampled index."""
+    results = [result for _, result in sorted(indexed_results)]
+    if summary["kind"] == "devil":
+        campaign = DevilCampaignResult(
+            spec_name=summary["spec_name"],
+            lines=summary["lines"],
+            sites=summary["sites"],
+            enumerated=summary["enumerated"],
+        )
+        campaign.results = results
+        return campaign
+    campaign = CampaignResult(
+        driver=summary["driver"],
+        enumerated=summary["enumerated"],
+        clean_steps=summary["clean_steps"],
+        step_budget=summary["step_budget"],
+    )
+    campaign.results = results
+    campaign.checkpoint_stats = summary["checkpoint_stats"]
+    return campaign
+
+
+def serve(
+    socket_path: str,
+    workers: int | None = None,
+    warm=(),
+    start_method: str | None = None,
+    ready=None,
+) -> None:
+    """Run the engine daemon until a ``shutdown`` frame (or SIGTERM).
+
+    The socket is bound and listening *before* the engine warms, so
+    clients started concurrently with the daemon connect immediately
+    and wait in the accept backlog while the warm state builds.
+    ``ready()`` (if given) is called once the engine is warm.
+    """
+    try:
+        os.unlink(socket_path)
+    except FileNotFoundError:
+        pass
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(socket_path)
+    server.listen(16)
+
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(128 + signum)
+
+    previous = {
+        signum: signal.signal(signum, _terminate)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    engine = Engine(workers=workers, warm=warm, start_method=start_method)
+    try:
+        engine.start()
+        if ready is not None:
+            ready()
+        running = True
+        while running:
+            conn, _ = server.accept()
+            with conn:
+                running = _handle(conn, engine)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        engine.close()
+        server.close()
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+
+
+def _handle(conn: socket.socket, engine: Engine) -> bool:
+    """Serve one connection; ``False`` stops the accept loop."""
+    while True:
+        frame = recv_frame(conn)
+        if frame is None:
+            return True
+        op = frame[0]
+        if op == "ping":
+            send_frame(conn, ("pong",))
+        elif op == "shutdown":
+            send_frame(conn, ("ok",))
+            return False
+        elif op in ("campaign", "spec-campaign"):
+            request = frame[1]
+            try:
+                campaign = engine.submit(
+                    request,
+                    on_result=lambda index, result: send_frame(
+                        conn, ("result", index, result)
+                    ),
+                )
+            except EngineError as error:
+                send_frame(conn, ("error", str(error)))
+                return True
+            send_frame(conn, ("done", _summary_of(campaign)))
+        else:
+            send_frame(conn, ("error", f"unknown request {op!r}"))
+            return True
+
+
+class EngineClient:
+    """Submit campaigns to a `serve` daemon over its Unix socket.
+
+    One fresh connection per call keeps the client stateless; ``wait``
+    retries the initial connect (in 50 ms steps) so a client started
+    alongside the daemon simply blocks until the socket exists and the
+    warm engine answers.
+    """
+
+    def __init__(self, socket_path: str, wait: float = 0.0):
+        self.socket_path = socket_path
+        self.wait = wait
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.wait
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                sock.connect(self.socket_path)
+                return sock
+            except (FileNotFoundError, ConnectionRefusedError):
+                sock.close()
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def ping(self) -> bool:
+        with self._connect() as sock:
+            send_frame(sock, ("ping",))
+            return recv_frame(sock) == ("pong",)
+
+    def shutdown(self) -> None:
+        with self._connect() as sock:
+            send_frame(sock, ("shutdown",))
+            recv_frame(sock)
+
+    def run_campaign(
+        self, request: CampaignRequest, on_result=None
+    ) -> CampaignResult:
+        """A driver campaign through the daemon — serial-identical.
+
+        ``on_result(index, result)`` observes the per-mutant stream in
+        completion order (the daemon sends results as workers finish
+        them, before the campaign is complete).
+        """
+        if not isinstance(request, CampaignRequest):
+            raise EngineError(
+                f"run_campaign takes a CampaignRequest, got {type(request)!r}"
+            )
+        return self._submit("campaign", request, on_result)
+
+    def run_spec_campaign(
+        self, request: SpecRequest, on_result=None
+    ) -> DevilCampaignResult:
+        if not isinstance(request, SpecRequest):
+            raise EngineError(
+                f"run_spec_campaign takes a SpecRequest, "
+                f"got {type(request)!r}"
+            )
+        return self._submit("spec-campaign", request, on_result)
+
+    def submit(self, request, on_result=None):
+        """Dispatch on request type, mirroring ``Engine.submit``."""
+        if isinstance(request, SpecRequest):
+            return self.run_spec_campaign(request, on_result)
+        return self.run_campaign(request, on_result)
+
+    def _submit(self, op: str, request, on_result):
+        with self._connect() as sock:
+            send_frame(sock, (op, request))
+            indexed = []
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    raise EngineError(
+                        "daemon closed the connection mid-campaign"
+                    )
+                kind = frame[0]
+                if kind == "result":
+                    _, index, result = frame
+                    if on_result is not None:
+                        on_result(index, result)
+                    indexed.append((index, result))
+                elif kind == "done":
+                    return _assemble(frame[1], indexed)
+                elif kind == "error":
+                    raise EngineError(f"daemon error: {frame[1]}")
+                else:
+                    raise EngineError(f"unexpected frame {kind!r}")

@@ -1,0 +1,294 @@
+"""Campaign requests and the warm per-process state that serves them.
+
+A campaign request is everything that identifies one evaluation run:
+:class:`CampaignRequest` for driver campaigns (Tables 3/4),
+:class:`SpecRequest` for Devil specification campaigns (Table 2 rows).
+Requests split into two parts with very different costs:
+
+* the **warm spec** (:class:`WarmSpec`, via ``.warm_spec()``) — the
+  fields that determine the expensive resident state: assembled
+  sources, the enumerated mutant population, the compiled baseline, the
+  incremental campaign compiler, and (for checkpointed driver
+  campaigns) the recorded checkpoint plan with its pristine machine
+  snapshot.  Building this costs a baseline boot plus an instrumented
+  recording boot — the per-shard fixed cost that made PR 5's small
+  shards slower than serial;
+* the **sampling parameters** ``(fraction, seed)`` — cheap to apply:
+  `repro.mutation.sampling.sample_mutants` over the already-enumerated
+  population.
+
+:class:`WarmState` holds one warm spec's resident state and evaluates
+arbitrary sampled indices against it.  Two campaigns whose requests
+share a warm spec — any ``(fraction, seed)`` pair, submitted at any
+time — reuse the same resident state, which is the entire point of the
+engine: the fixed cost is paid once per spec per process lifetime, not
+once per campaign per OS process.
+
+Evaluation defers to the exact code paths the serial runner uses
+(`repro.mutation.runner._run_one` for driver mutants,
+`repro.devil.incremental.SpecCampaignCompiler` / ``spec_errors`` for
+spec mutants), so a warm evaluation is the serial evaluation — same
+compile splices, same backends, same checkpoint mapping — merely
+without the per-process setup around it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.checkpoint import (
+    GRANULARITIES,
+    checkpointing_enabled_by_env,
+    granularity_from_env,
+    pinned_granularity,
+)
+from repro.mutation.model import Mutant
+from repro.mutation.runner import (
+    MutantResult,
+    # The engine is the campaign loop's other front end: it deliberately
+    # reuses the runner's internal evaluation context and per-mutant
+    # entry point so engine results are the serial results by
+    # construction, not by parallel re-implementation.
+    _EvalContext,
+    _run_one,
+    _stats_delta,
+    prepare_campaign,
+)
+from repro.mutation.sampling import DEFAULT_SEED, sample_mutants
+
+DRIVER_KIND = "driver"
+DEVIL_KIND = "devil"
+
+
+@dataclass(frozen=True)
+class WarmSpec:
+    """The hashable identity of one unit of warm resident state."""
+
+    kind: str = DRIVER_KIND
+    driver: str = "c"
+    mode: str = "debug"
+    #: Devil-spec campaigns only (``kind="devil"``).
+    spec_name: str | None = None
+    backend: str | None = None
+    compile_cache: bool = True
+    boot_checkpoint: bool = False
+    granularity: str = "subcall"
+    granularity_pinned: bool = False
+    step_budget: int | None = None
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """One driver mutation campaign, as the engine accepts it.
+
+    ``boot_checkpoint=None`` and ``granularity=None`` resolve from the
+    environment exactly like ``run_driver_campaign`` (so an engine-backed
+    campaign honours ``REPRO_BOOT_CHECKPOINT`` /
+    ``REPRO_CHECKPOINT_GRANULARITY`` the same way a direct one does);
+    :meth:`resolved` pins them to concrete values at submission time.
+    """
+
+    driver: str = "c"
+    mode: str = "debug"
+    fraction: float = 1.0
+    seed: int = DEFAULT_SEED
+    backend: str | None = None
+    compile_cache: bool = True
+    boot_checkpoint: bool | None = None
+    granularity: str | None = None
+    step_budget: int | None = None
+
+    def resolved(self) -> "CampaignRequest":
+        boot_checkpoint = self.boot_checkpoint
+        if boot_checkpoint is None:
+            boot_checkpoint = checkpointing_enabled_by_env()
+        granularity = self.granularity
+        if granularity is None and boot_checkpoint:
+            granularity = granularity_from_env()
+        if granularity is not None and granularity not in GRANULARITIES:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        return CampaignRequest(
+            driver=self.driver,
+            mode=self.mode,
+            fraction=self.fraction,
+            seed=self.seed,
+            backend=self.backend,
+            compile_cache=self.compile_cache,
+            boot_checkpoint=boot_checkpoint,
+            granularity=granularity if granularity is not None else "subcall",
+            step_budget=self.step_budget,
+        )
+
+    def warm_spec(self) -> WarmSpec:
+        request = self.resolved()
+        boot_checkpoint = bool(request.boot_checkpoint)
+        return WarmSpec(
+            kind=DRIVER_KIND,
+            driver=request.driver,
+            mode=request.mode,
+            backend=request.backend,
+            compile_cache=request.compile_cache,
+            boot_checkpoint=boot_checkpoint,
+            granularity=request.granularity or "subcall",
+            granularity_pinned=boot_checkpoint
+            and pinned_granularity(self.granularity) is not None,
+            step_budget=request.step_budget,
+        )
+
+
+@dataclass(frozen=True)
+class SpecRequest:
+    """One Devil specification campaign (a Table 2 row) for the engine."""
+
+    spec_name: str
+    fraction: float = 1.0
+    seed: int = DEFAULT_SEED
+    compile_cache: bool = True
+
+    def resolved(self) -> "SpecRequest":
+        return self
+
+    def warm_spec(self) -> WarmSpec:
+        return WarmSpec(
+            kind=DEVIL_KIND,
+            spec_name=self.spec_name,
+            compile_cache=self.compile_cache,
+        )
+
+
+@dataclass
+class WarmState:
+    """One warm spec's resident state, shared by all its campaigns."""
+
+    spec: WarmSpec
+    #: Driver campaigns: the full deterministic campaign setup
+    #: (`repro.mutation.runner.CampaignSetup`) and the evaluation
+    #: context whose plan/machine snapshots stay resident.
+    setup: object | None = None
+    context: _EvalContext | None = None
+    #: Devil campaigns.
+    source: str | None = None
+    compiler: object | None = None
+    mutants: list[Mutant] = field(default_factory=list)
+    lines: int = 0
+    sites: int = 0
+    #: Sampled ``tested`` lists per ``(fraction, seed)`` — cheap to
+    #: derive, cached so repeated submissions don't resample.
+    _samples: dict = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, spec: WarmSpec, plan_path: str | None = None) -> "WarmState":
+        """Build (and eagerly warm) the resident state for ``spec``.
+
+        ``plan_path`` short-circuits checkpoint-plan recording with a
+        portable plan file (`repro.kernel.checkpoint.save_plan` format):
+        the engine's parent process records the instrumented clean boot
+        once and ships the file to workers warmed after the pool forked,
+        instead of every worker paying its own recording boot.
+        """
+        if spec.kind == DEVIL_KIND:
+            return cls._build_devil(spec)
+        setup = prepare_campaign(
+            spec.driver,
+            spec.mode,
+            fraction=1.0,
+            seed=DEFAULT_SEED,
+            step_budget=spec.step_budget,
+            backend=spec.backend,
+            compile_cache=spec.compile_cache,
+        )
+        context = _EvalContext.build(
+            setup.source,
+            setup.driver_filename,
+            setup.registry,
+            setup.budget,
+            spec.backend,
+            spec.compile_cache,
+            checkpoint=spec.boot_checkpoint,
+            granularity=spec.granularity,
+            compiler=setup.compiler,
+            plan_path=plan_path,
+            granularity_pinned=spec.granularity_pinned,
+        )
+        state = cls(spec=spec, setup=setup, context=context)
+        if spec.boot_checkpoint:
+            # Warm eagerly: the recorded (or loaded) plan, its machine
+            # and the pristine snapshot become resident *now*, before
+            # the pool forks, so every worker inherits them.
+            context.ensure_plan()
+        return state
+
+    @classmethod
+    def _build_devil(cls, spec: WarmSpec) -> "WarmState":
+        from repro.devil.compiler import compile_spec, parse_spec
+        from repro.devil.incremental import SpecCampaignCompiler
+        from repro.mutation.generator import enumerate_devil_mutants
+        from repro.mutation.runner import count_code_lines
+        from repro.specs import load_spec_source
+
+        source = load_spec_source(spec.spec_name)
+        device = parse_spec(source, spec.spec_name)
+        compile_spec(source, spec.spec_name)  # the unmutated spec must pass
+        compiler = (
+            SpecCampaignCompiler(source, spec.spec_name)
+            if spec.compile_cache
+            else None
+        )
+        mutants = enumerate_devil_mutants(
+            source, device, spec.spec_name, compiler=compiler
+        )
+        return cls(
+            spec=spec,
+            source=source,
+            compiler=compiler,
+            mutants=mutants,
+            lines=count_code_lines(source),
+            sites=len({m.site.key for m in mutants}),
+        )
+
+    @property
+    def enumerated(self) -> int:
+        if self.spec.kind == DEVIL_KIND:
+            return len(self.mutants)
+        return self.setup.enumerated
+
+    def tested(self, fraction: float, seed: int) -> list[Mutant]:
+        """The sampled mutant list for one campaign (cached)."""
+        key = (fraction, seed)
+        if key not in self._samples:
+            population = (
+                self.mutants
+                if self.spec.kind == DEVIL_KIND
+                else self.setup.mutants
+            )
+            self._samples[key] = sample_mutants(population, fraction, seed)
+        return self._samples[key]
+
+    def evaluate(
+        self, mutant: Mutant
+    ) -> tuple[MutantResult, dict | None]:
+        """One mutant through the serial evaluation path.
+
+        Returns the result plus this evaluation's checkpoint-counter
+        delta (``None`` when nothing booted), summed by the engine into
+        the campaign's ``checkpoint_stats`` — commutative, so any steal
+        schedule produces the serial totals.
+        """
+        if self.spec.kind == DEVIL_KIND:
+            return self._evaluate_devil(mutant), None
+        before = self.context.stats_view()
+        result = _run_one(mutant, self.context)
+        return result, _stats_delta(before, self.context.stats_view())
+
+    def _evaluate_devil(self, mutant: Mutant) -> MutantResult:
+        from repro.devil.compiler import spec_errors
+        from repro.kernel.outcomes import BootOutcome
+
+        mutated = mutant.apply(self.source)
+        if self.compiler is not None:
+            errors = self.compiler.errors_for_variant(mutated)
+        else:
+            errors = spec_errors(mutated, self.spec.spec_name)
+        outcome = BootOutcome.COMPILE_CHECK if errors else BootOutcome.BOOT
+        detail = errors[0].code if errors else "accepted"
+        return MutantResult(mutant=mutant, outcome=outcome, detail=detail)

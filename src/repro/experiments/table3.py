@@ -32,16 +32,29 @@ def run(
     seed: int = 4136,
     progress=None,
     shards: int = 1,
+    engine: int = 0,
 ) -> CampaignResult:
-    """The Table 3 campaign; ``shards`` > 1 runs it as a sharded campaign.
+    """The Table 3 campaign; ``shards``/``engine`` parallelise it.
 
     Sharded runs fan out over local processes through
     `repro.distributed` (one shard per process, checkpoint plan recorded
     once) and merge to the identical ``CampaignResult`` — the route to
-    full-fraction reproductions that outgrow one host.  ``progress`` is
-    per-mutant and therefore serial-only: shard processes report
-    completion per shard file, not per mutant, so it is not forwarded.
+    full-fraction reproductions that outgrow one host.  ``engine`` > 0
+    instead runs the campaign on a warm `repro.engine.Engine` with that
+    many workers (work-stealing over the mutant index space, result
+    identical to serial).  ``progress`` is per-mutant and forwarded on
+    the serial and engine paths; shard processes report completion per
+    shard file, not per mutant, so the shard path does not forward it.
     """
+    if shards > 1 and engine:
+        raise ValueError("shards and engine are mutually exclusive")
+    if engine:
+        from repro.engine import run_engine_campaign
+
+        return run_engine_campaign(
+            "c", fraction=fraction, seed=seed, workers=engine,
+            progress=progress,
+        )
     if shards > 1:
         from repro.distributed import sharded_campaign
 
@@ -74,6 +87,14 @@ def main(argv: list[str] | None = None) -> int:
         "recorded once; merged result identical to --shards 1)",
     )
     parser.add_argument(
+        "--engine",
+        type=int,
+        default=None,
+        metavar="WORKERS",
+        help="run the campaign on a warm engine with N workers "
+        "(work-stealing; result identical to the serial run)",
+    )
+    parser.add_argument(
         "--from-shards",
         nargs="+",
         default=None,
@@ -82,8 +103,12 @@ def main(argv: list[str] | None = None) -> int:
         "(written by `python -m repro.distributed run-shard`)",
     )
     args = parser.parse_args(argv)
+    if args.shards and args.engine:
+        parser.error("--shards and --engine are mutually exclusive")
     if args.from_shards:
-        if (args.fraction, args.seed, args.shards) != (None, None, None):
+        if (args.fraction, args.seed, args.shards, args.engine) != (
+            None, None, None, None,
+        ):
             parser.error(
                 "--from-shards merges pre-computed results; "
                 "--fraction/--seed/--shards belong to the run that "
@@ -102,6 +127,7 @@ def main(argv: list[str] | None = None) -> int:
             fraction=0.25 if args.fraction is None else args.fraction,
             seed=4136 if args.seed is None else args.seed,
             shards=args.shards or 1,
+            engine=args.engine or 0,
         )
     print(render(result))
     return 0

@@ -35,11 +35,23 @@ def run(
     mode: str = "debug",
     progress=None,
     shards: int = 1,
+    engine: int = 0,
 ) -> CampaignResult:
     """The Table 4 campaign; ``shards`` > 1 runs it as a sharded campaign
     over local processes (`repro.distributed`), merged to the identical
-    ``CampaignResult``.  ``progress`` is per-mutant and therefore
-    serial-only (shards report per shard file, not per mutant)."""
+    ``CampaignResult``; ``engine`` > 0 runs it on a warm
+    `repro.engine.Engine` with that many work-stealing workers (also
+    identical).  ``progress`` is per-mutant and forwarded on the serial
+    and engine paths (shards report per shard file, not per mutant)."""
+    if shards > 1 and engine:
+        raise ValueError("shards and engine are mutually exclusive")
+    if engine:
+        from repro.engine import run_engine_campaign
+
+        return run_engine_campaign(
+            "cdevil", mode=mode, fraction=fraction, seed=seed,
+            workers=engine, progress=progress,
+        )
     if shards > 1:
         from repro.distributed import sharded_campaign
 
@@ -76,6 +88,14 @@ def main(argv: list[str] | None = None) -> int:
         "recorded once; merged result identical to --shards 1)",
     )
     parser.add_argument(
+        "--engine",
+        type=int,
+        default=None,
+        metavar="WORKERS",
+        help="run the campaign on a warm engine with N workers "
+        "(work-stealing; result identical to the serial run)",
+    )
+    parser.add_argument(
         "--from-shards",
         nargs="+",
         default=None,
@@ -84,14 +104,16 @@ def main(argv: list[str] | None = None) -> int:
         "(written by `python -m repro.distributed run-shard`)",
     )
     args = parser.parse_args(argv)
+    if args.shards and args.engine:
+        parser.error("--shards and --engine are mutually exclusive")
     if args.from_shards:
-        if (args.fraction, args.seed, args.mode, args.shards) != (
-            None, None, None, None,
+        if (args.fraction, args.seed, args.mode, args.shards, args.engine) != (
+            None, None, None, None, None,
         ):
             parser.error(
                 "--from-shards merges pre-computed results; "
-                "--fraction/--seed/--mode/--shards belong to the run "
-                "that produced them"
+                "--fraction/--seed/--mode/--shards/--engine belong to "
+                "the run that produced them"
             )
         from repro.distributed import merge_shard_files
 
@@ -107,6 +129,7 @@ def main(argv: list[str] | None = None) -> int:
             seed=4136 if args.seed is None else args.seed,
             mode=args.mode or "debug",
             shards=args.shards or 1,
+            engine=args.engine or 0,
         )
     print(render(result))
     return 0

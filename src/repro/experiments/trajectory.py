@@ -36,6 +36,12 @@ POINT_KEYS = (
     "source_mutants_per_sec",
     "checkpoint_mutants_per_sec",
     "sharded_mutants_per_sec",
+    #: Warm-engine configuration and throughput (PR 6+): worker count,
+    #: warm-submission throughput, and its ratio to the serial
+    #: checkpointed run of the same point.
+    "engine_workers",
+    "engine_mutants_per_sec",
+    "speedup_engine_vs_checkpoint_serial",
     "checkpoint_resumed",
     "checkpoint_resumed_subcall",
     "checkpoint_cold",
@@ -45,8 +51,63 @@ POINT_KEYS = (
     "speedup_source_vs_closure",
     "speedup_checkpoint_vs_source",
     "speedup_vs_seed",
+    #: Set when ``speedup_vs_seed`` was derived from the committed
+    #: trajectory's anchor (:func:`seed_anchor_throughput`) rather than
+    #: timing the seed revision directly (``--seed-rev``).
+    "speedup_vs_seed_derived",
     "outcomes_identical",
 )
+
+#: Keys every committed trajectory point must carry, so points stay
+#: comparable across the whole trajectory: the workload identity
+#: (``driver``/``fraction``/``seed``), the cross-PR headline ratio
+#: (``speedup_vs_seed``), and the correctness bit
+#: (``outcomes_identical``) without which a throughput number proves
+#: nothing.
+REQUIRED_POINT_KEYS = (
+    "driver",
+    "fraction",
+    "seed",
+    "speedup_vs_seed",
+    "outcomes_identical",
+)
+
+
+class TrajectoryError(ValueError):
+    """A trajectory point is missing required comparability fields."""
+
+
+def validate_point(point: dict) -> dict:
+    """``point``, after checking :data:`REQUIRED_POINT_KEYS` are set."""
+    missing = [
+        key for key in REQUIRED_POINT_KEYS if point.get(key) is None
+    ]
+    if missing:
+        raise TrajectoryError(
+            f"trajectory point missing required fields {missing}: "
+            "every committed point must stay comparable across PRs "
+            "(workload identity, speedup_vs_seed, outcomes_identical)"
+        )
+    return point
+
+
+def seed_anchor_throughput(path: str) -> float | None:
+    """The seed revision's serial throughput, from committed history.
+
+    The growth seed itself is not benchmarkable (it has no files), so
+    ``speedup_vs_seed`` for a new run is derived from the committed
+    trajectory instead: the newest point carrying both a serial
+    throughput and its ``speedup_vs_seed`` fixes the anchor
+    ``anchor = fast_mutants_per_sec / speedup_vs_seed`` — the
+    throughput the seed revision would score on this machine.  Returns
+    ``None`` when no committed point can anchor.
+    """
+    for point in reversed(load_trajectory(path)):
+        fast = point.get("fast_mutants_per_sec")
+        speedup = point.get("speedup_vs_seed")
+        if fast and speedup:
+            return fast / speedup
+    return None
 
 
 def point_from_report(report: dict, **labels) -> dict:
@@ -96,6 +157,6 @@ def append_point(path: str, report: dict, **labels) -> dict:
     this run's.  The caller writes the result back to ``path``.
     """
     trajectory = load_trajectory(path)
-    trajectory.append(point_from_report(report, **labels))
+    trajectory.append(validate_point(point_from_report(report, **labels)))
     report["trajectory"] = trajectory
     return report

@@ -21,6 +21,7 @@ individually defeatable for reference runs:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -553,6 +554,7 @@ def run_driver_campaign(
     checkpoint_granularity: str | None = None,
     shard: tuple[int, int] | None = None,
     checkpoint_plan: str | None = None,
+    engine=None,
 ) -> CampaignResult:
     """Mutation campaign against a driver (Table 3: "c"; Table 4: "cdevil").
 
@@ -576,7 +578,37 @@ def run_driver_campaign(
     plan file (`repro.kernel.checkpoint.save_plan`) to load instead of
     recording the instrumented clean boot in-process; it implies
     ``boot_checkpoint=True``.
+
+    ``engine`` routes the whole campaign through a warm
+    `repro.engine.Engine` instead of building setup state here —
+    identical results, with the fixed setup cost amortised across every
+    campaign the engine serves.  ``workers`` is then the engine's
+    affair, and ``shard``/``checkpoint_plan`` (per-process seams the
+    engine subsumes) are rejected.
     """
+    if engine is not None:
+        if shard is not None:
+            raise ValueError("engine and shard are mutually exclusive")
+        if checkpoint_plan is not None:
+            raise ValueError(
+                "engine and checkpoint_plan are mutually exclusive"
+            )
+        from repro.engine.state import CampaignRequest
+
+        return engine.run_campaign(
+            CampaignRequest(
+                driver=driver,
+                mode=mode,
+                fraction=fraction,
+                seed=seed,
+                backend=backend,
+                compile_cache=compile_cache,
+                boot_checkpoint=boot_checkpoint,
+                granularity=checkpoint_granularity,
+                step_budget=step_budget,
+            ),
+            progress=progress,
+        )
     if checkpoint_plan is not None:
         if boot_checkpoint is None:
             boot_checkpoint = True
@@ -754,6 +786,25 @@ def _merge_stats(total: dict | None, delta: dict | None) -> dict | None:
     return total
 
 
+def _pool_context(start_method: str | None = None):
+    """The multiprocessing context campaign worker pools run under.
+
+    ``start_method`` (or the ``REPRO_MP_START_METHOD`` environment
+    variable) forces a start method; otherwise ``fork`` is used where
+    the platform provides it, with ``spawn`` as the portable fallback.
+    Campaign results are identical under either method: ``spawn``
+    re-randomizes each worker's interpreter hash seed, which the
+    CRC32-keyed address mapping makes irrelevant to outcomes.
+    """
+    method = start_method or os.environ.get("REPRO_MP_START_METHOD")
+    if method:
+        return multiprocessing.get_context(method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
 def _worker_eval(
     item: tuple[int, Mutant],
 ) -> tuple[int, MutantResult, dict | None]:
@@ -785,10 +836,7 @@ def _evaluate_parallel(
     ``checkpoint_stats`` regardless of how mutants land on workers.
     ``progress`` is invoked in completion order (indices may interleave).
     """
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX fallback
-        context = multiprocessing.get_context("spawn")
+    context = _pool_context()
     worker_count = min(workers, len(indices))
     chunksize = max(1, len(indices) // (worker_count * 8))
     slots = {index: slot for slot, index in enumerate(indices)}

@@ -1,0 +1,415 @@
+"""`repro.engine`: warm workers, work stealing, byte-identity to serial.
+
+The engine's correctness claim is absolute: for any worker count and
+*any* steal schedule — including the adversarial ones these tests force
+through scripted fake schedulers — the assembled campaign equals the
+serial runner's result, field for field, including the summed
+``checkpoint_stats``.  A second campaign against the same warm engine
+equals its cold-start equivalent, which is the property that makes the
+warm state reusable at all.  The scheduler itself is tested as a pure
+object (coverage, steal-from-most-loaded, determinism), and the engine
+is tested to *reject* schedulers that replay, overflow, or under-cover
+the index space rather than merging a corrupted campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import (
+    CampaignRequest,
+    Engine,
+    EngineClient,
+    EngineError,
+    SpecRequest,
+    StealScheduler,
+    default_lease_size,
+)
+from repro.engine.scheduler import MAX_LEASE
+from repro.engine.state import WarmSpec
+from repro.mutation.runner import run_devil_campaign, run_driver_campaign
+
+FRACTION = 0.02
+SEED = 4136
+
+CHECKPOINTED = CampaignRequest(
+    driver="c",
+    fraction=FRACTION,
+    seed=SEED,
+    backend="source",
+    boot_checkpoint=True,
+    granularity="subcall",
+)
+PLAIN = CampaignRequest(
+    driver="c", fraction=FRACTION, seed=SEED, boot_checkpoint=False
+)
+
+
+@pytest.fixture(scope="module")
+def serial_checkpointed():
+    return run_driver_campaign(
+        "c",
+        fraction=FRACTION,
+        seed=SEED,
+        backend="source",
+        boot_checkpoint=True,
+        checkpoint_granularity="subcall",
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_plain():
+    return run_driver_campaign(
+        "c", fraction=FRACTION, seed=SEED, boot_checkpoint=False
+    )
+
+
+# -- scheduler ----------------------------------------------------------------
+
+
+def _drain(scheduler, order):
+    """Every lease the scheduler serves for a worker request ``order``."""
+    leases = []
+    pending = list(order)
+    while pending:
+        worker_id = pending.pop(0)
+        lease = scheduler.next_lease(worker_id)
+        if lease is not None:
+            leases.append(lease)
+            pending.append(worker_id)
+    return leases
+
+
+@pytest.mark.parametrize(
+    "total,workers,lease_size",
+    [(0, 1, None), (1, 1, None), (10, 3, 2), (100, 7, None), (433, 4, None)],
+)
+def test_scheduler_covers_index_space_exactly_once(total, workers, lease_size):
+    scheduler = StealScheduler(total, workers, lease_size=lease_size)
+    assert scheduler.remaining() == total
+    leases = _drain(scheduler, list(range(workers)))
+    indices = [index for lease in leases for index in lease]
+    assert sorted(indices) == list(range(total))
+    assert len(indices) == len(set(indices))
+    assert scheduler.remaining() == 0
+    assert scheduler.next_lease(0) is None
+
+
+def test_scheduler_serves_own_block_first_then_steals_newest():
+    scheduler = StealScheduler(20, 2, lease_size=5)
+    # Worker 0's own contiguous block, oldest chunk first.
+    assert scheduler.next_lease(0) == range(0, 5)
+    assert scheduler.next_lease(0) == range(5, 10)
+    # Block drained: steal the *newest* chunk of the most loaded peer,
+    # leaving the victim working its oldest end undisturbed.
+    assert scheduler.next_lease(0) == range(15, 20)
+    assert scheduler.history[-1].victim == 1
+    assert scheduler.next_lease(1) == range(10, 15)
+    assert scheduler.history[-1].victim is None
+
+
+def test_scheduler_steals_from_most_loaded_victim_lowest_id_ties():
+    scheduler = StealScheduler(30, 3, lease_size=5)
+    # Drain worker 0's own block entirely.
+    assert scheduler.next_lease(0) == range(0, 5)
+    assert scheduler.next_lease(0) == range(5, 10)
+    # Workers 1 and 2 both hold 10 indices: the tie breaks low.
+    assert scheduler.next_lease(0) == range(15, 20)
+    assert scheduler.history[-1].victim == 1
+    # Worker 2 (10 left) is now strictly more loaded than worker 1 (5).
+    assert scheduler.next_lease(0) == range(25, 30)
+    assert scheduler.history[-1].victim == 2
+
+
+def test_scheduler_is_deterministic_in_the_request_sequence():
+    order = [0, 2, 1, 1, 0, 2] * 40
+    first = _drain(StealScheduler(50, 3, lease_size=4), order)
+    second = _drain(StealScheduler(50, 3, lease_size=4), order)
+    assert first == second
+    history = StealScheduler(50, 3, lease_size=4)
+    _drain(history, order)
+    assert [e.lease for e in history.history] == first
+
+
+def test_scheduler_input_validation():
+    with pytest.raises(ValueError):
+        StealScheduler(-1, 2)
+    with pytest.raises(ValueError):
+        StealScheduler(10, 0)
+    with pytest.raises(ValueError):
+        StealScheduler(10, 2, lease_size=0)
+    with pytest.raises(ValueError):
+        StealScheduler(10, 2).next_lease(2)
+
+
+def test_default_lease_size_bounds():
+    assert default_lease_size(0, 4) == 1
+    assert default_lease_size(1, 4) == 1
+    assert 1 <= default_lease_size(433, 4) <= MAX_LEASE
+    assert default_lease_size(10_000_000, 1) == MAX_LEASE
+
+
+# -- engine == serial ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("workers", [1, 2, 3])
+def test_engine_equals_serial_checkpointed(workers, serial_checkpointed):
+    with Engine(workers=workers, warm=(CHECKPOINTED,)) as engine:
+        campaign = engine.submit(CHECKPOINTED)
+    assert campaign == serial_checkpointed
+    assert campaign.checkpoint_stats == serial_checkpointed.checkpoint_stats
+
+
+def test_engine_equals_serial_without_checkpointing(serial_plain):
+    with Engine(workers=2, warm=(PLAIN,)) as engine:
+        campaign = engine.submit(PLAIN)
+    assert campaign == serial_plain
+    assert campaign.checkpoint_stats is None
+
+
+def test_run_driver_campaign_engine_seam(serial_checkpointed):
+    with Engine(workers=2) as engine:
+        campaign = run_driver_campaign(
+            "c",
+            fraction=FRACTION,
+            seed=SEED,
+            backend="source",
+            boot_checkpoint=True,
+            checkpoint_granularity="subcall",
+            engine=engine,
+        )
+    assert campaign == serial_checkpointed
+    with pytest.raises(ValueError, match="shard"):
+        run_driver_campaign("c", engine=object(), shard=(0, 2))
+    with pytest.raises(ValueError, match="checkpoint_plan"):
+        run_driver_campaign("c", engine=object(), checkpoint_plan="x.ckpt")
+
+
+def test_warm_engine_serves_repeat_and_new_campaigns(serial_checkpointed):
+    """The warm-reuse property: the Nth campaign (same or different
+    sampling) equals its cold-start equivalent."""
+    resampled = CampaignRequest(
+        driver="c",
+        fraction=0.01,
+        seed=7,
+        backend="source",
+        boot_checkpoint=True,
+        granularity="subcall",
+    )
+    with Engine(workers=2, warm=(CHECKPOINTED,)) as engine:
+        first = engine.submit(CHECKPOINTED)
+        second = engine.submit(CHECKPOINTED)
+        third = engine.submit(resampled)
+    assert first == serial_checkpointed
+    assert second == serial_checkpointed
+    assert third == run_driver_campaign(
+        "c",
+        fraction=0.01,
+        seed=7,
+        backend="source",
+        boot_checkpoint=True,
+        checkpoint_granularity="subcall",
+    )
+
+
+def test_engine_devil_campaign_matches_cold_start():
+    request = SpecRequest(spec_name="logitech_busmouse", fraction=0.3, seed=2)
+    with Engine(workers=2, warm=(request,)) as engine:
+        campaign = engine.submit(request)
+    assert campaign == run_devil_campaign(
+        "logitech_busmouse", fraction=0.3, seed=2
+    )
+
+
+def test_engine_spawn_start_method(serial_checkpointed):
+    """Spawned workers rebuild the warm state from the spec plus the
+    parent's saved plan file — same campaign, re-randomized hash seeds
+    and all."""
+    with Engine(workers=2, start_method="spawn") as engine:
+        campaign = engine.submit(CHECKPOINTED)
+    assert campaign == serial_checkpointed
+
+
+def test_engine_error_leaves_engine_usable(serial_plain):
+    with Engine(workers=2) as engine:
+        with pytest.raises(Exception, match="nonesuch"):
+            engine.submit(CampaignRequest(driver="nonesuch"))
+        assert engine.submit(PLAIN) == serial_plain
+
+
+def test_engine_progress_and_streaming(serial_plain):
+    ticks = []
+    streamed = []
+    with Engine(workers=2, warm=(PLAIN,)) as engine:
+        campaign = engine.submit(
+            PLAIN,
+            progress=lambda done, total: ticks.append((done, total)),
+            on_result=lambda index, result: streamed.append(index),
+        )
+    total = serial_plain.tested
+    assert ticks == [(i, total) for i in range(total)]
+    assert sorted(streamed) == list(range(total))
+    assert campaign == serial_plain
+
+
+def test_closed_engine_rejects_submissions():
+    engine = Engine(workers=1)
+    engine.start()
+    engine.close()
+    with pytest.raises(EngineError, match="closed"):
+        engine.submit(PLAIN)
+
+
+# -- adversarial steal schedules ----------------------------------------------
+
+
+class ScriptedScheduler:
+    """Serves a fixed lease script, ignoring which worker asks.
+
+    The engine's determinism claim says the schedule cannot matter;
+    this is the knob that lets tests pick pathological ones.
+    """
+
+    def __init__(self, leases):
+        self._leases = list(leases)
+
+    def next_lease(self, worker_id):
+        return self._leases.pop(0) if self._leases else None
+
+
+def _reversed_singles(total, workers):
+    return ScriptedScheduler(
+        range(i, i + 1) for i in reversed(range(total))
+    )
+
+
+def _parity_interleave(total, workers):
+    odds = [range(i, i + 1) for i in range(1, total, 2)]
+    evens = [range(i, i + 1) for i in range(0, total, 2)]
+    return ScriptedScheduler(odds + evens)
+
+
+def _one_giant_then_crumbs(total, workers):
+    head = max(total - 3, 0)
+    return ScriptedScheduler(
+        [range(0, head)] + [range(i, i + 1) for i in range(head, total)]
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize(
+    "factory", [_reversed_singles, _parity_interleave, _one_giant_then_crumbs]
+)
+def test_any_steal_schedule_merges_identically(
+    workers, factory, serial_checkpointed
+):
+    """Property: (worker count x adversarial schedule) never changes the
+    campaign — results and summed checkpoint_stats equal serial."""
+    with Engine(
+        workers=workers, warm=(CHECKPOINTED,), scheduler_factory=factory
+    ) as engine:
+        campaign = engine.submit(CHECKPOINTED)
+    assert campaign == serial_checkpointed
+    assert campaign.checkpoint_stats == serial_checkpointed.checkpoint_stats
+
+
+@pytest.mark.parametrize(
+    "leases,message",
+    [
+        (lambda total: [range(0, total), range(0, 1)], "twice"),
+        (lambda total: [range(0, total + 1)], "outside"),
+        (lambda total: [range(0, total - 1)], "ran dry"),
+    ],
+)
+def test_engine_rejects_misbehaving_schedulers(leases, message):
+    factory = lambda total, workers: ScriptedScheduler(leases(total))
+    with Engine(workers=2, warm=(PLAIN,), scheduler_factory=factory) as engine:
+        with pytest.raises(EngineError, match=message):
+            engine.submit(PLAIN)
+
+
+# -- warm-spec resolution -----------------------------------------------------
+
+
+def test_campaign_request_resolves_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_BOOT_CHECKPOINT", "1")
+    monkeypatch.setenv("REPRO_CHECKPOINT_GRANULARITY", "call")
+    spec = CampaignRequest(driver="c").warm_spec()
+    assert spec == WarmSpec(
+        kind="driver",
+        driver="c",
+        boot_checkpoint=True,
+        granularity="call",
+        granularity_pinned=True,
+    )
+    monkeypatch.delenv("REPRO_BOOT_CHECKPOINT")
+    monkeypatch.delenv("REPRO_CHECKPOINT_GRANULARITY")
+    spec = CampaignRequest(driver="c").warm_spec()
+    assert not spec.boot_checkpoint
+    assert not spec.granularity_pinned
+    # Mirrors run_driver_campaign: an explicit boot_checkpoint=True with
+    # no explicit granularity still honours the environment's choice.
+    monkeypatch.setenv("REPRO_CHECKPOINT_GRANULARITY", "call")
+    spec = CampaignRequest(driver="c", boot_checkpoint=True).warm_spec()
+    assert spec.granularity == "call"
+
+
+def test_requests_sharing_a_warm_spec_share_state():
+    a = CampaignRequest(driver="c", fraction=0.25, seed=1).warm_spec()
+    b = CampaignRequest(driver="c", fraction=0.01, seed=99).warm_spec()
+    assert a == b  # sampling parameters are not part of the warm identity
+    c = CampaignRequest(driver="c", backend="tree").warm_spec()
+    assert a != c
+
+
+# -- daemon -------------------------------------------------------------------
+
+
+def _daemon_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    return env
+
+
+def test_daemon_socket_round_trip(tmp_path):
+    """serve -> submit (streamed) -> resubmit -> ping -> shutdown, with
+    the daemon result equal to the in-process serial campaign."""
+    socket_path = str(tmp_path / "engine.sock")
+    request = CampaignRequest(
+        driver="c", fraction=0.01, seed=7, boot_checkpoint=True
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.engine", "serve",
+            "--socket", socket_path, "--workers", "2",
+            "--fraction", "0.01", "--seed", "7", "--boot-checkpoint",
+        ],
+        env=_daemon_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        client = EngineClient(socket_path, wait=120.0)
+        streamed = []
+        campaign = client.run_campaign(
+            request, on_result=lambda index, result: streamed.append(index)
+        )
+        serial = run_driver_campaign(
+            "c", fraction=0.01, seed=7, boot_checkpoint=True
+        )
+        assert campaign == serial
+        assert sorted(streamed) == list(range(serial.tested))
+        # The daemon's warm state serves repeat submissions identically.
+        assert client.run_campaign(request) == serial
+        assert client.ping()
+        client.shutdown()
+        assert daemon.wait(timeout=60) == 0
+    finally:
+        if daemon.poll() is None:  # pragma: no cover - failure cleanup
+            daemon.kill()
+            daemon.wait()

@@ -12,12 +12,18 @@ from __future__ import annotations
 import json
 import os
 
+import pytest
+
 from repro.experiments.trajectory import (
     POINT_KEYS,
+    REQUIRED_POINT_KEYS,
+    TrajectoryError,
     append_point,
     load_report,
     load_trajectory,
     point_from_report,
+    seed_anchor_throughput,
+    validate_point,
 )
 
 _LEGACY_FLAT = {
@@ -73,6 +79,7 @@ def test_append_point_grows_history_and_keeps_flat_fields(tmp_path):
         "checkpoint_resumed_subcall": 295,
         "checkpoint_cold": 4,
         "checkpoint_resumed_fraction": 0.9876,
+        "speedup_vs_seed": 5.71,
         "outcomes_identical": True,
         "checkpoint_serial_seconds": 1.4,  # flat-only field
     }
@@ -89,11 +96,55 @@ def test_append_point_grows_history_and_keeps_flat_fields(tmp_path):
     assert data["checkpoint_serial_seconds"] == 1.4
 
     # A further run appends rather than resetting.
-    later = {"driver": "c", "checkpoint_resumed": 320}
+    later = {
+        "driver": "c",
+        "fraction": 0.05,
+        "seed": 4136,
+        "speedup_vs_seed": 5.9,
+        "outcomes_identical": True,
+        "checkpoint_resumed": 320,
+    }
     append_point(path, later, label="run")
     assert [
         p.get("checkpoint_resumed") for p in later["trajectory"]
     ] == [131, 318, 320]
+
+
+def test_append_point_requires_comparability_fields(tmp_path):
+    """Every committed point must carry the cross-PR comparison keys —
+    an appended run without ``speedup_vs_seed`` (the PR 5 mistake this
+    schema check pins) is rejected, not silently recorded."""
+    path = _write(tmp_path, dict(_LEGACY_FLAT))
+    incomplete = {
+        "driver": "c",
+        "fraction": 0.05,
+        "seed": 4136,
+        "outcomes_identical": True,
+    }
+    with pytest.raises(TrajectoryError, match="speedup_vs_seed"):
+        append_point(path, incomplete, pr=99)
+    # The file's history is untouched by the failed append.
+    assert len(load_trajectory(path)) == 1
+
+    for key in REQUIRED_POINT_KEYS:
+        point = {k: _LEGACY_FLAT.get(k, 1.0) for k in REQUIRED_POINT_KEYS}
+        del point[key]
+        with pytest.raises(TrajectoryError, match=key):
+            validate_point(point)
+
+
+def test_seed_anchor_throughput_uses_newest_anchorable_point(tmp_path):
+    path = _write(tmp_path, {
+        "trajectory": [
+            {"pr": 1, "speedup_vs_seed": 3.4},  # no throughput: skipped
+            {"pr": 3, "fast_mutants_per_sec": 150.0, "speedup_vs_seed": 6.0},
+            {"pr": 4, "fast_mutants_per_sec": 130.0, "speedup_vs_seed": 5.2},
+            {"pr": 5, "fast_mutants_per_sec": 140.0},  # no ratio: skipped
+        ]
+    })
+    anchor = seed_anchor_throughput(path)
+    assert anchor == pytest.approx(130.0 / 5.2)
+    assert seed_anchor_throughput(os.path.join(tmp_path, "none.json")) is None
 
 
 def test_point_from_report_drops_missing_keys():
@@ -115,3 +166,12 @@ def test_committed_trajectory_reads_back_nonempty():
     assert latest["outcomes_identical"] is True
     assert latest["checkpoint_resumed_fraction"] >= 0.7
     assert latest["checkpoint_resumed_subcall"] > 0
+    # Every committed point carries the comparability keys the schema
+    # check enforces going forward (PR 2/5 gaps are backfilled).
+    for point in trajectory:
+        validate_point(point)
+    # The PR 6 engine point: warm-engine throughput at least matches
+    # serial checkpointed on the fixed benchmark configuration.
+    assert latest["engine_workers"] >= 1
+    assert latest["engine_mutants_per_sec"] > 0
+    assert latest["speedup_engine_vs_checkpoint_serial"] >= 1.0
