@@ -16,7 +16,7 @@ Front ends, closest-first:
 
 * ``Engine`` / ``run_engine_campaign`` — in-process;
 * ``run_driver_campaign(engine=...)`` — the classic entry point,
-  engine-backed;
+  engine-backed (likewise ``repro.faults.run_fault_campaign``);
 * ``EngineClient`` ↔ ``python -m repro.engine serve`` — a Unix-socket
   daemon (`repro.engine.daemon`) whose warm state outlives submitting
   processes.
@@ -31,6 +31,7 @@ from repro.engine.scheduler import (
 )
 from repro.engine.state import (
     CampaignRequest,
+    FaultRequest,
     SpecRequest,
     WarmSpec,
     WarmState,
@@ -41,6 +42,7 @@ __all__ = [
     "Engine",
     "EngineClient",
     "EngineError",
+    "FaultRequest",
     "LeaseEvent",
     "SpecRequest",
     "StealScheduler",

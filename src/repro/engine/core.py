@@ -55,11 +55,14 @@ from repro.engine.scheduler import StealScheduler
 from repro.engine.state import (
     DEVIL_KIND,
     DRIVER_KIND,
+    FAULT_KIND,
     CampaignRequest,
+    FaultRequest,
     SpecRequest,
     WarmSpec,
     WarmState,
 )
+from repro.faults.campaign import FaultCampaignResult
 
 
 class EngineError(RuntimeError):
@@ -289,7 +292,9 @@ class Engine:
         `~repro.mutation.runner.CampaignResult` for
         :class:`CampaignRequest`,
         `~repro.mutation.runner.DevilCampaignResult` for
-        :class:`SpecRequest` — byte-identical to the cold-start
+        :class:`SpecRequest`,
+        `~repro.faults.campaign.FaultCampaignResult` for
+        :class:`FaultRequest` — byte-identical to the cold-start
         equivalent.  ``on_result(index, result)`` streams results in
         completion order; ``progress(done, total)`` mirrors the serial
         runner's callback.
@@ -306,6 +311,21 @@ class Engine:
             spec, request.fraction, request.seed, len(tested),
             progress, on_result,
         )
+        if spec.kind == FAULT_KIND:
+            campaign = FaultCampaignResult(
+                driver=spec.driver,
+                mode=spec.mode,
+                seed=request.seed,
+                per_dimension=request.per_dimension,
+                injection=request.injection,
+                granularity=spec.granularity,
+                dimensions=tuple(request.dimensions),
+                clean_steps=state.fault_context.clean_steps,
+                step_budget=state.fault_context.budget,
+            )
+            campaign.results = results
+            campaign.checkpoint_stats = stats
+            return campaign
         if spec.kind == DEVIL_KIND:
             campaign = DevilCampaignResult(
                 spec_name=spec.spec_name,
@@ -330,6 +350,16 @@ class Engine:
         if not isinstance(request, CampaignRequest):
             raise EngineError(
                 f"run_campaign takes a CampaignRequest, got {type(request)!r}"
+            )
+        return self.submit(request, progress=progress, on_result=on_result)
+
+    def run_fault_campaign(
+        self, request: FaultRequest, progress=None, on_result=None
+    ) -> FaultCampaignResult:
+        """`submit`, typed for environment-fault campaigns (`repro.faults`)."""
+        if not isinstance(request, FaultRequest):
+            raise EngineError(
+                f"run_fault_campaign takes a FaultRequest, got {type(request)!r}"
             )
         return self.submit(request, progress=progress, on_result=on_result)
 

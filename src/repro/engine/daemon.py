@@ -13,7 +13,9 @@ Wire format: length-prefixed pickle frames, the same trusted-local
 trade-off the distributed shard files make (`repro.serialize`): the
 socket path is the trust boundary, so keep it in a directory only you
 can write.  Client frames are ``("campaign", CampaignRequest)``,
-``("spec-campaign", SpecRequest)``, ``("ping",)`` and ``("shutdown",)``;
+``("spec-campaign", SpecRequest)``,
+``("fault-campaign", FaultRequest)``, ``("ping",)`` and
+``("shutdown",)``;
 the server answers a campaign with a stream of
 ``("result", index, MutantResult)`` frames in completion order,
 terminated by ``("done", summary)`` — or ``("error", message)`` if
@@ -28,12 +30,14 @@ import os
 import pickle
 import signal
 import socket
+import stat
 import struct
 import time
 
 from repro.mutation.runner import CampaignResult, DevilCampaignResult
+from repro.faults.campaign import FaultCampaignResult
 from repro.engine.core import Engine, EngineError
-from repro.engine.state import CampaignRequest, SpecRequest
+from repro.engine.state import CampaignRequest, FaultRequest, SpecRequest
 
 _LENGTH = struct.Struct(">I")
 
@@ -79,6 +83,20 @@ def _summary_of(campaign) -> dict:
             "sites": campaign.sites,
             "enumerated": campaign.enumerated,
         }
+    if isinstance(campaign, FaultCampaignResult):
+        return {
+            "kind": "fault",
+            "driver": campaign.driver,
+            "mode": campaign.mode,
+            "seed": campaign.seed,
+            "per_dimension": campaign.per_dimension,
+            "injection": campaign.injection,
+            "granularity": campaign.granularity,
+            "dimensions": campaign.dimensions,
+            "clean_steps": campaign.clean_steps,
+            "step_budget": campaign.step_budget,
+            "checkpoint_stats": campaign.checkpoint_stats,
+        }
     return {
         "kind": "driver",
         "driver": campaign.driver,
@@ -101,6 +119,21 @@ def _assemble(summary: dict, indexed_results: list) -> object:
         )
         campaign.results = results
         return campaign
+    if summary["kind"] == "fault":
+        campaign = FaultCampaignResult(
+            driver=summary["driver"],
+            mode=summary["mode"],
+            seed=summary["seed"],
+            per_dimension=summary["per_dimension"],
+            injection=summary["injection"],
+            granularity=summary["granularity"],
+            dimensions=summary["dimensions"],
+            clean_steps=summary["clean_steps"],
+            step_budget=summary["step_budget"],
+        )
+        campaign.results = results
+        campaign.checkpoint_stats = summary["checkpoint_stats"]
+        return campaign
     campaign = CampaignResult(
         driver=summary["driver"],
         enumerated=summary["enumerated"],
@@ -110,6 +143,51 @@ def _assemble(summary: dict, indexed_results: list) -> object:
     campaign.results = results
     campaign.checkpoint_stats = summary["checkpoint_stats"]
     return campaign
+
+
+def _claim_socket_path(socket_path: str) -> None:
+    """Make ``socket_path`` safe to bind, or refuse loudly.
+
+    The old behaviour — unconditionally ``os.unlink`` before binding —
+    silently yanked the socket out from under a *live* daemon: existing
+    connections kept working, but every new client bound to the usurper,
+    and two engines then raced on the same scratch/warm state.  Now the
+    path is probed first: a connectable socket means a daemon is
+    serving, which is an error; only a genuinely stale socket (nothing
+    accepting) is reclaimed; anything that isn't a socket is never
+    deleted.
+    """
+    try:
+        info = os.stat(socket_path)
+    except FileNotFoundError:
+        return
+    if not stat.S_ISSOCK(info.st_mode):
+        raise EngineError(
+            f"refusing to serve on {socket_path!r}: the path exists and "
+            "is not a socket — remove it yourself if it really is stale"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(socket_path)
+    except (ConnectionRefusedError, FileNotFoundError):
+        # Nothing accepting: a previous daemon died without cleanup.
+        try:
+            os.unlink(socket_path)
+        except FileNotFoundError:
+            pass
+        return
+    except OSError as error:
+        raise EngineError(
+            f"refusing to serve on {socket_path!r}: probing the existing "
+            f"socket failed ({error}); remove it yourself if it is stale"
+        ) from error
+    finally:
+        probe.close()
+    raise EngineError(
+        f"refusing to serve on {socket_path!r}: a daemon is already "
+        "listening there (shut it down first, or pick another path)"
+    )
 
 
 def serve(
@@ -124,12 +202,12 @@ def serve(
     The socket is bound and listening *before* the engine warms, so
     clients started concurrently with the daemon connect immediately
     and wait in the accept backlog while the warm state builds.
-    ``ready()`` (if given) is called once the engine is warm.
+    ``ready()`` (if given) is called once the engine is warm.  A live
+    daemon already serving ``socket_path`` raises :class:`EngineError`
+    instead of being silently displaced; only stale sockets are
+    reclaimed (:func:`_claim_socket_path`).
     """
-    try:
-        os.unlink(socket_path)
-    except FileNotFoundError:
-        pass
+    _claim_socket_path(socket_path)
     server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     server.bind(socket_path)
     server.listen(16)
@@ -174,7 +252,7 @@ def _handle(conn: socket.socket, engine: Engine) -> bool:
         elif op == "shutdown":
             send_frame(conn, ("ok",))
             return False
-        elif op in ("campaign", "spec-campaign"):
+        elif op in ("campaign", "spec-campaign", "fault-campaign"):
             request = frame[1]
             try:
                 campaign = engine.submit(
@@ -253,10 +331,23 @@ class EngineClient:
             )
         return self._submit("spec-campaign", request, on_result)
 
+    def run_fault_campaign(
+        self, request: FaultRequest, on_result=None
+    ) -> FaultCampaignResult:
+        """An environment-fault campaign (`repro.faults`) via the daemon."""
+        if not isinstance(request, FaultRequest):
+            raise EngineError(
+                f"run_fault_campaign takes a FaultRequest, "
+                f"got {type(request)!r}"
+            )
+        return self._submit("fault-campaign", request, on_result)
+
     def submit(self, request, on_result=None):
         """Dispatch on request type, mirroring ``Engine.submit``."""
         if isinstance(request, SpecRequest):
             return self.run_spec_campaign(request, on_result)
+        if isinstance(request, FaultRequest):
+            return self.run_fault_campaign(request, on_result)
         return self.run_campaign(request, on_result)
 
     def _submit(self, op: str, request, on_result):

@@ -55,9 +55,16 @@ from repro.mutation.runner import (
     prepare_campaign,
 )
 from repro.mutation.sampling import DEFAULT_SEED, sample_mutants
+from repro.faults.campaign import (
+    FaultContext,
+    INJECTIONS,
+    injection_from_env,
+)
+from repro.faults.plan import build_fault_plan, dimensions_from_env
 
 DRIVER_KIND = "driver"
 DEVIL_KIND = "devil"
+FAULT_KIND = "fault"
 
 
 @dataclass(frozen=True)
@@ -156,6 +163,76 @@ class SpecRequest:
         )
 
 
+@dataclass(frozen=True)
+class FaultRequest:
+    """One environment-fault campaign (`repro.faults`) for the engine.
+
+    The expensive warm state is the armed instrumented clean boot — the
+    checkpoint plan with embedded injector counters plus the access
+    profile; the cheap sampling parameters are ``(per_dimension, seed,
+    dimensions)``, which flow through the engine's generic
+    ``(fraction, seed)`` evaluation protocol as the :attr:`fraction`
+    tuple.  ``injection``/``granularity``/``dimensions`` default from
+    the same environment variables ``run_fault_campaign`` honours;
+    :meth:`resolved` pins them at submission time.
+    """
+
+    driver: str = "c"
+    mode: str = "debug"
+    seed: int = DEFAULT_SEED
+    per_dimension: int = 8
+    dimensions: tuple[str, ...] | None = None
+    injection: str | None = None
+    backend: str | None = None
+    granularity: str | None = None
+    step_budget: int | None = None
+
+    @property
+    def fraction(self):
+        """The sampling key the generic eval protocol ships to workers."""
+        return (self.per_dimension, self.dimensions)
+
+    def resolved(self) -> "FaultRequest":
+        injection = self.injection
+        if injection is None:
+            injection = injection_from_env()
+        if injection not in INJECTIONS:
+            raise ValueError(f"unknown fault injection mode {injection!r}")
+        granularity = self.granularity
+        if granularity is None:
+            granularity = granularity_from_env()
+        if granularity not in GRANULARITIES:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        dimensions = self.dimensions
+        if dimensions is None:
+            dimensions = dimensions_from_env()
+        return FaultRequest(
+            driver=self.driver,
+            mode=self.mode,
+            seed=self.seed,
+            per_dimension=self.per_dimension,
+            dimensions=tuple(dimensions),
+            injection=injection,
+            backend=self.backend,
+            granularity=granularity,
+            step_budget=self.step_budget,
+        )
+
+    def warm_spec(self) -> WarmSpec:
+        request = self.resolved()
+        return WarmSpec(
+            kind=FAULT_KIND,
+            driver=request.driver,
+            mode=request.mode,
+            backend=request.backend,
+            # ``boot_checkpoint`` doubles as the injection switch: True
+            # resumes faults from recorded snapshots, False cold-boots.
+            boot_checkpoint=request.injection == "checkpoint",
+            granularity=request.granularity,
+            step_budget=request.step_budget,
+        )
+
+
 @dataclass
 class WarmState:
     """One warm spec's resident state, shared by all its campaigns."""
@@ -166,6 +243,9 @@ class WarmState:
     #: context whose plan/machine snapshots stay resident.
     setup: object | None = None
     context: _EvalContext | None = None
+    #: Fault campaigns: the armed recorded boot + access profile
+    #: (`repro.faults.campaign.FaultContext`).
+    fault_context: FaultContext | None = None
     #: Devil campaigns.
     source: str | None = None
     compiler: object | None = None
@@ -188,6 +268,8 @@ class WarmState:
         """
         if spec.kind == DEVIL_KIND:
             return cls._build_devil(spec)
+        if spec.kind == FAULT_KIND:
+            return cls._build_fault(spec)
         setup = prepare_campaign(
             spec.driver,
             spec.mode,
@@ -246,28 +328,60 @@ class WarmState:
             sites=len({m.site.key for m in mutants}),
         )
 
+    @classmethod
+    def _build_fault(cls, spec: WarmSpec) -> "WarmState":
+        context = FaultContext.build(
+            spec.driver,
+            spec.mode,
+            backend=spec.backend,
+            injection="checkpoint" if spec.boot_checkpoint else "cold",
+            granularity=spec.granularity,
+            step_budget=spec.step_budget,
+        )
+        # Warm eagerly, like driver plans: the armed recorded boot, its
+        # counters-in-snapshots plan and the access profile become
+        # resident before the pool forks.
+        context.ensure()
+        return cls(spec=spec, fault_context=context)
+
     @property
     def enumerated(self) -> int:
         if self.spec.kind == DEVIL_KIND:
             return len(self.mutants)
+        if self.spec.kind == FAULT_KIND:
+            return 0
         return self.setup.enumerated
 
-    def tested(self, fraction: float, seed: int) -> list[Mutant]:
-        """The sampled mutant list for one campaign (cached)."""
+    def tested(self, fraction, seed: int) -> list:
+        """The sampled mutant (or fault) list for one campaign (cached).
+
+        For fault campaigns ``fraction`` is the request's
+        ``(per_dimension, dimensions)`` tuple — sampling is
+        `repro.faults.plan.build_fault_plan` over the resident profile,
+        deterministic in every process, so workers and parent agree on
+        the index space without shipping the plan itself.
+        """
         key = (fraction, seed)
         if key not in self._samples:
-            population = (
-                self.mutants
-                if self.spec.kind == DEVIL_KIND
-                else self.setup.mutants
-            )
-            self._samples[key] = sample_mutants(population, fraction, seed)
+            if self.spec.kind == FAULT_KIND:
+                per_dimension, dimensions = fraction
+                self._samples[key] = build_fault_plan(
+                    self.fault_context.profile,
+                    seed,
+                    per_dimension=per_dimension,
+                    dimensions=dimensions,
+                )
+            else:
+                population = (
+                    self.mutants
+                    if self.spec.kind == DEVIL_KIND
+                    else self.setup.mutants
+                )
+                self._samples[key] = sample_mutants(population, fraction, seed)
         return self._samples[key]
 
-    def evaluate(
-        self, mutant: Mutant
-    ) -> tuple[MutantResult, dict | None]:
-        """One mutant through the serial evaluation path.
+    def evaluate(self, mutant) -> tuple[object, dict | None]:
+        """One mutant (or fault) through the serial evaluation path.
 
         Returns the result plus this evaluation's checkpoint-counter
         delta (``None`` when nothing booted), summed by the engine into
@@ -276,6 +390,12 @@ class WarmState:
         """
         if self.spec.kind == DEVIL_KIND:
             return self._evaluate_devil(mutant), None
+        if self.spec.kind == FAULT_KIND:
+            before = self.fault_context.stats_view()
+            result = self.fault_context.evaluate(mutant)
+            return result, _stats_delta(
+                before, self.fault_context.stats_view()
+            )
         before = self.context.stats_view()
         result = _run_one(mutant, self.context)
         return result, _stats_delta(before, self.context.stats_view())

@@ -1,0 +1,210 @@
+"""Deterministic seeded fault-plan generation from a clean-boot profile.
+
+A fault plan is sampled *from the access profile of the recorded clean
+boot*: the counting injector observes exactly which ports the driver
+reads and writes, how often, and how many sectors the kernel writes
+back, and every trigger index is drawn inside those observed totals.
+Because the boot is deterministic up to a fault's first perturbed
+access, every sampled fault is guaranteed to actually fire — there are
+no wasted runs aimed at accesses that never happen.
+
+Sampling is pure ``random.Random(seed)`` over sorted port lists, so the
+same ``(profile, seed, per_dimension, dimensions)`` quadruple yields the
+identical plan in any process — the property serial/parallel/engine
+identity rests on.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+
+from repro.hw.ide import STAT_DRDY, STAT_DRQ
+from repro.faults.injector import DIMENSIONS, PERMANENT, Fault
+
+#: Comma-separated dimension subset honoured by ``run_fault_campaign``
+#: when no explicit ``dimensions`` argument is given.
+DIMENSIONS_ENV = "REPRO_FAULT_DIMENSIONS"
+
+
+def dimensions_from_env(default=DIMENSIONS) -> tuple[str, ...]:
+    value = os.environ.get(DIMENSIONS_ENV, "")
+    if not value:
+        return tuple(default)
+    chosen = tuple(part.strip() for part in value.split(",") if part.strip())
+    unknown = [name for name in chosen if name not in DIMENSIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown fault dimensions {unknown!r}; "
+            f"available: {', '.join(DIMENSIONS)}"
+        )
+    return chosen
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Per-port access totals of one clean boot, plus port roles."""
+
+    #: Sorted ``(port, total)`` pairs with ``total > 0``.
+    reads: tuple[tuple[int, int], ...]
+    writes: tuple[tuple[int, int], ...]
+    disk_writes: int
+    #: IDE status ports (command-block status + alternate status).
+    status_ports: tuple[int, ...]
+    #: IDE data ports (16-bit PIO stream).
+    data_ports: tuple[int, ...]
+
+
+def profile_from(injector, machine) -> AccessProfile:
+    """The profile of the boot ``injector`` just observed on ``machine``."""
+    status_ports: tuple[int, ...] = ()
+    data_ports: tuple[int, ...] = ()
+    if machine.ide is not None:
+        status_ports = (
+            machine.ide.command_base + 7,
+            machine.ide.control_base,
+        )
+        data_ports = (machine.ide.command_base,)
+    return AccessProfile(
+        reads=tuple(sorted(injector.reads.items())),
+        writes=tuple(sorted(injector.writes.items())),
+        disk_writes=injector.disk_writes,
+        status_ports=status_ports,
+        data_ports=data_ports,
+    )
+
+
+def _read_ports(profile: AccessProfile) -> dict[int, int]:
+    return dict(profile.reads)
+
+
+def _write_ports(profile: AccessProfile) -> dict[int, int]:
+    return dict(profile.writes)
+
+
+def _sample(dimension: str, profile: AccessProfile, rng: random.Random):
+    """One fault of ``dimension``, or ``None`` if nothing is eligible.
+
+    Every branch draws from *sorted* candidate lists only, and the draw
+    count per call depends only on the (deterministic) profile, so the
+    rng stream — and therefore the whole plan — is reproducible.
+    """
+    reads = _read_ports(profile)
+    writes = _write_ports(profile)
+    if dimension == "read-bit-flip":
+        ports = sorted(p for p in reads if p not in profile.data_ports)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="read",
+            port=port,
+            index=rng.randrange(reads[port]),
+            bit=rng.randrange(8),
+        )
+    if dimension == "write-bit-flip":
+        ports = sorted(p for p in writes if p not in profile.data_ports)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="write",
+            port=port,
+            index=rng.randrange(writes[port]),
+            bit=rng.randrange(8),
+        )
+    if dimension == "stuck-read":
+        ports = sorted(reads)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="read",
+            port=port,
+            index=rng.randrange(reads[port]),
+            count=rng.choice((1, 4, PERMANENT)),
+            value=rng.choice((0x00, 0xFF)),
+        )
+    if dimension == "status-delay":
+        ports = sorted(p for p in profile.status_ports if p in reads)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="read",
+            port=port,
+            index=rng.randrange(reads[port]),
+            count=rng.choice((1, 2, 8, 32)),
+        )
+    if dimension == "status-drop":
+        ports = sorted(p for p in profile.status_ports if p in reads)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="read",
+            port=port,
+            index=rng.randrange(reads[port]),
+            count=rng.choice((1, 2, 8)),
+            value=rng.choice((STAT_DRQ, STAT_DRDY, STAT_DRQ | STAT_DRDY)),
+        )
+    if dimension == "dma-byte-swap":
+        ports = sorted(p for p in profile.data_ports if p in reads)
+        if not ports:
+            return None
+        port = rng.choice(ports)
+        return Fault(
+            dimension=dimension,
+            channel="read",
+            port=port,
+            index=rng.randrange(reads[port]),
+            count=rng.choice((1, 8, 256)),
+        )
+    if dimension == "torn-write":
+        if profile.disk_writes == 0:
+            return None
+        return Fault(
+            dimension=dimension,
+            channel="disk",
+            port=-1,
+            index=rng.randrange(profile.disk_writes),
+            value=rng.choice((64, 128, 256, 448)),
+        )
+    raise ValueError(f"unknown fault dimension {dimension!r}")
+
+
+def build_fault_plan(
+    profile: AccessProfile,
+    seed: int,
+    per_dimension: int = 8,
+    dimensions=None,
+) -> list[Fault]:
+    """``per_dimension`` seeded faults for each requested dimension.
+
+    Duplicate draws (same dimension/channel/port/index) are kept — they
+    re-test the same perturbation point, which is harmless and keeps the
+    plan length exactly ``per_dimension * len(dimensions)`` minus any
+    dimension with no eligible target in the profile.
+    """
+    if dimensions is None:
+        dimensions = DIMENSIONS
+    unknown = [name for name in dimensions if name not in DIMENSIONS]
+    if unknown:
+        raise ValueError(
+            f"unknown fault dimensions {unknown!r}; "
+            f"available: {', '.join(DIMENSIONS)}"
+        )
+    rng = random.Random(seed)
+    faults: list[Fault] = []
+    for dimension in dimensions:
+        for _ in range(per_dimension):
+            fault = _sample(dimension, profile, rng)
+            if fault is not None:
+                faults.append(fault)
+    return faults

@@ -1,0 +1,159 @@
+"""Dimension-structured reports for environment-fault campaigns.
+
+`report_dict` is the canonical machine-readable shape — metadata, a
+per-dimension outcome table, and per-fault findings, all built from
+sorted inputs with no timestamps so the same campaign serialises to the
+byte-identical JSON (`report_json` pins ``sort_keys``/``indent``; the CI
+golden and the determinism tests rely on this).  `render_markdown`
+formats the same data for humans, and `comparison_dict` lines up a C
+campaign against its C/Devil counterpart, Table-4-style.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.kernel.outcomes import BootOutcome
+from repro.faults.campaign import FaultCampaignResult
+
+#: Report rows, in the taxonomy's severity order.
+OUTCOME_ORDER = (
+    BootOutcome.BOOT,
+    BootOutcome.DAMAGED_BOOT,
+    BootOutcome.HALT,
+    BootOutcome.INFINITE_LOOP,
+    BootOutcome.CRASH,
+    BootOutcome.RUN_TIME_CHECK,
+)
+
+
+def _fault_dict(result) -> dict:
+    fault = result.fault
+    return {
+        "dimension": fault.dimension,
+        "channel": fault.channel,
+        "port": fault.port,
+        "index": fault.index,
+        "count": fault.count,
+        "bit": fault.bit,
+        "value": fault.value,
+        "outcome": str(result.outcome),
+        "detail": result.detail,
+    }
+
+
+def _outcome_table(results) -> dict:
+    table = {str(outcome): 0 for outcome in OUTCOME_ORDER}
+    for result in results:
+        table[str(result.outcome)] = table.get(str(result.outcome), 0) + 1
+    return table
+
+
+def report_dict(campaign: FaultCampaignResult) -> dict:
+    """The canonical dimension-structured report of one campaign."""
+    dimensions = {}
+    for dimension, results in campaign.by_dimension().items():
+        dimensions[dimension] = {
+            "tested": len(results),
+            "outcomes": _outcome_table(results),
+            "survived": campaign.count(BootOutcome.BOOT, dimension),
+        }
+    return {
+        "campaign": {
+            "driver": campaign.driver,
+            "mode": campaign.mode,
+            "seed": campaign.seed,
+            "per_dimension": campaign.per_dimension,
+            "injection": campaign.injection,
+            "granularity": campaign.granularity,
+            "clean_steps": campaign.clean_steps,
+            "step_budget": campaign.step_budget,
+            "tested": campaign.tested,
+        },
+        "dimensions": dimensions,
+        "totals": _outcome_table(campaign.results),
+        "findings": [_fault_dict(result) for result in campaign.results],
+    }
+
+
+def report_json(campaign: FaultCampaignResult) -> str:
+    """Byte-stable JSON: same campaign, same bytes."""
+    return json.dumps(report_dict(campaign), sort_keys=True, indent=2) + "\n"
+
+
+def render_markdown(campaign: FaultCampaignResult) -> str:
+    """A per-dimension outcome table in Table-4 style."""
+    columns = [str(outcome) for outcome in OUTCOME_ORDER]
+    lines = [
+        f"# Environment-fault campaign: `{campaign.driver}` driver",
+        "",
+        f"- mode: `{campaign.mode}`, seed: {campaign.seed}, "
+        f"faults/dimension: {campaign.per_dimension}",
+        f"- injection: `{campaign.injection}` "
+        f"(checkpoint granularity: `{campaign.granularity}`), "
+        f"clean boot: {campaign.clean_steps} steps",
+        f"- faults tested: {campaign.tested}",
+        "",
+        "| Dimension | Tested | " + " | ".join(columns) + " |",
+        "|" + " --- |" * (len(columns) + 2),
+    ]
+    report = report_dict(campaign)
+    for dimension, row in report["dimensions"].items():
+        cells = " | ".join(str(row["outcomes"][c]) for c in columns)
+        lines.append(f"| {dimension} | {row['tested']} | {cells} |")
+    totals = " | ".join(str(report["totals"][c]) for c in columns)
+    lines.append(f"| **total** | {campaign.tested} | {totals} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def comparison_dict(
+    c: FaultCampaignResult, devil: FaultCampaignResult
+) -> dict:
+    """C vs C/Devil, per dimension: does the spec-generated interface
+
+    harden the driver against a lying device the way Table 4 shows it
+    hardens against programming errors?
+    """
+    rows = {}
+    for dimension in c.dimensions:
+        c_results = c.by_dimension().get(dimension, [])
+        d_results = devil.by_dimension().get(dimension, [])
+        rows[dimension] = {
+            "c": _outcome_table(c_results),
+            "devil": _outcome_table(d_results),
+            "c_survived": c.count(BootOutcome.BOOT, dimension),
+            "devil_survived": devil.count(BootOutcome.BOOT, dimension),
+        }
+    return {
+        "campaigns": {
+            "c": report_dict(c)["campaign"],
+            "devil": report_dict(devil)["campaign"],
+        },
+        "dimensions": rows,
+    }
+
+
+def render_comparison_markdown(
+    c: FaultCampaignResult, devil: FaultCampaignResult
+) -> str:
+    comparison = comparison_dict(c, devil)
+    lines = [
+        "# Environment faults: C vs C/Devil",
+        "",
+        f"- seed: {c.seed}, faults/dimension: {c.per_dimension}, "
+        f"injection: `{c.injection}`",
+        "",
+        "| Dimension | C survived | C crashed | "
+        "C/Devil survived | C/Devil run-time check |",
+        "|" + " --- |" * 5,
+    ]
+    crash = str(BootOutcome.CRASH)
+    rtc = str(BootOutcome.RUN_TIME_CHECK)
+    for dimension, row in comparison["dimensions"].items():
+        lines.append(
+            f"| {dimension} | {row['c_survived']} | {row['c'][crash]} "
+            f"| {row['devil_survived']} | {row['devil'][rtc]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

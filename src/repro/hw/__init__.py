@@ -14,7 +14,7 @@ models.  Five devices are modelled, matching Table 2 of the paper:
 """
 
 from repro.hw.bus import BusFault, IOBus
-from repro.hw.device import Device
+from repro.hw.device import Device, StatefulSnapshotError
 from repro.hw.diskimage import DiskImage
 from repro.hw.busmouse import LogitechBusmouse
 from repro.hw.ide import IdeController
@@ -34,5 +34,6 @@ __all__ = [
     "Machine",
     "Ne2000",
     "Permedia2",
+    "StatefulSnapshotError",
     "standard_pc",
 ]

@@ -3,6 +3,16 @@
 from __future__ import annotations
 
 
+class StatefulSnapshotError(RuntimeError):
+    """A device mutated state while relying on the base no-op snapshot.
+
+    Raised by :meth:`repro.hw.machine.Machine.snapshot` when an attached
+    device whose class never overrode :meth:`Device.snapshot` no longer
+    matches the state it was attached with: a checkpoint taken of such a
+    machine would silently leak the device's state across restores.
+    """
+
+
 class Device:
     """A port-mapped device.
 
@@ -33,7 +43,11 @@ class Device:
         of the device at the snapshot point — the boot checkpointing
         machinery (`repro.kernel.checkpoint`) relies on it.  Stateful
         devices override both; the default covers devices whose reads
-        and writes touch no instance state.
+        and writes touch no instance state.  `repro.hw.machine.Machine`
+        enforces the contract for attached devices: one that mutates
+        state while still using this default raises
+        :class:`StatefulSnapshotError` at snapshot time instead of
+        silently leaking state across restores.
         """
         return None
 

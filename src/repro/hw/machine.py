@@ -7,10 +7,12 @@ the busmouse so multi-device examples work.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 from repro.hw.bus import IOBus
 from repro.hw.busmouse import LogitechBusmouse
+from repro.hw.device import Device, StatefulSnapshotError
 from repro.hw.diskimage import DiskImage
 from repro.hw.ide import IdeController
 from repro.hw.legacy import LegacyBoard
@@ -47,10 +49,21 @@ class Machine:
     disk: DiskImage | None = None
     pristine_disk: DiskImage | None = None
     extra_devices: list = field(default_factory=list)
+    #: ``(device, attach-time state)`` for attached devices still using
+    #: the base no-op ``Device.snapshot`` — the evidence `snapshot`
+    #: needs to prove they really are stateless.
+    _stateless_baselines: list = field(default_factory=list)
 
     def attach(self, device) -> None:
         self.bus.attach(device)
         self.extra_devices.append(device)
+        if type(device).snapshot is Device.snapshot:
+            # The device claims statelessness by not overriding
+            # snapshot(); record its attach-time (post-reset) state so
+            # snapshot() can catch the claim going stale.
+            self._stateless_baselines.append(
+                (device, copy.deepcopy(vars(device)))
+            )
 
     def disk_diff(self) -> list[int]:
         """LBAs where the disk now differs from its boot-time snapshot."""
@@ -60,6 +73,15 @@ class Machine:
 
     def snapshot(self) -> MachineSnapshot:
         """Capture all mutable machine state (``pristine_disk`` never mutates)."""
+        for device, baseline in self._stateless_baselines:
+            if vars(device) != baseline:
+                raise StatefulSnapshotError(
+                    f"{device!r} mutated its state but still uses the "
+                    "base no-op Device.snapshot — a checkpoint of this "
+                    "machine would silently leak that state across "
+                    "restores; implement snapshot()/restore() on "
+                    f"{type(device).__name__}"
+                )
         return MachineSnapshot(
             bus=self.bus.snapshot(),
             ide=self.ide.snapshot() if self.ide is not None else None,

@@ -55,6 +55,39 @@ class Ne2000(Device):
         self.remote_count = 0
         self.remote_mode = "idle"
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        # ``prom`` is derived from the immutable ``mac`` and only ever
+        # rebuilt (identically) by reset(), so it needs no capture.
+        return {
+            "command": self.command,
+            "page0": dict(self.page0),
+            "page1": {
+                "par": list(self.page1["par"]),
+                "curr": self.page1["curr"],
+                "mar": list(self.page1["mar"]),
+            },
+            "buffer": bytes(self.buffer),
+            "remote_address": self.remote_address,
+            "remote_count": self.remote_count,
+            "remote_mode": self.remote_mode,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.command = snapshot["command"]
+        self.page0 = dict(snapshot["page0"])
+        page1 = snapshot["page1"]
+        self.page1 = {
+            "par": list(page1["par"]),
+            "curr": page1["curr"],
+            "mar": list(page1["mar"]),
+        }
+        self.buffer = bytearray(snapshot["buffer"])
+        self.remote_address = snapshot["remote_address"]
+        self.remote_count = snapshot["remote_count"]
+        self.remote_mode = snapshot["remote_mode"]
+
     # -- helpers -----------------------------------------------------------
 
     @property

@@ -40,6 +40,20 @@ class BusMaster82371FB(Device):
         self.prd = [0, 0]
         self.transfers: list[tuple[int, int, int]] = []  # (channel, prd, dir)
 
+    def snapshot(self) -> dict:
+        return {
+            "command": list(self.command),
+            "status": list(self.status),
+            "prd": list(self.prd),
+            "transfers": list(self.transfers),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.command = list(snapshot["command"])
+        self.status = list(snapshot["status"])
+        self.prd = list(snapshot["prd"])
+        self.transfers = list(snapshot["transfers"])
+
     def _channel(self, offset: int) -> int:
         return 0 if offset < 8 else 1
 

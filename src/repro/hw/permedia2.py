@@ -54,6 +54,30 @@ class Permedia2(Device):
         self.palette_stage = [0, 0, 0]
         self.fifo_used = 0
 
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        # Palette entries are immutable tuples, so the list copy shares
+        # them safely.
+        return {
+            "index": self.index,
+            "registers": dict(self.registers),
+            "palette": list(self.palette),
+            "palette_index": self.palette_index,
+            "palette_phase": self.palette_phase,
+            "palette_stage": list(self.palette_stage),
+            "fifo_used": self.fifo_used,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        self.index = snapshot["index"]
+        self.registers = dict(snapshot["registers"])
+        self.palette = list(snapshot["palette"])
+        self.palette_index = snapshot["palette_index"]
+        self.palette_phase = snapshot["palette_phase"]
+        self.palette_stage = list(snapshot["palette_stage"])
+        self.fifo_used = snapshot["fifo_used"]
+
     # -- I/O ---------------------------------------------------------------
 
     def io_read(self, address: int, size: int) -> int:

@@ -397,6 +397,25 @@ class CampaignSetup:
         return len(self.mutants)
 
 
+def assemble_driver(
+    driver: str, mode: str = "debug"
+) -> tuple[list[SourceFile], dict[str, str], str]:
+    """One campaign driver's sources: ``(files, registry, driver_filename)``.
+
+    The shared front door for everything that boots a campaign driver —
+    the mutation runner below and the environment-fault campaigns
+    (`repro.faults`), which perturb the *hardware* under the unmutated
+    driver instead of the source.
+    """
+    if driver == "c":
+        files, registry = assemble_c_program()
+    elif driver == "cdevil":
+        files, registry = assemble_cdevil_program(mode=mode)
+    else:
+        raise ValueError(f"unknown driver {driver!r}")
+    return files, registry, files[0].name
+
+
 def prepare_campaign(
     driver: str = "c",
     mode: str = "debug",
@@ -408,19 +427,14 @@ def prepare_campaign(
 ) -> CampaignSetup:
     """Assemble, enumerate, sample and baseline-boot one campaign."""
     regions = None
+    files, registry, driver_filename = assemble_driver(driver, mode)
     if driver == "c":
-        files, registry = assemble_c_program()
-        driver_filename = files[0].name
         pools = build_c_pools(files, registry, driver_filename)
-    elif driver == "cdevil":
-        files, registry = assemble_cdevil_program(mode=mode)
-        driver_filename = files[0].name
+    else:
         spec = compile_spec(load_spec_source("ide_piix4"))
         pools = build_c_pools(files, registry, driver_filename, api_spec=spec)
         # Paper §3.3: CDevil mutations target the stub call sites.
         regions = api_call_regions(files[0].text, stub_call_names(spec))
-    else:
-        raise ValueError(f"unknown driver {driver!r}")
 
     source = files[0].text
     # One incremental compiler serves both the enumeration gate and the

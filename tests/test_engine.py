@@ -413,3 +413,100 @@ def test_daemon_socket_round_trip(tmp_path):
         if daemon.poll() is None:  # pragma: no cover - failure cleanup
             daemon.kill()
             daemon.wait()
+
+
+# -- socket claiming (the old unconditional-unlink bug) ------------------------
+
+
+def test_serve_refuses_non_socket_path(tmp_path):
+    """A regular file at the socket path is never deleted."""
+    from repro.engine.daemon import _claim_socket_path
+
+    path = tmp_path / "engine.sock"
+    path.write_text("precious data, not a socket")
+    with pytest.raises(EngineError, match="not a socket"):
+        _claim_socket_path(str(path))
+    assert path.read_text() == "precious data, not a socket"
+
+
+def test_serve_reclaims_stale_socket(tmp_path):
+    """A socket nobody is accepting on is stale and gets unlinked."""
+    import socket as socket_module
+
+    from repro.engine.daemon import _claim_socket_path
+
+    stale = str(tmp_path / "stale.sock")
+    leftover = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    leftover.bind(stale)
+    leftover.close()  # bound, never listening: connect will be refused
+    _claim_socket_path(stale)
+    assert not os.path.exists(stale)
+
+
+def test_serve_refuses_live_daemon_socket(tmp_path):
+    """A connectable socket means a live daemon — refuse, don't displace.
+
+    The old code unlinked unconditionally, so a second ``serve`` on the
+    same path silently stole all future clients from the running daemon.
+    """
+    import socket as socket_module
+
+    from repro.engine.daemon import _claim_socket_path
+
+    live = str(tmp_path / "live.sock")
+    listener = socket_module.socket(
+        socket_module.AF_UNIX, socket_module.SOCK_STREAM
+    )
+    try:
+        listener.bind(live)
+        listener.listen(1)
+        with pytest.raises(EngineError, match="already listening"):
+            _claim_socket_path(live)
+        assert os.path.exists(live)  # the live daemon keeps its socket
+    finally:
+        listener.close()
+
+
+def test_daemon_fault_campaign_round_trip(tmp_path):
+    """A FaultRequest through the daemon equals the in-process campaign."""
+    from repro.engine import FaultRequest
+    from repro.faults import report_json, run_fault_campaign
+
+    socket_path = str(tmp_path / "engine.sock")
+    daemon = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.engine", "serve",
+            "--socket", socket_path, "--workers", "2",
+        ],
+        env=_daemon_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    request = FaultRequest(
+        driver="c",
+        per_dimension=1,
+        seed=20010,
+        injection="checkpoint",
+        granularity="subcall",
+    )
+    try:
+        client = EngineClient(socket_path, wait=120.0)
+        campaign = client.submit(request)
+        client.shutdown()
+        assert daemon.wait(timeout=60) == 0
+    finally:
+        if daemon.poll() is None:  # pragma: no cover - failure cleanup
+            daemon.kill()
+            daemon.wait()
+    serial = run_fault_campaign(
+        "c",
+        per_dimension=1,
+        seed=20010,
+        injection="checkpoint",
+        checkpoint_granularity="subcall",
+    )
+    assert report_json(campaign) == report_json(serial)
+    assert campaign.checkpoint_stats == serial.checkpoint_stats
