@@ -262,8 +262,9 @@ def run_configurations(
 
     engine_warmup_seconds = None
     engine_seconds = None
+    engine_unsupervised_seconds = None
     if engine:
-        from repro.engine import CampaignRequest, Engine
+        from repro.engine import CampaignRequest, Engine, SupervisionPolicy
 
         request = CampaignRequest(
             driver=driver,
@@ -293,6 +294,28 @@ def run_configurations(
             engine_seconds = min(timings)
         finally:
             warm_engine.close()
+        # Supervision overhead: the same steady-state submissions with
+        # the worker supervisor disarmed (the pre-supervision engine).
+        # The in-flight ledger, sentinel waits and deadline bookkeeping
+        # all run on the armed path, so armed/disarmed is the price of
+        # fault tolerance — and the disarmed outcomes must still be
+        # identical, since supervision never fires in a clean run.
+        unsupervised = Engine(
+            workers=engine,
+            warm=(request,),
+            supervision=SupervisionPolicy.disabled(),
+        )
+        unsupervised.start()
+        submissions.append(unsupervised.submit(request))
+        try:
+            timings = []
+            for _ in range(2):
+                start = time.perf_counter()
+                submissions.append(unsupervised.submit(request))
+                timings.append(time.perf_counter() - start)
+            engine_unsupervised_seconds = min(timings)
+        finally:
+            unsupervised.close()
         for engine_campaign in submissions:
             assert _outcomes(engine_campaign) == _outcomes(
                 checkpoint_serial
@@ -322,6 +345,21 @@ def run_configurations(
         "speedup_engine_vs_checkpoint_serial": (
             round(checkpoint_serial_seconds / engine_seconds, 2)
             if engine_seconds
+            else None
+        ),
+        "engine_unsupervised_seconds": (
+            round(engine_unsupervised_seconds, 3)
+            if engine_unsupervised_seconds is not None
+            else None
+        ),
+        "engine_unsupervised_mutants_per_sec": (
+            round(tested / engine_unsupervised_seconds, 2)
+            if engine_unsupervised_seconds
+            else None
+        ),
+        "supervision_overhead": (
+            round(engine_seconds / engine_unsupervised_seconds, 3)
+            if engine_seconds and engine_unsupervised_seconds
             else None
         ),
         "sharded_seconds": (

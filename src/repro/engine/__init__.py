@@ -23,7 +23,7 @@ Front ends, closest-first:
 """
 
 from repro.engine.core import Engine, EngineError, run_engine_campaign
-from repro.engine.daemon import EngineClient, serve
+from repro.engine.daemon import CampaignFailedError, EngineClient, serve
 from repro.engine.scheduler import (
     LeaseEvent,
     StealScheduler,
@@ -36,16 +36,20 @@ from repro.engine.state import (
     WarmSpec,
     WarmState,
 )
+from repro.engine.supervision import QuarantineRecord, SupervisionPolicy
 
 __all__ = [
+    "CampaignFailedError",
     "CampaignRequest",
     "Engine",
     "EngineClient",
     "EngineError",
     "FaultRequest",
     "LeaseEvent",
+    "QuarantineRecord",
     "SpecRequest",
     "StealScheduler",
+    "SupervisionPolicy",
     "WarmSpec",
     "WarmState",
     "default_lease_size",

@@ -19,6 +19,7 @@ until the engine is warm.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 
@@ -27,6 +28,7 @@ from repro.kernel.checkpoint import GRANULARITIES
 from repro.mutation.sampling import DEFAULT_SEED
 from repro.engine.daemon import EngineClient, serve
 from repro.engine.state import CampaignRequest, SpecRequest
+from repro.engine.supervision import SupervisionPolicy
 
 
 def _request_arguments(parser: argparse.ArgumentParser) -> None:
@@ -89,6 +91,18 @@ def main(argv: list[str] | None = None) -> int:
         help="multiprocessing start method (default: REPRO_MP_START_METHOD, "
         "else fork)",
     )
+    server.add_argument(
+        "--lease-timeout", type=float, default=None,
+        help="kill and respawn a worker whose lease runs longer than this "
+        "many seconds (default: REPRO_ENGINE_LEASE_TIMEOUT, else off)",
+    )
+    server.add_argument(
+        "--no-supervise",
+        dest="supervise",
+        action="store_false",
+        help="disable worker supervision: any worker death aborts the "
+        "campaign (default: REPRO_ENGINE_SUPERVISE)",
+    )
     _request_arguments(server)
     server.add_argument(
         "--no-warm",
@@ -96,6 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_false",
         help="skip pre-warming; state builds on the first submission",
     )
+    server.set_defaults(supervise=None)
 
     submit = commands.add_parser(
         "submit", help="run a driver campaign through a running daemon"
@@ -128,12 +143,21 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         warm = (_request(args),) if args.warm else ()
+        if args.supervise is False:
+            supervision = SupervisionPolicy.disabled()
+        else:
+            supervision = SupervisionPolicy.from_env()
+        if args.lease_timeout is not None:
+            supervision = dataclasses.replace(
+                supervision, lease_timeout=args.lease_timeout
+            )
         serve(
             args.socket,
             workers=args.workers,
             warm=warm,
             start_method=args.start_method,
             ready=lambda: print(f"engine ready on {args.socket}", flush=True),
+            supervision=supervision,
         )
         return 0
 

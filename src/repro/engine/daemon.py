@@ -18,10 +18,20 @@ can write.  Client frames are ``("campaign", CampaignRequest)``,
 ``("shutdown",)``;
 the server answers a campaign with a stream of
 ``("result", index, MutantResult)`` frames in completion order,
-terminated by ``("done", summary)`` — or ``("error", message)`` if
-evaluation failed.  The client reassembles the stream by sampled index,
-which is exactly the merge the engine itself performs, so daemon
-round-trips preserve byte-identity.
+terminated by ``("done", summary)``.  A campaign that *fails* —
+typically the supervised engine exhausting its respawn budget — ends
+the stream with a typed ``("failed", info)`` frame instead, which the
+client raises as :class:`CampaignFailedError` (``info`` names the
+exception type and message); ``("error", message)`` is reserved for
+malformed requests.  The client reassembles the stream by sampled
+index, which is exactly the merge the engine itself performs, so
+daemon round-trips preserve byte-identity.
+
+The serve loop is failure-isolated per connection: a client that
+vanishes mid-stream (``BrokenPipeError``/``ConnectionResetError``
+while results are being pushed) or sends garbage costs only that
+connection — the daemon logs it and goes back to ``accept``, warm
+state intact.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ import signal
 import socket
 import stat
 import struct
+import sys
 import time
 
 from repro.mutation.runner import CampaignResult, DevilCampaignResult
@@ -40,6 +51,29 @@ from repro.engine.core import Engine, EngineError
 from repro.engine.state import CampaignRequest, FaultRequest, SpecRequest
 
 _LENGTH = struct.Struct(">I")
+
+#: First client connect retry delay; doubles per attempt up to the cap,
+#: so a client racing a warming daemon probes densely at first and then
+#: backs off instead of hammering the socket at a fixed 50 ms.
+_CONNECT_BACKOFF_BASE = 0.01
+_CONNECT_BACKOFF_CAP = 0.5
+
+
+class CampaignFailedError(EngineError):
+    """A daemon-side campaign failed after (possibly partial) streaming.
+
+    Raised by :class:`EngineClient` when the server ends a campaign
+    stream with a ``("failed", info)`` frame.  ``info`` is the server's
+    structured description: ``{"error": <exception type name>,
+    "message": <str(exception)>}``.
+    """
+
+    def __init__(self, info: dict):
+        super().__init__(
+            "campaign failed in the daemon: "
+            f"{info.get('error', 'Exception')}: {info.get('message', '')}"
+        )
+        self.info = info
 
 
 def send_frame(sock: socket.socket, payload) -> None:
@@ -82,6 +116,7 @@ def _summary_of(campaign) -> dict:
             "lines": campaign.lines,
             "sites": campaign.sites,
             "enumerated": campaign.enumerated,
+            "quarantine": campaign.quarantine,
         }
     if isinstance(campaign, FaultCampaignResult):
         return {
@@ -96,6 +131,7 @@ def _summary_of(campaign) -> dict:
             "clean_steps": campaign.clean_steps,
             "step_budget": campaign.step_budget,
             "checkpoint_stats": campaign.checkpoint_stats,
+            "quarantine": campaign.quarantine,
         }
     return {
         "kind": "driver",
@@ -104,6 +140,7 @@ def _summary_of(campaign) -> dict:
         "clean_steps": campaign.clean_steps,
         "step_budget": campaign.step_budget,
         "checkpoint_stats": campaign.checkpoint_stats,
+        "quarantine": campaign.quarantine,
     }
 
 
@@ -118,6 +155,7 @@ def _assemble(summary: dict, indexed_results: list) -> object:
             enumerated=summary["enumerated"],
         )
         campaign.results = results
+        campaign.quarantine = summary.get("quarantine", ())
         return campaign
     if summary["kind"] == "fault":
         campaign = FaultCampaignResult(
@@ -133,6 +171,7 @@ def _assemble(summary: dict, indexed_results: list) -> object:
         )
         campaign.results = results
         campaign.checkpoint_stats = summary["checkpoint_stats"]
+        campaign.quarantine = summary.get("quarantine", ())
         return campaign
     campaign = CampaignResult(
         driver=summary["driver"],
@@ -142,6 +181,7 @@ def _assemble(summary: dict, indexed_results: list) -> object:
     )
     campaign.results = results
     campaign.checkpoint_stats = summary["checkpoint_stats"]
+    campaign.quarantine = summary.get("quarantine", ())
     return campaign
 
 
@@ -196,6 +236,7 @@ def serve(
     warm=(),
     start_method: str | None = None,
     ready=None,
+    supervision=None,
 ) -> None:
     """Run the engine daemon until a ``shutdown`` frame (or SIGTERM).
 
@@ -219,7 +260,12 @@ def serve(
         signum: signal.signal(signum, _terminate)
         for signum in (signal.SIGTERM, signal.SIGINT)
     }
-    engine = Engine(workers=workers, warm=warm, start_method=start_method)
+    engine = Engine(
+        workers=workers,
+        warm=warm,
+        start_method=start_method,
+        supervision=supervision,
+    )
     try:
         engine.start()
         if ready is not None:
@@ -228,7 +274,26 @@ def serve(
         while running:
             conn, _ = server.accept()
             with conn:
-                running = _handle(conn, engine)
+                try:
+                    running = _handle(conn, engine)
+                except (BrokenPipeError, ConnectionResetError) as error:
+                    # The client vanished mid-stream.  Its campaign
+                    # aborted between leases; the engine drains any
+                    # still-in-flight frames on the next submission.
+                    print(
+                        "engine daemon: client vanished mid-stream "
+                        f"({type(error).__name__})",
+                        file=sys.stderr,
+                    )
+                except (
+                    EngineError,
+                    pickle.UnpicklingError,
+                    OSError,
+                ) as error:
+                    print(
+                        f"engine daemon: connection failed: {error}",
+                        file=sys.stderr,
+                    )
     finally:
         for signum, handler in previous.items():
             signal.signal(signum, handler)
@@ -261,8 +326,23 @@ def _handle(conn: socket.socket, engine: Engine) -> bool:
                         conn, ("result", index, result)
                     ),
                 )
-            except EngineError as error:
-                send_frame(conn, ("error", str(error)))
+            except (BrokenPipeError, ConnectionResetError):
+                raise  # the *client* died: this connection is over
+            except Exception as error:
+                # The campaign failed (typically: supervision exhausted
+                # its respawn budget).  Degrade per-connection with a
+                # typed frame the client raises precisely, instead of
+                # taking the daemon down.
+                send_frame(
+                    conn,
+                    (
+                        "failed",
+                        {
+                            "error": type(error).__name__,
+                            "message": str(error),
+                        },
+                    ),
+                )
                 return True
             send_frame(conn, ("done", _summary_of(campaign)))
         else:
@@ -274,9 +354,12 @@ class EngineClient:
     """Submit campaigns to a `serve` daemon over its Unix socket.
 
     One fresh connection per call keeps the client stateless; ``wait``
-    retries the initial connect (in 50 ms steps) so a client started
-    alongside the daemon simply blocks until the socket exists and the
-    warm engine answers.
+    bounds how long the initial connect retries with exponential
+    backoff (10 ms doubling to a 500 ms cap, never sleeping past the
+    deadline), so a client started alongside the daemon blocks until
+    the socket exists and the warm engine answers — and a client whose
+    daemon never appears fails within ``wait`` seconds with the
+    underlying ``FileNotFoundError``/``ConnectionRefusedError``.
     """
 
     def __init__(self, socket_path: str, wait: float = 0.0):
@@ -285,6 +368,7 @@ class EngineClient:
 
     def _connect(self) -> socket.socket:
         deadline = time.monotonic() + self.wait
+        delay = _CONNECT_BACKOFF_BASE
         while True:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             try:
@@ -292,9 +376,11 @@ class EngineClient:
                 return sock
             except (FileNotFoundError, ConnectionRefusedError):
                 sock.close()
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= deadline:
                     raise
-                time.sleep(0.05)
+                time.sleep(min(delay, deadline - now))
+                delay = min(delay * 2, _CONNECT_BACKOFF_CAP)
 
     def ping(self) -> bool:
         with self._connect() as sock:
@@ -368,6 +454,8 @@ class EngineClient:
                     indexed.append((index, result))
                 elif kind == "done":
                     return _assemble(frame[1], indexed)
+                elif kind == "failed":
+                    raise CampaignFailedError(frame[1])
                 elif kind == "error":
                     raise EngineError(f"daemon error: {frame[1]}")
                 else:

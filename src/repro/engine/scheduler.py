@@ -53,10 +53,15 @@ class LeaseEvent:
     """One scheduling decision, recorded for inspection and tests."""
 
     worker_id: int
-    lease: range
+    #: A ``range`` for first-dispatch leases; reclaimed leases come
+    #: back as explicit index tuples.
+    lease: range | tuple
     #: The worker the lease was stolen from (``None``: the worker's own
     #: block).
     victim: int | None = None
+    #: ``True`` when the lease re-dispatches indices a dead worker lost
+    #: (:meth:`StealScheduler.reclaim`).
+    reclaimed: bool = False
 
 
 class StealScheduler:
@@ -103,16 +108,41 @@ class StealScheduler:
                     range(chunk_start, min(chunk_start + lease_size, block.stop))
                 )
             self._queues.append(queue)
+        #: Leases a supervised worker died holding, returned through
+        #: :meth:`reclaim` — served before any undealt block because
+        #: they gate campaign completion.
+        self._reclaimed: deque[tuple[int, ...]] = deque()
 
     def remaining(self) -> int:
-        """Indices not yet dealt out."""
-        return sum(len(chunk) for queue in self._queues for chunk in queue)
+        """Indices not yet dealt out (reclaimed leases included)."""
+        return sum(
+            len(chunk) for queue in self._queues for chunk in queue
+        ) + sum(len(chunk) for chunk in self._reclaimed)
 
-    def next_lease(self, worker_id: int) -> range | None:
+    def reclaim(self, indices) -> None:
+        """Return a lost lease's unfinished indices to the pool.
+
+        The engine's supervisor calls this when a worker dies (or is
+        killed for blowing the lease timeout) with the lease in flight.
+        Reclaimed chunks are re-dealt to whichever worker asks first,
+        ahead of undealt blocks — the campaign cannot finish until they
+        land, so they must not queue behind bulk work.
+        """
+        chunk = tuple(indices)
+        if chunk:
+            self._reclaimed.append(chunk)
+
+    def next_lease(self, worker_id: int) -> range | tuple | None:
         if not 0 <= worker_id < self.worker_count:
             raise ValueError(
                 f"worker_id {worker_id} outside [0, {self.worker_count})"
             )
+        if self._reclaimed:
+            lease = self._reclaimed.popleft()
+            self.history.append(
+                LeaseEvent(worker_id, lease, reclaimed=True)
+            )
+            return lease
         own = self._queues[worker_id]
         if own:
             lease = own.popleft()

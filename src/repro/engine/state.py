@@ -380,6 +380,44 @@ class WarmState:
                 self._samples[key] = sample_mutants(population, fraction, seed)
         return self._samples[key]
 
+    def describe_item(self, item) -> str:
+        """Human identity of one sampled item, for quarantine records."""
+        if self.spec.kind == FAULT_KIND:
+            return (
+                f"{item.dimension}@{item.channel}:{item.port}"
+                f"#{item.index}+{item.count}"
+            )
+        return item.mutant_id
+
+    def crash_result(self, item, kind: str, attempts: int):
+        """The structured ``WORKER_CRASH`` row for a quarantined item.
+
+        Built in the *parent* by the supervisor when ``item``'s
+        singleton lease has killed (``kind="crash"``) or wedged past
+        the lease timeout (``kind="hang"``) ``attempts`` fresh workers
+        in a row — the degradation row that replaces aborting the whole
+        campaign.  Typed to match the campaign's other rows so reports
+        and merges treat it uniformly.
+        """
+        from repro.kernel.outcomes import BootOutcome
+
+        if kind == "hang":
+            detail = (
+                f"quarantined: wedged {attempts} fresh workers past "
+                "the lease timeout"
+            )
+        else:
+            detail = f"quarantined: crashed {attempts} fresh workers"
+        if self.spec.kind == FAULT_KIND:
+            from repro.faults.campaign import FaultResult
+
+            return FaultResult(
+                fault=item, outcome=BootOutcome.WORKER_CRASH, detail=detail
+            )
+        return MutantResult(
+            mutant=item, outcome=BootOutcome.WORKER_CRASH, detail=detail
+        )
+
     def evaluate(self, mutant) -> tuple[object, dict | None]:
         """One mutant (or fault) through the serial evaluation path.
 

@@ -42,6 +42,11 @@ POINT_KEYS = (
     "engine_workers",
     "engine_mutants_per_sec",
     "speedup_engine_vs_checkpoint_serial",
+    #: Supervision overhead (PR 8+): warm-submission throughput with
+    #: the worker supervisor disarmed, and the armed/disarmed runtime
+    #: ratio — the measured price of fault tolerance on a clean run.
+    "engine_unsupervised_mutants_per_sec",
+    "supervision_overhead",
     "checkpoint_resumed",
     "checkpoint_resumed_subcall",
     "checkpoint_cold",

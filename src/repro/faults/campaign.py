@@ -104,6 +104,10 @@ class FaultCampaignResult:
     #: Same counters as driver campaigns: resumed/cold boots, the
     #: sub-call resume subset, and clean-prefix steps skipped.
     checkpoint_stats: dict | None = None
+    #: Engine-supervision quarantine records
+    #: (`repro.engine.supervision.QuarantineRecord`); ``()`` for serial
+    #: and worker-pool runs.
+    quarantine: tuple = ()
 
     @property
     def tested(self) -> int:

@@ -29,6 +29,12 @@ class BootOutcome(enum.Enum):
     HALT = "halt"
     #: Case 7 — boot completed but the disk was altered.
     DAMAGED_BOOT = "damaged boot"
+    #: Not one of the paper's cases: the evaluation *harness* died.  A
+    #: mutant whose lease repeatably kills a fresh engine worker is
+    #: quarantined by `repro.engine` supervision and reported with this
+    #: outcome instead of aborting the campaign.  Serial runs never
+    #: produce it (the mutant executes in the classifying process).
+    WORKER_CRASH = "worker crash"
 
     def __str__(self) -> str:
         return self.value

@@ -84,6 +84,12 @@ class CampaignResult:
     #: resumed/cold boot counts, the sub-call resume subset, and total
     #: clean-prefix steps skipped.
     checkpoint_stats: dict | None = None
+    #: Engine-supervision quarantine records
+    #: (`repro.engine.supervision.QuarantineRecord`): mutants whose
+    #: evaluation repeatably killed a fresh worker, reported as
+    #: ``WORKER_CRASH`` rows in ``results``.  Always ``()`` for serial
+    #: and worker-pool runs (the mutant executes in-process there).
+    quarantine: tuple = ()
 
     @property
     def tested(self) -> int:
@@ -117,6 +123,8 @@ class DevilCampaignResult:
     sites: int
     enumerated: int
     results: list[MutantResult] = field(default_factory=list)
+    #: Engine-supervision quarantine records (see ``CampaignResult``).
+    quarantine: tuple = ()
 
     @property
     def tested(self) -> int:

@@ -510,3 +510,103 @@ def test_daemon_fault_campaign_round_trip(tmp_path):
     )
     assert report_json(campaign) == report_json(serial)
     assert campaign.checkpoint_stats == serial.checkpoint_stats
+
+
+# -- fault tolerance satellites -----------------------------------------------
+
+
+class _FakeTime:
+    """Deterministic stand-in for the daemon module's ``time``: sleeps
+    advance the clock instantly and are recorded for inspection."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def monotonic(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def test_client_connect_backoff_bounds_the_wait(tmp_path, monkeypatch):
+    """``wait`` is a hard deadline served with exponential backoff: the
+    retry delays double from 10 ms to the 500 ms cap, never oversleep
+    the deadline, and a daemon that never appears fails at ``wait``."""
+    from repro.engine import daemon as daemon_module
+
+    fake = _FakeTime()
+    monkeypatch.setattr(daemon_module, "time", fake)
+    client = EngineClient(str(tmp_path / "never.sock"), wait=5.0)
+    with pytest.raises(FileNotFoundError):
+        client._connect()
+    assert fake.sleeps[0] == pytest.approx(0.01)
+    for earlier, later in zip(fake.sleeps, fake.sleeps[1:]):
+        assert later <= max(2 * earlier, 0.5) + 1e-9
+    assert max(fake.sleeps) <= 0.5
+    assert fake.now == pytest.approx(5.0)  # clamped to the deadline
+    assert len(fake.sleeps) < 5.0 / 0.05  # strictly fewer than 50ms steps
+
+
+def test_client_zero_wait_fails_immediately(tmp_path, monkeypatch):
+    from repro.engine import daemon as daemon_module
+
+    fake = _FakeTime()
+    monkeypatch.setattr(daemon_module, "time", fake)
+    client = EngineClient(str(tmp_path / "never.sock"))
+    with pytest.raises(FileNotFoundError):
+        client._connect()
+    assert fake.sleeps == []
+
+
+def test_failed_campaign_drains_cleanly(serial_plain):
+    """Regression: a campaign aborted *after* dispatch (bad scheduler,
+    here) leaves leases in flight; the next submission must discard
+    their stale frames instead of merging them — and still equal
+    serial."""
+    calls = []
+
+    def factory(total, workers):
+        if not calls:
+            calls.append(1)
+            # Covers everything in one lease, then replays index 0: the
+            # engine aborts on the replay with the full-range lease
+            # already in the worker's pipe.
+            return ScriptedScheduler([range(0, total), range(0, 1)])
+        return StealScheduler(total, workers)
+
+    with Engine(workers=1, warm=(PLAIN,), scheduler_factory=factory) as engine:
+        with pytest.raises(EngineError, match="twice"):
+            engine.submit(PLAIN)
+        assert engine.submit(PLAIN) == serial_plain
+
+
+def test_close_reaps_a_wedged_worker(monkeypatch):
+    """The close() backstop: a worker stuck in an evaluation and
+    ignoring SIGTERM is still reaped, within the close timeout
+    escalation, not waited on forever."""
+    import time as real_time
+
+    from repro.engine import core as engine_core
+
+    def wedge(spec, index, item):
+        import signal as worker_signal
+        import time as worker_time
+
+        worker_signal.signal(worker_signal.SIGTERM, worker_signal.SIG_IGN)
+        worker_time.sleep(600)
+
+    monkeypatch.setattr(engine_core, "_TEST_EVAL_HOOK", wedge)
+    engine = Engine(workers=1, warm=(PLAIN,), close_timeout=0.5)
+    engine.start()
+    proc = engine._procs[0]
+    spec = PLAIN.resolved().warm_spec()
+    # Wedge the worker: send a lease it will never answer.
+    engine._conns[0].send(("eval", 0, spec, FRACTION, SEED, [0]))
+    deadline = real_time.monotonic()
+    engine.close()
+    elapsed = real_time.monotonic() - deadline
+    assert not proc.is_alive()
+    assert elapsed < 10.0  # three 0.5 s joins plus slack, not 600 s
