@@ -26,6 +26,15 @@ fixed-seed sampled C-driver campaign under several configurations:
   ``checkpoint_resumed_fraction`` of boots resumed, and
   ``checkpoint_prefix_steps_skipped``, the clean-prefix steps the
   campaign never re-executed;
+* **corpus configuration** (``--corpus N``) — a scale-``N`` generated
+  scenario corpus (`repro.scenarios`) run end to end as mutation
+  campaign targets: deterministic generation (timed separately as
+  ``corpus_generate_seconds``), a serial checkpointed campaign per
+  scenario, and the same campaigns submitted to one warm engine holding
+  every scenario resident.  ``corpus_mutants_per_sec`` /
+  ``corpus_engine_mutants_per_sec`` aggregate over the whole corpus,
+  and ``corpus_outcomes_identical`` asserts per-scenario byte-identity
+  (outcomes *and* summed ``checkpoint_stats``) between the two paths;
 * **engine configuration** (``--engine N``) — the checkpoint
   configuration submitted to a warm `repro.engine.Engine` with ``N``
   work-stealing workers.  Pool warm-up (fork with baseline, mutants and
@@ -420,6 +429,105 @@ def run_configurations(
     }
 
 
+#: Corpus-configuration sampling: denser than the driver fraction
+#: because generated programs are small (hundreds to ~1.5k mutants
+#: each), so 20% still keeps the smoke benchmark to a few dozen boots
+#: per scenario.
+CORPUS_FRACTION = 0.2
+
+
+def run_corpus_configuration(
+    scale: int,
+    fraction: float = CORPUS_FRACTION,
+    seed: int = DEFAULT_SEED,
+    engine_workers: int = 0,
+) -> dict:
+    """Time a generated-scenario corpus as campaign targets.
+
+    Serial path: one checkpointed source-backend campaign per corpus
+    member, back to back — each pays its own preparation, like the
+    serial driver rows.  Engine path (``engine_workers`` > 0): the same
+    campaigns submitted to a single warm `repro.engine.Engine` holding
+    *every* scenario's state resident (warm-up excluded from the timed
+    region, like ``engine_seconds``), asserting per-scenario
+    byte-identity of outcomes and summed checkpoint stats.
+    """
+    from repro.scenarios import generate_corpus, run_scenario_campaign
+
+    start = time.perf_counter()
+    corpus = generate_corpus(scale)
+    generate_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial = {}
+    for scenario in corpus:
+        serial[scenario.scenario_id] = run_scenario_campaign(
+            scenario,
+            fraction=fraction,
+            seed=seed,
+            backend="source",
+            boot_checkpoint=True,
+            checkpoint_granularity="subcall",
+        )
+    serial_seconds = time.perf_counter() - start
+    tested = sum(len(c.results) for c in serial.values())
+
+    engine_seconds = None
+    identical = None  # no cross-path comparison without an engine run
+    if engine_workers:
+        from repro.engine import Engine, ScenarioRequest
+
+        requests = [
+            ScenarioRequest(
+                scenario_id=scenario.scenario_id,
+                fraction=fraction,
+                seed=seed,
+                backend="source",
+                boot_checkpoint=True,
+                granularity="subcall",
+            )
+            for scenario in corpus
+        ]
+        with Engine(workers=engine_workers, warm=tuple(requests)) as engine:
+            start = time.perf_counter()
+            submissions = [
+                engine.run_scenario_campaign(request) for request in requests
+            ]
+            engine_seconds = time.perf_counter() - start
+        for campaign in submissions:
+            reference = serial[campaign.driver.removeprefix("scenario:")]
+            assert campaign == reference, (
+                f"engine corpus campaign diverged from serial: "
+                f"{campaign.driver}"
+            )
+            assert campaign.checkpoint_stats == reference.checkpoint_stats, (
+                f"engine corpus campaign's summed checkpoint stats "
+                f"diverged: {campaign.driver}"
+            )
+        identical = True
+
+    return {
+        "corpus_scenarios": scale,
+        "corpus_mutants": tested,
+        "corpus_generate_seconds": round(generate_seconds, 3),
+        "corpus_seconds": round(serial_seconds, 3),
+        "corpus_mutants_per_sec": round(tested / serial_seconds, 2),
+        "corpus_engine_workers": engine_workers or None,
+        "corpus_engine_seconds": (
+            round(engine_seconds, 3) if engine_seconds is not None else None
+        ),
+        "corpus_engine_mutants_per_sec": (
+            round(tested / engine_seconds, 2) if engine_seconds else None
+        ),
+        "speedup_corpus_engine_vs_serial": (
+            round(serial_seconds / engine_seconds, 2)
+            if engine_seconds
+            else None
+        ),
+        "corpus_outcomes_identical": identical,
+    }
+
+
 def time_seed_revision(
     rev: str, fraction: float, seed: int
 ) -> float | None:
@@ -492,6 +600,16 @@ def main(argv: list[str] | None = None) -> int:
         "point)",
     )
     parser.add_argument(
+        "--corpus",
+        type=int,
+        default=0,
+        metavar="SCALE",
+        help="also time a scale-N generated scenario corpus "
+        "(repro.scenarios) as campaign targets, serial and on a warm "
+        "engine (worker count from --engine, default 2); recorded as "
+        "corpus_* fields on the trajectory point",
+    )
+    parser.add_argument(
         "--seed-rev",
         default=None,
         help="git revision of the seed implementation to time as the "
@@ -528,6 +646,15 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         engine=args.engine,
     )
+
+    if args.corpus:
+        report.update(
+            run_corpus_configuration(
+                args.corpus,
+                seed=args.seed,
+                engine_workers=args.engine or 2,
+            )
+        )
 
     if prior_source:
         report["prior_source_serial_seconds"] = prior_source
@@ -613,6 +740,15 @@ def test_campaign_throughput(benchmark, capsys):
     assert report["speedup_source_vs_closure"] > 1.0
     if report["budget_bound_mutants"]:
         assert report["speedup_source_vs_closure_budget_bound"] > 1.3
+
+
+def test_corpus_configuration_smoke():
+    """A tiny corpus runs as campaign targets with engine identity."""
+    report = run_corpus_configuration(2, engine_workers=2)
+    assert report["corpus_scenarios"] == 2
+    assert report["corpus_mutants"] > 0
+    assert report["corpus_mutants_per_sec"] > 0
+    assert report["corpus_outcomes_identical"] is True
 
 
 def test_parallel_equals_serial_small():

@@ -16,7 +16,8 @@ Front ends, closest-first:
 
 * ``Engine`` / ``run_engine_campaign`` — in-process;
 * ``run_driver_campaign(engine=...)`` — the classic entry point,
-  engine-backed (likewise ``repro.faults.run_fault_campaign``);
+  engine-backed (likewise ``repro.faults.run_fault_campaign`` and
+  ``repro.scenarios.run_scenario_campaign``);
 * ``EngineClient`` ↔ ``python -m repro.engine serve`` — a Unix-socket
   daemon (`repro.engine.daemon`) whose warm state outlives submitting
   processes.
@@ -32,6 +33,7 @@ from repro.engine.scheduler import (
 from repro.engine.state import (
     CampaignRequest,
     FaultRequest,
+    ScenarioRequest,
     SpecRequest,
     WarmSpec,
     WarmState,
@@ -47,6 +49,7 @@ __all__ = [
     "FaultRequest",
     "LeaseEvent",
     "QuarantineRecord",
+    "ScenarioRequest",
     "SpecRequest",
     "StealScheduler",
     "SupervisionPolicy",

@@ -73,8 +73,10 @@ from repro.engine.state import (
     DEVIL_KIND,
     DRIVER_KIND,
     FAULT_KIND,
+    SCENARIO_KIND,
     CampaignRequest,
     FaultRequest,
+    ScenarioRequest,
     SpecRequest,
     WarmSpec,
     WarmState,
@@ -364,7 +366,7 @@ class Engine:
             return state
         state = WarmState.build(spec)
         plan_path = None
-        if spec.kind == DRIVER_KIND and spec.boot_checkpoint:
+        if spec.kind in (DRIVER_KIND, SCENARIO_KIND) and spec.boot_checkpoint:
             # Persist the recorded plan so workers warmed *after* the
             # fork load it instead of re-running the instrumented boot.
             from repro.kernel.checkpoint import save_plan
@@ -453,8 +455,10 @@ class Engine:
         `~repro.mutation.runner.DevilCampaignResult` for
         :class:`SpecRequest`,
         `~repro.faults.campaign.FaultCampaignResult` for
-        :class:`FaultRequest` — byte-identical to the cold-start
-        equivalent.  ``on_result(index, result)`` streams results in
+        :class:`FaultRequest`,
+        `~repro.mutation.runner.CampaignResult` labelled
+        ``scenario:<id>`` for :class:`ScenarioRequest` — byte-identical
+        to the cold-start equivalent.  ``on_result(index, result)`` streams results in
         completion order; ``progress(done, total)`` mirrors the serial
         runner's callback.
         """
@@ -506,7 +510,13 @@ class Engine:
             campaign.quarantine = quarantined
             return campaign
         campaign = CampaignResult(
-            driver=spec.driver,
+            # Scenario campaigns carry the serial runner's label so an
+            # engine result compares byte-identical to a serial one.
+            driver=(
+                f"scenario:{spec.spec_name}"
+                if spec.kind == SCENARIO_KIND
+                else spec.driver
+            ),
             enumerated=state.enumerated,
             clean_steps=state.setup.clean_steps,
             step_budget=state.setup.budget,
@@ -531,6 +541,17 @@ class Engine:
         if not isinstance(request, FaultRequest):
             raise EngineError(
                 f"run_fault_campaign takes a FaultRequest, got {type(request)!r}"
+            )
+        return self.submit(request, progress=progress, on_result=on_result)
+
+    def run_scenario_campaign(
+        self, request: ScenarioRequest, progress=None, on_result=None
+    ) -> CampaignResult:
+        """`submit`, typed for generated-scenario campaigns (`repro.scenarios`)."""
+        if not isinstance(request, ScenarioRequest):
+            raise EngineError(
+                f"run_scenario_campaign takes a ScenarioRequest, "
+                f"got {type(request)!r}"
             )
         return self.submit(request, progress=progress, on_result=on_result)
 

@@ -14,7 +14,8 @@ trade-off the distributed shard files make (`repro.serialize`): the
 socket path is the trust boundary, so keep it in a directory only you
 can write.  Client frames are ``("campaign", CampaignRequest)``,
 ``("spec-campaign", SpecRequest)``,
-``("fault-campaign", FaultRequest)``, ``("ping",)`` and
+``("fault-campaign", FaultRequest)``,
+``("scenario-campaign", ScenarioRequest)``, ``("ping",)`` and
 ``("shutdown",)``;
 the server answers a campaign with a stream of
 ``("result", index, MutantResult)`` frames in completion order,
@@ -48,7 +49,12 @@ import time
 from repro.mutation.runner import CampaignResult, DevilCampaignResult
 from repro.faults.campaign import FaultCampaignResult
 from repro.engine.core import Engine, EngineError
-from repro.engine.state import CampaignRequest, FaultRequest, SpecRequest
+from repro.engine.state import (
+    CampaignRequest,
+    FaultRequest,
+    ScenarioRequest,
+    SpecRequest,
+)
 
 _LENGTH = struct.Struct(">I")
 
@@ -317,7 +323,12 @@ def _handle(conn: socket.socket, engine: Engine) -> bool:
         elif op == "shutdown":
             send_frame(conn, ("ok",))
             return False
-        elif op in ("campaign", "spec-campaign", "fault-campaign"):
+        elif op in (
+            "campaign",
+            "spec-campaign",
+            "fault-campaign",
+            "scenario-campaign",
+        ):
             request = frame[1]
             try:
                 campaign = engine.submit(
@@ -428,12 +439,25 @@ class EngineClient:
             )
         return self._submit("fault-campaign", request, on_result)
 
+    def run_scenario_campaign(
+        self, request: ScenarioRequest, on_result=None
+    ) -> CampaignResult:
+        """A generated-scenario campaign (`repro.scenarios`) via the daemon."""
+        if not isinstance(request, ScenarioRequest):
+            raise EngineError(
+                f"run_scenario_campaign takes a ScenarioRequest, "
+                f"got {type(request)!r}"
+            )
+        return self._submit("scenario-campaign", request, on_result)
+
     def submit(self, request, on_result=None):
         """Dispatch on request type, mirroring ``Engine.submit``."""
         if isinstance(request, SpecRequest):
             return self.run_spec_campaign(request, on_result)
         if isinstance(request, FaultRequest):
             return self.run_fault_campaign(request, on_result)
+        if isinstance(request, ScenarioRequest):
+            return self.run_scenario_campaign(request, on_result)
         return self.run_campaign(request, on_result)
 
     def _submit(self, op: str, request, on_result):

@@ -65,6 +65,7 @@ from repro.faults.plan import build_fault_plan, dimensions_from_env
 DRIVER_KIND = "driver"
 DEVIL_KIND = "devil"
 FAULT_KIND = "fault"
+SCENARIO_KIND = "scenario"
 
 
 @dataclass(frozen=True)
@@ -160,6 +161,64 @@ class SpecRequest:
             kind=DEVIL_KIND,
             spec_name=self.spec_name,
             compile_cache=self.compile_cache,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioRequest:
+    """One generated-scenario mutation campaign (`repro.scenarios`).
+
+    The scenario is identified by its stable corpus id
+    (``"polling-003"``) — pure data, so the request pickles across the
+    daemon socket and every worker rebuilds the identical scenario
+    deterministically.  Checkpoint fields resolve from the environment
+    exactly like :class:`CampaignRequest`.
+    """
+
+    scenario_id: str
+    fraction: float = 1.0
+    seed: int = DEFAULT_SEED
+    backend: str | None = None
+    compile_cache: bool = True
+    boot_checkpoint: bool | None = None
+    granularity: str | None = None
+    step_budget: int | None = None
+
+    def resolved(self) -> "ScenarioRequest":
+        boot_checkpoint = self.boot_checkpoint
+        if boot_checkpoint is None:
+            boot_checkpoint = checkpointing_enabled_by_env()
+        granularity = self.granularity
+        if granularity is None and boot_checkpoint:
+            granularity = granularity_from_env()
+        if granularity is not None and granularity not in GRANULARITIES:
+            raise ValueError(f"unknown granularity {granularity!r}")
+        return ScenarioRequest(
+            scenario_id=self.scenario_id,
+            fraction=self.fraction,
+            seed=self.seed,
+            backend=self.backend,
+            compile_cache=self.compile_cache,
+            boot_checkpoint=boot_checkpoint,
+            granularity=granularity if granularity is not None else "subcall",
+            step_budget=self.step_budget,
+        )
+
+    def warm_spec(self) -> WarmSpec:
+        request = self.resolved()
+        boot_checkpoint = bool(request.boot_checkpoint)
+        return WarmSpec(
+            kind=SCENARIO_KIND,
+            # ``spec_name`` doubles as the scenario id: the warm state's
+            # identity is the scenario slot, not a bundled driver name.
+            spec_name=self.scenario_id,
+            backend=request.backend,
+            compile_cache=request.compile_cache,
+            boot_checkpoint=boot_checkpoint,
+            granularity=request.granularity or "subcall",
+            granularity_pinned=boot_checkpoint
+            and pinned_granularity(self.granularity) is not None,
+            step_budget=request.step_budget,
         )
 
 
@@ -270,6 +329,8 @@ class WarmState:
             return cls._build_devil(spec)
         if spec.kind == FAULT_KIND:
             return cls._build_fault(spec)
+        if spec.kind == SCENARIO_KIND:
+            return cls._build_scenario(spec, plan_path)
         setup = prepare_campaign(
             spec.driver,
             spec.mode,
@@ -343,6 +404,43 @@ class WarmState:
         # resident before the pool forks.
         context.ensure()
         return cls(spec=spec, fault_context=context)
+
+    @classmethod
+    def _build_scenario(
+        cls, spec: WarmSpec, plan_path: str | None = None
+    ) -> "WarmState":
+        from repro.scenarios.campaign import (
+            ScenarioContext,
+            prepare_scenario_campaign,
+        )
+        from repro.scenarios.corpus import scenario_from_id
+
+        scenario = scenario_from_id(spec.spec_name)
+        setup = prepare_scenario_campaign(
+            scenario,
+            fraction=1.0,
+            seed=DEFAULT_SEED,
+            step_budget=spec.step_budget,
+            backend=spec.backend,
+            compile_cache=spec.compile_cache,
+        )
+        context = ScenarioContext.build(
+            scenario,
+            setup.budget,
+            spec.backend,
+            spec.compile_cache,
+            checkpoint=spec.boot_checkpoint,
+            granularity=spec.granularity,
+            compiler=setup.compiler,
+            plan_path=plan_path,
+            granularity_pinned=spec.granularity_pinned,
+        )
+        state = cls(spec=spec, setup=setup, context=context)
+        if spec.boot_checkpoint:
+            # Same eager warming as driver plans: recorded (or loaded)
+            # plan, machine and pristine snapshot resident pre-fork.
+            context.ensure_plan()
+        return state
 
     @property
     def enumerated(self) -> int:
@@ -434,6 +532,12 @@ class WarmState:
             return result, _stats_delta(
                 before, self.fault_context.stats_view()
             )
+        if self.spec.kind == SCENARIO_KIND:
+            from repro.scenarios.campaign import scenario_run_one
+
+            before = self.context.stats_view()
+            result = scenario_run_one(mutant, self.context)
+            return result, _stats_delta(before, self.context.stats_view())
         before = self.context.stats_view()
         result = _run_one(mutant, self.context)
         return result, _stats_delta(before, self.context.stats_view())

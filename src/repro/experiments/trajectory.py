@@ -60,6 +60,21 @@ POINT_KEYS = (
     #: trajectory's anchor (:func:`seed_anchor_throughput`) rather than
     #: timing the seed revision directly (``--seed-rev``).
     "speedup_vs_seed_derived",
+    #: Generated-scenario corpus configuration (PR 10+,
+    #: ``--corpus N``): corpus size and mutant population, generation
+    #: and campaign wall times, serial and warm-engine throughput over
+    #: the whole corpus, and the corpus's own identity bit (serial ==
+    #: pool == engine for every member).
+    "corpus_scenarios",
+    "corpus_mutants",
+    "corpus_generate_seconds",
+    "corpus_seconds",
+    "corpus_mutants_per_sec",
+    "corpus_engine_workers",
+    "corpus_engine_seconds",
+    "corpus_engine_mutants_per_sec",
+    "speedup_corpus_engine_vs_serial",
+    "corpus_outcomes_identical",
     "outcomes_identical",
 )
 

@@ -486,6 +486,7 @@ def record_plan(
     granularity: str = "call",
     subcall_interval: int = DEFAULT_SUBCALL_INTERVAL,
     subcall_limit: int = DEFAULT_SUBCALL_LIMIT,
+    harness_factory=None,
 ) -> CheckpointPlan:
     """Record the instrumented clean boot of ``program`` on ``machine``.
 
@@ -501,6 +502,15 @@ def record_plan(
     ``subcall_limit`` per call — and always records on the instrumented
     tree walker (exact step indices; the snapshots restore into any
     backend).
+
+    ``harness_factory`` swaps the kernel boot harness for another
+    workload: called as ``harness_factory(interp, machine)`` it must
+    return ``(sequence, classifier)`` where ``sequence`` implements the
+    :class:`~repro.kernel.kernel.BootSequence` surface (``call_index``,
+    ``done``, ``step()``, ``snapshot_state()``/``restore_state()``) and
+    ``classifier(run, machine, interp)`` maps the run to a
+    :class:`~repro.kernel.outcomes.BootReport`.  ``None`` records the
+    standard kernel boot.
     """
     if granularity not in GRANULARITIES:
         raise ValueError(
@@ -519,8 +529,12 @@ def record_plan(
         )
     recorder = _RecordingCoverage(interp)
     interp.coverage = recorder
-    context = _KernelContext(interp)
-    sequence = BootSequence(context, machine)
+    if harness_factory is None:
+        context = _KernelContext(interp)
+        sequence = BootSequence(context, machine)
+        classifier = classify_run
+    else:
+        sequence, classifier = harness_factory(interp, machine)
     plan = CheckpointPlan(
         backend=backend,
         step_budget=step_budget,
@@ -574,7 +588,7 @@ def record_plan(
             throttle["taken"] = 0
             sequence.step()
 
-    plan.report = classify_run(run, machine, interp)
+    plan.report = classifier(run, machine, interp)
     plan.first_step = {
         line: step for line, (step, _) in recorder.first_seen.items()
     }
@@ -708,6 +722,7 @@ def resume_boot(
     machine: Machine,
     step_budget: int,
     backend: str | None = None,
+    harness_factory=None,
 ) -> BootReport:
     """Boot ``program`` from ``checkpoint``, classifying like a cold boot.
 
@@ -721,6 +736,10 @@ def resume_boot(
     initialisers are deliberately not re-run: their effects are part of
     the restored state.  A pending in-flight call is finished by the
     kernel context's re-entrant call sites on the first boot step.
+
+    ``harness_factory`` must match the one the plan was recorded with
+    (see :func:`record_plan`): the restored kernel state is interpreted
+    by the sequence the factory builds.
     """
     interp_class = interpreter_for(backend or DEFAULT_BACKEND)
     interp = interp_class(
@@ -728,10 +747,14 @@ def resume_boot(
     )
     machine.restore(checkpoint.machine)
     interp.restore_state(checkpoint.interp)
-    context = _KernelContext(interp)
-    sequence = BootSequence(context, machine)
+    if harness_factory is None:
+        context = _KernelContext(interp)
+        sequence = BootSequence(context, machine)
+        classifier = classify_run
+    else:
+        sequence, classifier = harness_factory(interp, machine)
     sequence.restore_state(checkpoint.kernel)
-    return classify_run(sequence.run, machine, interp)
+    return classifier(sequence.run, machine, interp)
 
 
 # -- portable plans -----------------------------------------------------------

@@ -562,6 +562,41 @@ def evaluate_campaign(
     return results, context.stats_view()
 
 
+def resolve_checkpoint_options(
+    boot_checkpoint: bool | None,
+    checkpoint_granularity: str | None,
+    checkpoint_plan: str | None = None,
+) -> tuple[bool, str, bool]:
+    """Resolve a campaign's checkpoint knobs against the environment.
+
+    Returns ``(boot_checkpoint, granularity, granularity_pinned)``.  The
+    environment is consulted lazily — only when the caller left a knob
+    unset, and the granularity env value is validated only when
+    checkpointing is actually on, so a stale ``REPRO_CHECKPOINT_*``
+    value cannot abort (or pin anything on) a non-checkpointed
+    campaign.  A ``checkpoint_plan`` path implies checkpointing.  Shared
+    by the driver, engine and scenario campaign entry points so every
+    seam resolves identically.
+    """
+    if checkpoint_plan is not None:
+        if boot_checkpoint is None:
+            boot_checkpoint = True
+        elif not boot_checkpoint:
+            raise ValueError(
+                "checkpoint_plan given but boot_checkpoint=False"
+            )
+    if boot_checkpoint is None:
+        boot_checkpoint = checkpointing_enabled_by_env()
+    granularity_pinned = boot_checkpoint and (
+        pinned_granularity(checkpoint_granularity) is not None
+    )
+    if checkpoint_granularity is None:
+        checkpoint_granularity = (
+            granularity_from_env() if boot_checkpoint else "subcall"
+        )
+    return boot_checkpoint, checkpoint_granularity, granularity_pinned
+
+
 def run_driver_campaign(
     driver: str = "c",
     mode: str = "debug",
@@ -631,26 +666,11 @@ def run_driver_campaign(
             ),
             progress=progress,
         )
-    if checkpoint_plan is not None:
-        if boot_checkpoint is None:
-            boot_checkpoint = True
-        elif not boot_checkpoint:
-            raise ValueError(
-                "checkpoint_plan given but boot_checkpoint=False"
-            )
-    if boot_checkpoint is None:
-        boot_checkpoint = checkpointing_enabled_by_env()
-    # Resolved lazily so a stale environment value cannot abort (or
-    # pin anything on) a non-checkpointed campaign.
-    granularity_pinned = boot_checkpoint and (
-        pinned_granularity(checkpoint_granularity) is not None
-    )
-    if checkpoint_granularity is None:
-        # Resolved (and validated) only when it will actually be used,
-        # so a stale env value cannot abort a non-checkpointed campaign.
-        checkpoint_granularity = (
-            granularity_from_env() if boot_checkpoint else "subcall"
+    boot_checkpoint, checkpoint_granularity, granularity_pinned = (
+        resolve_checkpoint_options(
+            boot_checkpoint, checkpoint_granularity, checkpoint_plan
         )
+    )
     setup = prepare_campaign(
         driver,
         mode,

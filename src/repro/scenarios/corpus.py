@@ -1,0 +1,195 @@
+"""Deterministic scenario corpora: ids, digests, and the manifest.
+
+A :class:`Scenario` is one generated driver + device-script pair.  Its
+identity is pure data — ``(profile, index)`` — and everything else is
+derived deterministically from it:
+
+* the generator seed is ``crc32("scenario:<profile>:<index>:<attempt>")``
+  (never Python's per-process randomised ``hash``), where ``attempt``
+  counts acceptance-gate rejections, so the seed stream is stable
+  across processes, platforms and Python versions;
+* the bus seed is ``crc32("bus:<profile>:<index>")`` — attempt-
+  independent, so the device script is a property of the scenario slot;
+* the acceptance gate requires the candidate program to compile and to
+  classify :data:`~repro.kernel.outcomes.BootOutcome.BOOT` under the
+  scenario harness within :data:`DEFAULT_SCENARIO_BUDGET` steps
+  (backend-independent: the differential suite asserts step equality
+  across backends), so every corpus member is a usable baseline for
+  mutation campaigns.
+
+:func:`generate_corpus` materialises ``scale`` scenarios round-robin
+across :data:`PROFILE_ORDER`; :func:`corpus_manifest` /
+:func:`manifest_json` / :func:`manifest_digest` produce the
+byte-identical-across-processes manifest the determinism tests and
+``tests/goldens/`` pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from dataclasses import dataclass
+
+from repro.minic import SourceFile, compile_program
+from repro.diagnostics import CompileError
+from repro.kernel.outcomes import BootOutcome
+from repro.mutation.runner import count_code_lines
+from repro.scenarios.generator import PROFILES, ProgramGen
+from repro.scenarios.campaign import ScenarioMachine, scenario_boot
+
+#: Corpus profiles in round-robin materialisation order.
+PROFILE_ORDER = ("polling", "errorpath", "dma", "branchy")
+
+#: The fixed step budget scenario boots run under — both the acceptance
+#: gate here and campaign evaluation (`repro.scenarios.campaign`), so a
+#: scenario accepted into the corpus always boots inside campaign
+#: budget.
+DEFAULT_SCENARIO_BUDGET = 30_000
+
+#: Acceptance-gate rejection cap per scenario slot; in practice the
+#: overwhelming majority of candidate seeds boot cleanly.
+MAX_ATTEMPTS = 32
+
+#: Manifest schema revision.
+CORPUS_VERSION = 1
+
+
+def _scenario_seed(profile: str, index: int, attempt: int) -> int:
+    return zlib.crc32(f"scenario:{profile}:{index}:{attempt}".encode())
+
+
+def _bus_seed(profile: str, index: int) -> int:
+    return zlib.crc32(f"bus:{profile}:{index}".encode())
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated driver + device script, fully determined by its id."""
+
+    profile: str
+    index: int
+    seed: int
+    bus_seed: int
+    attempt: int
+    source: str
+
+    @property
+    def scenario_id(self) -> str:
+        return f"{self.profile}-{self.index:03d}"
+
+    @property
+    def filename(self) -> str:
+        return f"{self.scenario_id}.c"
+
+    @property
+    def digest(self) -> str:
+        return hashlib.sha256(self.source.encode("utf-8")).hexdigest()
+
+    @property
+    def lines(self) -> int:
+        return count_code_lines(self.source)
+
+
+def build_scenario(profile: str, index: int) -> Scenario:
+    """Materialise scenario ``(profile, index)`` deterministically.
+
+    Candidate seeds are tried in attempt order until one passes the
+    acceptance gate (compiles, clean ``BOOT`` within the fixed budget);
+    the winning attempt number is part of the scenario, so regeneration
+    never re-runs the gate differently.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown scenario profile {profile!r}; "
+            f"available: {', '.join(sorted(PROFILES))}"
+        )
+    for attempt in range(MAX_ATTEMPTS):
+        seed = _scenario_seed(profile, index, attempt)
+        source = ProgramGen(seed, PROFILES[profile]).program()
+        scenario = Scenario(
+            profile=profile,
+            index=index,
+            seed=seed,
+            bus_seed=_bus_seed(profile, index),
+            attempt=attempt,
+            source=source,
+        )
+        try:
+            program = compile_program([SourceFile(scenario.filename, source)])
+        except CompileError:  # pragma: no cover - generator emits valid code
+            continue
+        report = scenario_boot(
+            program,
+            ScenarioMachine(scenario.bus_seed),
+            step_budget=DEFAULT_SCENARIO_BUDGET,
+        )
+        if report.outcome is BootOutcome.BOOT:
+            return scenario
+    raise RuntimeError(
+        f"no candidate for scenario {profile}-{index:03d} passed the "
+        f"acceptance gate in {MAX_ATTEMPTS} attempts"
+    )
+
+
+def scenario_from_id(scenario_id: str) -> Scenario:
+    """Rebuild a scenario from its stable id (``"polling-003"``)."""
+    profile, _, index_text = scenario_id.rpartition("-")
+    if not profile or not index_text.isdigit():
+        raise ValueError(f"malformed scenario id {scenario_id!r}")
+    return build_scenario(profile, int(index_text))
+
+
+def generate_corpus(scale: int) -> list[Scenario]:
+    """``scale`` scenarios, round-robin across :data:`PROFILE_ORDER`.
+
+    Scenario ``k`` is ``(PROFILE_ORDER[k % len], index=k // len)``, so
+    growing ``scale`` only appends — a scale-50 corpus contains the
+    scale-8 corpus as a prefix, and every scenario's identity is
+    independent of the scale it was materialised at.
+    """
+    if scale < 1:
+        raise ValueError(f"corpus scale {scale} must be >= 1")
+    return [
+        build_scenario(
+            PROFILE_ORDER[k % len(PROFILE_ORDER)], k // len(PROFILE_ORDER)
+        )
+        for k in range(scale)
+    ]
+
+
+def corpus_manifest(scenarios: list[Scenario]) -> dict:
+    """The corpus as pure data: ids, derivation seeds, content digests."""
+    return {
+        "version": CORPUS_VERSION,
+        "scale": len(scenarios),
+        "profiles": sorted({scenario.profile for scenario in scenarios}),
+        "scenarios": [
+            {
+                "id": scenario.scenario_id,
+                "profile": scenario.profile,
+                "index": scenario.index,
+                "seed": scenario.seed,
+                "bus_seed": scenario.bus_seed,
+                "attempt": scenario.attempt,
+                "lines": scenario.lines,
+                "source_sha256": scenario.digest,
+            }
+            for scenario in scenarios
+        ],
+    }
+
+
+def manifest_json(scenarios: list[Scenario]) -> str:
+    """Canonical manifest serialisation — byte-identical everywhere."""
+    return (
+        json.dumps(corpus_manifest(scenarios), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def manifest_digest(scenarios: list[Scenario]) -> str:
+    """sha256 of the canonical manifest bytes."""
+    return hashlib.sha256(
+        manifest_json(scenarios).encode("utf-8")
+    ).hexdigest()

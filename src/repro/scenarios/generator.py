@@ -1,0 +1,406 @@
+"""Seeded mini-C driver generation against a deterministic scripted bus.
+
+:class:`ScriptedBus` and :class:`ProgramGen` are the cross-backend
+differential harness's generator, promoted to a library.  The generator
+is parameterised by a :class:`Profile` — the cumulative probability
+tables steering statement, expression and loop choice — whose
+**default values are exactly the thresholds the differential harness
+hardcoded**, so ``ProgramGen(seed)`` consumes the RNG stream
+identically and regenerates the historical fuzz programs byte for byte
+(``tests/test_backend_differential.py`` now imports from here).
+
+Named profiles skew the same generator toward the workload shapes a
+driver population needs covered: polling-heavy wait loops,
+error-path-dense branching with early returns, DMA-burst/bulk-output
+sequences, and switch/branch-dense dispatch.  Every profile keeps the
+tables cumulative (each threshold >= its predecessor), so a profile is
+a reweighting, never a different grammar.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.minic.errors import MachineFault
+
+# -- deterministic hardware ----------------------------------------------------
+
+
+class ScriptedBus:
+    """Deterministic bus: reads are a hash of (seed, sequence, port).
+
+    The value stream depends on the *sequence* of reads, so any backend
+    divergence cascades into different values and is caught.  Writes are
+    recorded for comparison; one port is wired to fault.
+    """
+
+    FAULT_PORT = 0x666
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self.count = 0
+        self.writes: list[tuple[int, int, int]] = []
+
+    def read_port(self, address: int, size: int) -> int:
+        if address == self.FAULT_PORT:
+            raise MachineFault(
+                f"bus fault: read of unclaimed port {address:#x}"
+            )
+        self.count += 1
+        value = (
+            self.seed * 2654435761 + self.count * 40503 + address * 97
+        ) & 0xFFFFFFFF
+        return value & ((1 << size) - 1)
+
+    def write_port(self, address: int, value: int, size: int) -> None:
+        if address == self.FAULT_PORT:
+            raise MachineFault(
+                f"bus fault: write of unclaimed port {address:#x}"
+            )
+        self.writes.append((address, value, size))
+
+
+# -- generation profiles -------------------------------------------------------
+
+_INT_TYPES = ("int", "u8", "u16", "u32", "s8", "s16")
+_PORTS = (0x1F0, 0x1F7, 0x3F6, 0x23C)
+_EDGE_INTS = (
+    0, 1, 2, 3, 5, 7, 8, 15, 16, 31, 32, 33, 127, 128, 129, 255, 256,
+    1000, 32767, 32768, 65535, 65536, 2147483647,
+)
+_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+            "==", "!=", "<", ">", "<=", ">=", "&&", "||")
+_ASSIGN_OPS = ("=", "+=", "-=", "&=", "|=", "^=")
+
+
+@dataclass(frozen=True)
+class Profile:
+    """Cumulative probability tables steering :class:`ProgramGen`.
+
+    Each group is a sequence of cumulative cutoffs compared against one
+    ``rng.random()`` roll (``roll < cutoff`` selects the construct, the
+    remainder falls to the last alternative), so reweighting a profile
+    never changes *how many* RNG values the generator draws for a given
+    decision — only which branch wins.  The defaults are the
+    differential harness's historical constants.
+    """
+
+    name: str = "mixed"
+    description: str = "the differential harness's historical mixture"
+
+    # Statement choice (remainder: bare expression statement).
+    s_decl: float = 0.22
+    s_assign: float = 0.42
+    s_incdec: float = 0.50
+    s_if: float = 0.58
+    s_loop: float = 0.70
+    s_switch: float = 0.74
+    s_out: float = 0.78
+    s_printk: float = 0.81
+    s_jump: float = 0.84
+    s_ret: float = 0.86
+    s_empty: float = 0.88
+
+    # Expression choice (remainder: comma expression).
+    e_leaf: float = 0.35
+    e_binop: float = 0.60
+    e_unary: float = 0.68
+    e_cast: float = 0.76
+    e_port: float = 0.84
+    e_call: float = 0.90
+    e_ternary: float = 0.95
+
+    # Loop kind (remainder: the polling idiom).
+    l_while: float = 0.4
+    l_for: float = 0.7
+    l_dowhile: float = 0.85
+
+    # Program shape.
+    max_helpers: int = 2
+    helper_fuel: int = 6
+    run_fuel: int = 14
+
+
+#: The historical differential-harness mixture, byte-identical to the
+#: pre-library generator for every seed.
+DEFAULT_PROFILE = Profile()
+
+#: The corpus profiles: four workload shapes a driver population must
+#: cover, all reweightings of the same grammar.
+PROFILES: dict[str, Profile] = {
+    "mixed": DEFAULT_PROFILE,
+    "polling": Profile(
+        name="polling",
+        description="status-register wait loops and port-read-heavy flow",
+        s_decl=0.20, s_assign=0.36, s_incdec=0.42, s_if=0.50,
+        s_loop=0.74, s_switch=0.76, s_out=0.80, s_printk=0.82,
+        s_jump=0.85, s_ret=0.87, s_empty=0.88,
+        e_leaf=0.35, e_binop=0.58, e_unary=0.64, e_cast=0.70,
+        e_port=0.88, e_call=0.92, e_ternary=0.96,
+        l_while=0.15, l_for=0.30, l_dowhile=0.40,
+    ),
+    "errorpath": Profile(
+        name="errorpath",
+        description="dense conditionals with early returns on error paths",
+        s_decl=0.18, s_assign=0.34, s_incdec=0.40, s_if=0.62,
+        s_loop=0.68, s_switch=0.72, s_out=0.75, s_printk=0.79,
+        s_jump=0.83, s_ret=0.92, s_empty=0.93,
+    ),
+    "dma": Profile(
+        name="dma",
+        description="bulk output bursts inside counted transfer loops",
+        s_decl=0.20, s_assign=0.34, s_incdec=0.40, s_if=0.46,
+        s_loop=0.62, s_switch=0.64, s_out=0.84, s_printk=0.86,
+        s_jump=0.88, s_ret=0.90, s_empty=0.91,
+        e_leaf=0.35, e_binop=0.60, e_unary=0.68, e_cast=0.72,
+        e_port=0.86, e_call=0.90, e_ternary=0.95,
+        l_while=0.15, l_for=0.75, l_dowhile=0.85,
+    ),
+    "branchy": Profile(
+        name="branchy",
+        description="switch-dense dispatch and ternary-heavy expressions",
+        s_decl=0.16, s_assign=0.30, s_incdec=0.36, s_if=0.52,
+        s_loop=0.58, s_switch=0.74, s_out=0.77, s_printk=0.80,
+        s_jump=0.83, s_ret=0.85, s_empty=0.86,
+        e_leaf=0.35, e_binop=0.60, e_unary=0.68, e_cast=0.76,
+        e_port=0.84, e_call=0.86, e_ternary=0.96,
+    ),
+}
+
+
+# -- random program generator --------------------------------------------------
+
+
+class ProgramGen:
+    """Seeded generator of sema-valid mini-C programs."""
+
+    def __init__(self, seed: int, profile: Profile | None = None):
+        self.rng = random.Random(seed)
+        self.profile = profile if profile is not None else DEFAULT_PROFILE
+        self.fresh = 0
+        self.functions: list[str] = []  # helpers defined so far
+
+    def name(self, prefix: str) -> str:
+        self.fresh += 1
+        return f"{prefix}{self.fresh}"
+
+    def literal(self) -> str:
+        value = self.rng.choice(_EDGE_INTS)
+        roll = self.rng.random()
+        if roll < 0.25:
+            return f"{value}u"
+        if roll < 0.35 and value:
+            return f"(-{value})"
+        return str(value)
+
+    def expr(self, env: list[str], depth: int) -> str:
+        p = self.profile
+        roll = self.rng.random()
+        if depth <= 0 or roll < p.e_leaf:
+            if env and self.rng.random() < 0.6:
+                return self.rng.choice(env)
+            return self.literal()
+        if roll < p.e_binop:
+            op = self.rng.choice(_BIN_OPS)
+            left = self.expr(env, depth - 1)
+            right = self.expr(env, depth - 1)
+            return f"({left} {op} {right})"
+        if roll < p.e_unary:
+            op = self.rng.choice(("-", "~", "!"))
+            return f"({op}{self.expr(env, depth - 1)})"
+        if roll < p.e_cast:
+            ctype = self.rng.choice(_INT_TYPES)
+            return f"(({ctype}){self.expr(env, depth - 1)})"
+        if roll < p.e_port:
+            port = self.rng.choice(_PORTS)
+            builtin = self.rng.choice(("inb", "inw", "inl"))
+            if self.rng.random() < 0.25 and env:
+                return f"{builtin}({self.rng.choice(env)})"
+            return f"{builtin}({port})"
+        if roll < p.e_call and self.functions:
+            callee = self.rng.choice(self.functions)
+            return (
+                f"{callee}({self.expr(env, depth - 1)}, "
+                f"{self.expr(env, depth - 1)})"
+            )
+        if roll < p.e_ternary:
+            cond = self.expr(env, depth - 1)
+            return (
+                f"({cond} ? {self.expr(env, depth - 1)} "
+                f": {self.expr(env, depth - 1)})"
+            )
+        return f"({self.expr(env, depth - 1)}, {self.expr(env, depth - 1)})"
+
+    def statements(
+        self,
+        env: list[str],
+        fuel: int,
+        indent: str,
+        in_loop: bool,
+        in_switch: bool,
+    ) -> list[str]:
+        p = self.profile
+        lines: list[str] = []
+        local_env = list(env)
+        count = self.rng.randint(1, max(1, min(5, fuel)))
+        for _ in range(count):
+            if fuel <= 0:
+                break
+            fuel -= 1
+            roll = self.rng.random()
+            if roll < p.s_decl:
+                ctype = self.rng.choice(_INT_TYPES)
+                var = self.name("v")
+                lines.append(
+                    f"{indent}{ctype} {var} = {self.expr(local_env, 2)};"
+                )
+                local_env.append(var)
+            elif roll < p.s_assign and local_env:
+                target = self.rng.choice(local_env)
+                op = self.rng.choice(_ASSIGN_OPS)
+                lines.append(
+                    f"{indent}{target} {op} {self.expr(local_env, 2)};"
+                )
+            elif roll < p.s_incdec and local_env:
+                target = self.rng.choice(local_env)
+                bump = self.rng.choice(("++", "--"))
+                if self.rng.random() < 0.5:
+                    lines.append(f"{indent}{target}{bump};")
+                else:
+                    lines.append(f"{indent}{bump}{target};")
+            elif roll < p.s_if:
+                lines.append(
+                    f"{indent}if ({self.expr(local_env, 2)}) {{"
+                )
+                lines.extend(
+                    self.statements(
+                        local_env, fuel // 2, indent + "    ", in_loop, in_switch
+                    )
+                )
+                if self.rng.random() < 0.5:
+                    lines.append(f"{indent}}} else {{")
+                    lines.extend(
+                        self.statements(
+                            local_env, fuel // 3, indent + "    ",
+                            in_loop, in_switch,
+                        )
+                    )
+                lines.append(f"{indent}}}")
+            elif roll < p.s_loop:
+                lines.extend(
+                    self.loop(local_env, fuel // 2, indent)
+                )
+            elif roll < p.s_switch:
+                lines.extend(
+                    self.switch(local_env, fuel // 2, indent)
+                )
+            elif roll < p.s_out:
+                port = self.rng.choice(_PORTS)
+                builtin = self.rng.choice(("outb", "outw", "outl"))
+                lines.append(
+                    f"{indent}{builtin}({self.expr(local_env, 1)}, {port});"
+                )
+            elif roll < p.s_printk and local_env:
+                lines.append(
+                    f'{indent}printk("x=%d y=%u", '
+                    f"{self.rng.choice(local_env)}, {self.expr(local_env, 1)});"
+                )
+            elif roll < p.s_jump and in_loop:
+                lines.append(
+                    f"{indent}{self.rng.choice(('break', 'continue'))};"
+                )
+                break  # statements after a jump are dead; keep programs lively
+            elif roll < p.s_ret:
+                lines.append(f"{indent}return {self.expr(local_env, 2)};")
+                break
+            elif roll < p.s_empty:
+                lines.append(f"{indent}{{ ; }}")
+            else:
+                lines.append(f"{indent}{self.expr(local_env, 2)};")
+        if not lines:
+            lines.append(f"{indent};")
+        return lines
+
+    def loop(self, env: list[str], fuel: int, indent: str) -> list[str]:
+        p = self.profile
+        kind = self.rng.random()
+        counter = self.name("i")
+        bound = self.rng.choice((1, 2, 3, 5, 9, 17))
+        body_env = env + [counter]
+        if kind < p.l_while:
+            head = [
+                f"{indent}int {counter} = 0;",
+                f"{indent}while ({counter} < {bound}) {{",
+            ]
+            tail = [f"{indent}    {counter}++;", f"{indent}}}"]
+        elif kind < p.l_for:
+            head = [
+                f"{indent}for (int {counter} = 0; {counter} < {bound}; "
+                f"{counter}++) {{"
+            ]
+            tail = [f"{indent}}}"]
+        elif kind < p.l_dowhile:
+            head = [
+                f"{indent}int {counter} = {bound};",
+                f"{indent}do {{",
+            ]
+            tail = [f"{indent}    {counter}--;", f"{indent}}} while ({counter} > 0);"]
+        else:
+            # Polling idiom: loop until a scripted read matches (or budget).
+            port = self.rng.choice(_PORTS)
+            mask = self.rng.choice((0x1, 0x7, 0x80, 0xFF))
+            head = [
+                f"{indent}while ((inb({port}) & {mask}) == {mask}) {{",
+            ]
+            tail = [f"{indent}}}"]
+            return head + [f"{indent}    ;"] + tail
+        body = self.statements(body_env, fuel, indent + "    ", True, False)
+        return head + body + tail
+
+    def switch(self, env: list[str], fuel: int, indent: str) -> list[str]:
+        lines = [f"{indent}switch ({self.expr(env, 1)}) {{"]
+        labels = self.rng.sample(range(0, 9), self.rng.randint(1, 3))
+        for label in labels:
+            lines.append(f"{indent}case {label}:")
+            if self.rng.random() < 0.2:
+                # Declaration inside a case group: exercises the source
+                # backend's closure fallback.
+                var = self.name("s")
+                lines.append(f"{indent}    int {var} = {self.expr(env, 1)};")
+                lines.append(f"{indent}    {var} += 1;")
+            lines.extend(
+                self.statements(env, max(1, fuel // 3), indent + "    ",
+                                False, True)
+            )
+            if self.rng.random() < 0.7:
+                lines.append(f"{indent}    break;")
+        if self.rng.random() < 0.6:
+            lines.append(f"{indent}default:")
+            lines.extend(
+                self.statements(env, max(1, fuel // 3), indent + "    ",
+                                False, True)
+            )
+        lines.append(f"{indent}}}")
+        return lines
+
+    def function(self, name: str, fuel: int) -> str:
+        ret = self.rng.choice(("int", "u32", "s16"))
+        params = ["int a", "u32 b"]
+        env = ["a", "b"]
+        body = self.statements(env, fuel, "    ", False, False)
+        body.append(f"    return {self.expr(env, 1)};")
+        header = f"{ret} {name}({', '.join(params)}) {{"
+        self.functions.append(name)
+        return "\n".join([header] + body + ["}"])
+
+    def program(self) -> str:
+        p = self.profile
+        parts = [
+            "u32 g_state = 0u;",
+            "int g_mark = -1;",
+        ]
+        for index in range(self.rng.randint(0, p.max_helpers)):
+            parts.append(self.function(f"helper{index}", p.helper_fuel))
+        parts.append(self.function("run", p.run_fuel))
+        return "\n\n".join(parts)

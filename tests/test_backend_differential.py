@@ -12,11 +12,14 @@ mutants from the bundled drivers through whole boots.
 
 The fast slice runs in tier-1; the ``slow``-marked sweeps push the
 generated-program and mutant counts past the hundreds.
+
+The generator and its scripted device live in `repro.scenarios` (they
+grew into the corpus workload library); this harness imports them, so
+there is exactly one generator and the differential seeds exercise the
+same code paths the scenario campaigns run.
 """
 
 from __future__ import annotations
-
-import random
 
 import pytest
 
@@ -30,292 +33,12 @@ from repro.drivers import (
     busmouse_stub_header,
 )
 from repro.hw import IOBus, LogitechBusmouse, standard_pc
-from repro.kernel.kernel import boot
 from repro.minic import SourceFile, compile_program
 from repro.minic.compile import interpreter_for
-from repro.minic.errors import MachineFault
 from repro.mutation.generator import enumerate_c_mutants
 from repro.mutation.runner import build_c_pools
 from repro.mutation.sampling import sample_mutants
-
-# -- deterministic hardware ----------------------------------------------------
-
-
-class ScriptedBus:
-    """Deterministic bus: reads are a hash of (seed, sequence, port).
-
-    The value stream depends on the *sequence* of reads, so any backend
-    divergence cascades into different values and is caught.  Writes are
-    recorded for comparison; one port is wired to fault.
-    """
-
-    FAULT_PORT = 0x666
-
-    def __init__(self, seed: int):
-        self.seed = seed
-        self.count = 0
-        self.writes: list[tuple[int, int, int]] = []
-
-    def read_port(self, address: int, size: int) -> int:
-        if address == self.FAULT_PORT:
-            raise MachineFault(
-                f"bus fault: read of unclaimed port {address:#x}"
-            )
-        self.count += 1
-        value = (
-            self.seed * 2654435761 + self.count * 40503 + address * 97
-        ) & 0xFFFFFFFF
-        return value & ((1 << size) - 1)
-
-    def write_port(self, address: int, value: int, size: int) -> None:
-        if address == self.FAULT_PORT:
-            raise MachineFault(
-                f"bus fault: write of unclaimed port {address:#x}"
-            )
-        self.writes.append((address, value, size))
-
-
-# -- random program generator --------------------------------------------------
-
-_INT_TYPES = ("int", "u8", "u16", "u32", "s8", "s16")
-_PORTS = (0x1F0, 0x1F7, 0x3F6, 0x23C)
-_EDGE_INTS = (
-    0, 1, 2, 3, 5, 7, 8, 15, 16, 31, 32, 33, 127, 128, 129, 255, 256,
-    1000, 32767, 32768, 65535, 65536, 2147483647,
-)
-_BIN_OPS = ("+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
-            "==", "!=", "<", ">", "<=", ">=", "&&", "||")
-_ASSIGN_OPS = ("=", "+=", "-=", "&=", "|=", "^=")
-
-
-class ProgramGen:
-    """Seeded generator of sema-valid mini-C programs."""
-
-    def __init__(self, seed: int):
-        self.rng = random.Random(seed)
-        self.fresh = 0
-        self.functions: list[str] = []  # helpers defined so far
-
-    def name(self, prefix: str) -> str:
-        self.fresh += 1
-        return f"{prefix}{self.fresh}"
-
-    def literal(self) -> str:
-        value = self.rng.choice(_EDGE_INTS)
-        roll = self.rng.random()
-        if roll < 0.25:
-            return f"{value}u"
-        if roll < 0.35 and value:
-            return f"(-{value})"
-        return str(value)
-
-    def expr(self, env: list[str], depth: int) -> str:
-        roll = self.rng.random()
-        if depth <= 0 or roll < 0.35:
-            if env and self.rng.random() < 0.6:
-                return self.rng.choice(env)
-            return self.literal()
-        if roll < 0.60:
-            op = self.rng.choice(_BIN_OPS)
-            left = self.expr(env, depth - 1)
-            right = self.expr(env, depth - 1)
-            return f"({left} {op} {right})"
-        if roll < 0.68:
-            op = self.rng.choice(("-", "~", "!"))
-            return f"({op}{self.expr(env, depth - 1)})"
-        if roll < 0.76:
-            ctype = self.rng.choice(_INT_TYPES)
-            return f"(({ctype}){self.expr(env, depth - 1)})"
-        if roll < 0.84:
-            port = self.rng.choice(_PORTS)
-            builtin = self.rng.choice(("inb", "inw", "inl"))
-            if self.rng.random() < 0.25 and env:
-                return f"{builtin}({self.rng.choice(env)})"
-            return f"{builtin}({port})"
-        if roll < 0.90 and self.functions:
-            callee = self.rng.choice(self.functions)
-            return (
-                f"{callee}({self.expr(env, depth - 1)}, "
-                f"{self.expr(env, depth - 1)})"
-            )
-        if roll < 0.95:
-            cond = self.expr(env, depth - 1)
-            return (
-                f"({cond} ? {self.expr(env, depth - 1)} "
-                f": {self.expr(env, depth - 1)})"
-            )
-        return f"({self.expr(env, depth - 1)}, {self.expr(env, depth - 1)})"
-
-    def statements(
-        self,
-        env: list[str],
-        fuel: int,
-        indent: str,
-        in_loop: bool,
-        in_switch: bool,
-    ) -> list[str]:
-        lines: list[str] = []
-        local_env = list(env)
-        count = self.rng.randint(1, max(1, min(5, fuel)))
-        for _ in range(count):
-            if fuel <= 0:
-                break
-            fuel -= 1
-            roll = self.rng.random()
-            if roll < 0.22:
-                ctype = self.rng.choice(_INT_TYPES)
-                var = self.name("v")
-                lines.append(
-                    f"{indent}{ctype} {var} = {self.expr(local_env, 2)};"
-                )
-                local_env.append(var)
-            elif roll < 0.42 and local_env:
-                target = self.rng.choice(local_env)
-                op = self.rng.choice(_ASSIGN_OPS)
-                lines.append(
-                    f"{indent}{target} {op} {self.expr(local_env, 2)};"
-                )
-            elif roll < 0.50 and local_env:
-                target = self.rng.choice(local_env)
-                bump = self.rng.choice(("++", "--"))
-                if self.rng.random() < 0.5:
-                    lines.append(f"{indent}{target}{bump};")
-                else:
-                    lines.append(f"{indent}{bump}{target};")
-            elif roll < 0.58:
-                lines.append(
-                    f"{indent}if ({self.expr(local_env, 2)}) {{"
-                )
-                lines.extend(
-                    self.statements(
-                        local_env, fuel // 2, indent + "    ", in_loop, in_switch
-                    )
-                )
-                if self.rng.random() < 0.5:
-                    lines.append(f"{indent}}} else {{")
-                    lines.extend(
-                        self.statements(
-                            local_env, fuel // 3, indent + "    ",
-                            in_loop, in_switch,
-                        )
-                    )
-                lines.append(f"{indent}}}")
-            elif roll < 0.70:
-                lines.extend(
-                    self.loop(local_env, fuel // 2, indent)
-                )
-            elif roll < 0.74:
-                lines.extend(
-                    self.switch(local_env, fuel // 2, indent)
-                )
-            elif roll < 0.78:
-                port = self.rng.choice(_PORTS)
-                builtin = self.rng.choice(("outb", "outw", "outl"))
-                lines.append(
-                    f"{indent}{builtin}({self.expr(local_env, 1)}, {port});"
-                )
-            elif roll < 0.81 and local_env:
-                lines.append(
-                    f'{indent}printk("x=%d y=%u", '
-                    f"{self.rng.choice(local_env)}, {self.expr(local_env, 1)});"
-                )
-            elif roll < 0.84 and in_loop:
-                lines.append(
-                    f"{indent}{self.rng.choice(('break', 'continue'))};"
-                )
-                break  # statements after a jump are dead; keep programs lively
-            elif roll < 0.86:
-                lines.append(f"{indent}return {self.expr(local_env, 2)};")
-                break
-            elif roll < 0.88:
-                lines.append(f"{indent}{{ ; }}")
-            else:
-                lines.append(f"{indent}{self.expr(local_env, 2)};")
-        if not lines:
-            lines.append(f"{indent};")
-        return lines
-
-    def loop(self, env: list[str], fuel: int, indent: str) -> list[str]:
-        kind = self.rng.random()
-        counter = self.name("i")
-        bound = self.rng.choice((1, 2, 3, 5, 9, 17))
-        body_env = env + [counter]
-        if kind < 0.4:
-            head = [
-                f"{indent}int {counter} = 0;",
-                f"{indent}while ({counter} < {bound}) {{",
-            ]
-            tail = [f"{indent}    {counter}++;", f"{indent}}}"]
-        elif kind < 0.7:
-            head = [
-                f"{indent}for (int {counter} = 0; {counter} < {bound}; "
-                f"{counter}++) {{"
-            ]
-            tail = [f"{indent}}}"]
-        elif kind < 0.85:
-            head = [
-                f"{indent}int {counter} = {bound};",
-                f"{indent}do {{",
-            ]
-            tail = [f"{indent}    {counter}--;", f"{indent}}} while ({counter} > 0);"]
-        else:
-            # Polling idiom: loop until a scripted read matches (or budget).
-            port = self.rng.choice(_PORTS)
-            mask = self.rng.choice((0x1, 0x7, 0x80, 0xFF))
-            head = [
-                f"{indent}while ((inb({port}) & {mask}) == {mask}) {{",
-            ]
-            tail = [f"{indent}}}"]
-            return head + [f"{indent}    ;"] + tail
-        body = self.statements(body_env, fuel, indent + "    ", True, False)
-        return head + body + tail
-
-    def switch(self, env: list[str], fuel: int, indent: str) -> list[str]:
-        lines = [f"{indent}switch ({self.expr(env, 1)}) {{"]
-        labels = self.rng.sample(range(0, 9), self.rng.randint(1, 3))
-        for label in labels:
-            lines.append(f"{indent}case {label}:")
-            if self.rng.random() < 0.2:
-                # Declaration inside a case group: exercises the source
-                # backend's closure fallback.
-                var = self.name("s")
-                lines.append(f"{indent}    int {var} = {self.expr(env, 1)};")
-                lines.append(f"{indent}    {var} += 1;")
-            lines.extend(
-                self.statements(env, max(1, fuel // 3), indent + "    ",
-                                False, True)
-            )
-            if self.rng.random() < 0.7:
-                lines.append(f"{indent}    break;")
-        if self.rng.random() < 0.6:
-            lines.append(f"{indent}default:")
-            lines.extend(
-                self.statements(env, max(1, fuel // 3), indent + "    ",
-                                False, True)
-            )
-        lines.append(f"{indent}}}")
-        return lines
-
-    def function(self, name: str, fuel: int) -> str:
-        ret = self.rng.choice(("int", "u32", "s16"))
-        params = ["int a", "u32 b"]
-        env = ["a", "b"]
-        body = self.statements(env, fuel, "    ", False, False)
-        body.append(f"    return {self.expr(env, 1)};")
-        header = f"{ret} {name}({', '.join(params)}) {{"
-        self.functions.append(name)
-        return "\n".join([header] + body + ["}"])
-
-    def program(self) -> str:
-        parts = [
-            "u32 g_state = 0u;",
-            "int g_mark = -1;",
-        ]
-        for index in range(self.rng.randint(0, 2)):
-            parts.append(self.function(f"helper{index}", 6))
-        parts.append(self.function("run", 14))
-        return "\n\n".join(parts)
-
+from repro.scenarios import ProgramGen, ScriptedBus
 
 # -- the differential harness --------------------------------------------------
 
